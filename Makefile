@@ -1,0 +1,43 @@
+# Convenience targets for the RCoal reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-race cover bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reproduce every paper figure/table (plus extensions) at the paper's
+# sample count, writing CSV data files under data/.
+experiments:
+	mkdir -p data
+	$(GO) run ./cmd/rcoal-experiments -run all -samples 100 -parallel 3 -csv data
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/keyrecovery
+	$(GO) run ./examples/ctrmode
+	$(GO) run ./examples/defensetuning
+	$(GO) run ./examples/largeplaintext
+
+fuzz:
+	$(GO) test -fuzz FuzzEncryptMatchesStdlib -fuzztime 30s ./internal/aes/
+	$(GO) test -fuzz FuzzParseMechanism -fuzztime 15s .
+
+clean:
+	$(GO) clean -testcache

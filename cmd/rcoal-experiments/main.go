@@ -1,0 +1,107 @@
+// Command rcoal-experiments reproduces the RCoal paper's evaluation:
+// every figure and table has a registered experiment that prints its
+// data as an ASCII table or chart.
+//
+// Usage:
+//
+//	rcoal-experiments -list
+//	rcoal-experiments -run fig6
+//	rcoal-experiments -run all -samples 100 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rcoal/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiment IDs")
+		run     = flag.String("run", "", "experiment ID to run, or \"all\"")
+		samples = flag.Int("samples", 100, "plaintext timing samples per configuration")
+		lines   = flag.Int("lines", 32, "plaintext lines per sample (fig18 always uses 1024)")
+		seed    = flag.Uint64("seed", 0x8C0A1, "master random seed")
+		key     = flag.String("key", "RCoal eval key 1", "AES key (16/24/32 bytes)")
+		csvDir  = flag.String("csv", "", "directory to write <id>.csv data files into (optional)")
+		par     = flag.Int("parallel", 1, "experiments to run concurrently (they are independent and deterministic)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "usage: rcoal-experiments -run <id>|all  (or -list)")
+		os.Exit(2)
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Samples = *samples
+	opts.Lines = *lines
+	opts.Seed = *seed
+	opts.Key = []byte(*key)
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+
+	type outcome struct {
+		report  string
+		elapsed float64
+		err     error
+	}
+	results := make([]outcome, len(ids))
+	sem := make(chan struct{}, max(1, *par))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res, err := experiments.Run(id, opts)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			out := res.Render()
+			if *csvDir != "" {
+				if c, ok := res.(experiments.CSVer); ok {
+					path := filepath.Join(*csvDir, id+".csv")
+					if werr := os.WriteFile(path, []byte(c.CSV()), 0o644); werr != nil {
+						results[i] = outcome{err: werr}
+						return
+					}
+					out += fmt.Sprintf("(data written to %s)\n", path)
+				}
+			}
+			results[i] = outcome{report: out, elapsed: time.Since(start).Seconds()}
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "rcoal-experiments: %s: %v\n", id, results[i].err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, results[i].elapsed, results[i].report)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

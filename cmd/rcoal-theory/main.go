@@ -1,0 +1,82 @@
+// Command rcoal-theory evaluates the Section V analytical security
+// model at arbitrary (N, R, M) points — the generalization of the
+// paper's Table II beyond the default 32-thread, 16-block
+// configuration.
+//
+// Usage:
+//
+//	rcoal-theory                      # Table II (N=32, R=16)
+//	rcoal-theory -n 64 -r 32 -m 1,2,4,8,16,32,64
+//	rcoal-theory -alpha 0.99 -absolute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rcoal"
+	"rcoal/internal/report"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 32, "threads per warp (N)")
+		r        = flag.Int("r", 16, "memory blocks per lookup table (R)")
+		ms       = flag.String("m", "1,2,4,8,16,32", "comma-separated subwarp counts (M)")
+		alpha    = flag.Float64("alpha", 0.99, "attack success rate for absolute sample counts")
+		absolute = flag.Bool("absolute", false, "also print absolute samples via Equation 4")
+	)
+	flag.Parse()
+
+	md, err := rcoal.NewSecurityModel(*n, *r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcoal-theory:", err)
+		os.Exit(1)
+	}
+
+	var mvals []int
+	for _, part := range strings.Split(*ms, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 || v > *n {
+			fmt.Fprintf(os.Stderr, "rcoal-theory: bad M value %q\n", part)
+			os.Exit(1)
+		}
+		if *n%v != 0 {
+			fmt.Fprintf(os.Stderr, "rcoal-theory: M=%d does not divide N=%d (FSS needs equal subwarps)\n", v, *n)
+			os.Exit(1)
+		}
+		mvals = append(mvals, v)
+	}
+
+	rows := md.Table2(mvals)
+	t := &report.Table{
+		Title: fmt.Sprintf("Analytical security model, N=%d threads, R=%d blocks (S normalized to M=1)", *n, *r),
+		Headers: []string{"M", "rho FSS", "rho FSS+RTS", "rho RSS+RTS",
+			"S FSS+RTS", "S RSS+RTS"},
+	}
+	for _, row := range rows {
+		t.AddRow(row.M,
+			report.FormatFloat(row.RhoFSS, 2),
+			report.FormatFloat(row.RhoFSSRTS, 4),
+			report.FormatFloat(row.RhoRSSRTS, 4),
+			report.FormatFloat(row.SFSSRTS, 0),
+			report.FormatFloat(row.SRSSRTS, 0))
+	}
+	fmt.Print(t.String())
+
+	if *absolute {
+		t2 := &report.Table{
+			Title:   fmt.Sprintf("\nAbsolute samples for a successful attack (Equation 4, alpha=%.2f)", *alpha),
+			Headers: []string{"M", "samples FSS+RTS", "samples RSS+RTS"},
+		}
+		for _, row := range rows {
+			t2.AddRow(row.M,
+				report.FormatFloat(rcoal.SamplesForAttack(row.RhoFSSRTS, *alpha), 0),
+				report.FormatFloat(rcoal.SamplesForAttack(row.RhoRSSRTS, *alpha), 0))
+		}
+		fmt.Print(t2.String())
+	}
+}

@@ -1,0 +1,254 @@
+// Command rcoal is the interactive front door to the RCoal
+// reproduction: encrypt on the simulated GPU under any defense
+// mechanism, mount the correlation timing attack against it, and
+// inspect the security/performance trade-off.
+//
+// Usage:
+//
+//	rcoal encrypt -mechanism rss+rts:8 -lines 32
+//	rcoal attack  -mechanism fss:4 -samples 200 -service ctr
+//	rcoal sweep   -m 1,2,4,8,16
+//	rcoal theory
+//	rcoal list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rcoal"
+	"rcoal/internal/experiments"
+	"rcoal/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "encrypt":
+		err = cmdEncrypt(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "theory":
+		err = cmdTheory(os.Args[2:])
+	case "list":
+		for _, id := range rcoal.ExperimentIDs() {
+			fmt.Println(id)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rcoal: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcoal:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `rcoal — randomized GPU memory coalescing (HPCA'18 reproduction)
+
+commands:
+  encrypt   run one AES encryption on the simulated GPU and report timing
+  attack    mount the correlation timing attack against a defended server
+  sweep     security/performance grid over all mechanisms and subwarp counts
+  theory    print the Table II analytical security model
+  list      list reproducible paper experiments (see rcoal-experiments)
+
+run "rcoal <command> -h" for flags.
+`)
+}
+
+func cmdEncrypt(args []string) error {
+	fs := flag.NewFlagSet("encrypt", flag.ExitOnError)
+	mech := fs.String("mechanism", "baseline", "defense mechanism, e.g. fss:4, rss+rts:8")
+	lines := fs.Int("lines", 32, "plaintext lines (one per thread)")
+	key := fs.String("key", "RCoal eval key 1", "AES key (16/24/32 bytes)")
+	seed := fs.Uint64("seed", 1, "seed for plaintext and hardware randomness")
+	nocoal := fs.Bool("disable-coalescing", false, "disable coalescing entirely (Section III strawman)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policy, err := rcoal.ParseMechanism(*mech)
+	if err != nil {
+		return err
+	}
+	cfg := rcoal.DefaultGPUConfig()
+	cfg.Coalescing = policy
+	cfg.CoalescingDisabled = *nocoal
+	srv, err := rcoal.NewServer(cfg, []byte(*key))
+	if err != nil {
+		return err
+	}
+	sample, err := srv.Encrypt(rcoal.RandomPlaintext(*seed, *lines), *seed)
+	if err != nil {
+		return err
+	}
+
+	t := &report.Table{Title: fmt.Sprintf("AES-%d on simulated GPU, %s, %d lines",
+		128, policy.Name(), *lines), Headers: []string{"metric", "value"}}
+	t.AddRow("total cycles", fmt.Sprintf("%d", sample.TotalCycles))
+	t.AddRow("last-round cycles", fmt.Sprintf("%d", sample.LastRoundCycles))
+	t.AddRow("total memory transactions", fmt.Sprintf("%d", sample.TotalTx))
+	t.AddRow("last-round transactions", fmt.Sprintf("%d", sample.LastRoundTx))
+	t.AddRow("subwarp sizes", fmt.Sprintf("%v", sample.Plan.Sizes))
+	t.AddRow("first ciphertext line", fmt.Sprintf("%x", sample.Ciphertexts[0]))
+	fmt.Print(t.String())
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	mech := fs.String("mechanism", "baseline", "defense the server runs AND the attack assumes")
+	samples := fs.Int("samples", 200, "timing samples to collect")
+	lines := fs.Int("lines", 32, "plaintext lines per sample")
+	key := fs.String("key", "RCoal eval key 1", "AES key under attack")
+	seed := fs.Uint64("seed", 0x8C0A1, "master seed")
+	service := fs.String("service", "encrypt", "victim service: encrypt, decrypt, or ctr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policy, err := rcoal.ParseMechanism(*mech)
+	if err != nil {
+		return err
+	}
+	cfg := rcoal.DefaultGPUConfig()
+	cfg.Coalescing = policy
+	srv, err := rcoal.NewServer(cfg, []byte(*key))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collecting %d timing samples from a %s %s server...\n", *samples, policy.Name(), *service)
+	cts := make([][]rcoal.Line, *samples)
+	times := make([]float64, *samples)
+	trueKey := srv.LastRoundKey()
+	var atk *rcoal.Attacker
+	switch *service {
+	case "encrypt":
+		ds, err := srv.Collect(*samples, *lines, *seed)
+		if err != nil {
+			return err
+		}
+		for i, s := range ds.Samples {
+			cts[i] = s.Ciphertexts
+		}
+		times = ds.LastRoundTimes()
+		if atk, err = rcoal.NewAttacker(policy, *seed^0xA77ACC); err != nil {
+			return err
+		}
+	case "decrypt":
+		trueKey = srv.RoundZeroKey() // decryption leaks the original key
+		for n := 0; n < *samples; n++ {
+			in := rcoal.RandomPlaintext(*seed^uint64(n+1), *lines)
+			smp, err := srv.Decrypt(in, *seed^uint64(n+1)*0x9e37)
+			if err != nil {
+				return err
+			}
+			cts[n] = smp.Ciphertexts // recovered plaintexts
+			times[n] = float64(smp.LastRoundCycles)
+		}
+		var err error
+		if atk, err = rcoal.NewDecryptAttacker(policy, *seed^0xA77ACC); err != nil {
+			return err
+		}
+	case "ctr":
+		for n := 0; n < *samples; n++ {
+			pts := rcoal.RandomPlaintext(*seed^uint64(n+1), *lines)
+			out, err := srv.EncryptCTR(uint64(n)<<32, pts, *seed^uint64(n+1)*0x9e37)
+			if err != nil {
+				return err
+			}
+			cts[n] = out.Keystream // = pt XOR ct, reconstructable
+			times[n] = float64(out.LastRoundCycles)
+		}
+		var err error
+		if atk, err = rcoal.NewAttacker(policy, *seed^0xA77ACC); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown service %q (want encrypt, decrypt, or ctr)", *service)
+	}
+	kr, err := atk.RecoverKey(cts, times)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{Title: "correlation timing attack (" + atk.Name() + ")",
+		Headers: []string{"byte", "true", "recovered", "corr", "rank"}}
+	correct := 0
+	for j := 0; j < 16; j++ {
+		ok := kr.Key[j] == trueKey[j]
+		if ok {
+			correct++
+		}
+		t.AddRow(j, fmt.Sprintf("%02x", trueKey[j]), fmt.Sprintf("%02x", kr.Key[j]),
+			kr.Bytes[j].BestCorr, fmt.Sprintf("%d/256", kr.Bytes[j].Rank(trueKey[j])))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nrecovered %d/16 last-round key bytes; avg correct-byte correlation %.3f\n",
+		correct, kr.AvgCorrectCorrelation(trueKey))
+	fmt.Printf("guessing entropy %.1f guesses/byte; ~%.1f key bits left to brute-force\n",
+		kr.GuessingEntropy(trueKey), kr.RemainingKeyBits(trueKey))
+	if correct == 16 {
+		fmt.Println("FULL LAST-ROUND KEY RECOVERED — the AES-128 key schedule is invertible, the key is lost.")
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	samples := fs.Int("samples", 60, "timing samples per configuration")
+	seed := fs.Uint64("seed", 0x8C0A1, "master seed")
+	ms := fs.String("m", "1,2,4,8,16", "comma-separated num-subwarp values")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var mvals []int
+	for _, part := range strings.Split(*ms, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 || v > 32 || 32%v != 0 {
+			return fmt.Errorf("bad num-subwarp %q (must divide 32)", part)
+		}
+		mvals = append(mvals, v)
+	}
+	o := rcoal.DefaultExperimentOptions()
+	o.Samples = *samples
+	o.Seed = *seed
+	sw, err := experiments.Sweep(o, mvals)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{Title: fmt.Sprintf("mechanism sweep (%d samples; time/tx normalized to baseline)", *samples),
+		Headers: []string{"mechanism", "num-subwarp", "time (x)", "tx (x)", "attack corr"}}
+	for _, c := range sw.Cells {
+		t.AddRow(c.Mechanism.String(), c.M, c.NormCycles, c.NormTx, c.AvgCorrectCorr)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func cmdTheory(args []string) error {
+	fs := flag.NewFlagSet("theory", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := rcoal.DefaultExperimentOptions()
+	out, err := rcoal.RunExperiment("table2", o)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

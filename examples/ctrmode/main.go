@@ -1,0 +1,77 @@
+// CTR mode: the timing attack does not care about the encryption
+// mode. A GPU AES-CTR service looks safer — ciphertexts are
+// keystream-masked, counters are structured — but an attacker with
+// known plaintext reconstructs the keystream (ct XOR pt), and every
+// keystream block is a plain AES encryption whose last-round
+// coalescing leaks exactly like ECB. This example mounts the attack
+// through CTR mode, then shows RCoal closing it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcoal"
+)
+
+const (
+	samples = 400
+	lines   = 32
+)
+
+func main() {
+	key := []byte("ctr mode secret!")
+
+	fmt.Println("=== AES-CTR on the undefended GPU ===")
+	attackCTR(rcoal.Baseline(), key)
+
+	fmt.Println("\n=== AES-CTR with RCoal (RSS+RTS, 8 subwarps) ===")
+	attackCTR(rcoal.RSSRTS(8), key)
+}
+
+func attackCTR(policy rcoal.CoalescingConfig, key []byte) {
+	cfg := rcoal.DefaultGPUConfig()
+	cfg.Coalescing = policy
+	srv, err := rcoal.NewServer(cfg, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The attacker sends known plaintexts and records ciphertexts and
+	// last-round timing; keystream = pt XOR ct.
+	var keystreams [][]rcoal.Line
+	var times []float64
+	for n := 0; n < samples; n++ {
+		pts := rcoal.RandomPlaintext(uint64(n+1), lines)
+		out, err := srv.EncryptCTR(uint64(n)<<32, pts, uint64(n+77))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ks := make([]rcoal.Line, lines)
+		for i := range pts {
+			for b := 0; b < 16; b++ {
+				ks[i][b] = pts[i][b] ^ out.Ciphertexts[i][b]
+			}
+		}
+		keystreams = append(keystreams, ks)
+		times = append(times, float64(out.LastRoundCycles))
+	}
+
+	atk, err := rcoal.NewAttacker(policy, 0xC7C7C7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kr, err := atk.RecoverKey(keystreams, times)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueKey := srv.LastRoundKey()
+	correct := kr.CorrectCount(trueKey)
+	fmt.Printf("recovered %d/16 last-round key bytes through CTR mode\n", correct)
+	fmt.Printf("guessing entropy %.1f guesses/byte, ~%.0f key bits left\n",
+		kr.GuessingEntropy(trueKey), kr.RemainingKeyBits(trueKey))
+	if correct == 16 {
+		original := rcoal.InvertAES128Schedule(kr.Key)
+		fmt.Printf("key schedule inverted: AES key = %q\n", original[:])
+	}
+}

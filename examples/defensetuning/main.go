@@ -1,0 +1,114 @@
+// Defense tuning: a hardware engineer's walk through the RCoal_Score
+// metric (Equation 7). For each mechanism and subwarp count, measure
+// security (average attack correlation → S = 1/ρ²) and performance
+// (execution time normalized to the baseline) on the simulator, then
+// rank configurations for a security-oriented design (a=1, b=1) and a
+// performance-oriented design (a=1, b=20), reproducing the Figure 17
+// methodology.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"rcoal"
+)
+
+const (
+	samples = 60
+	lines   = 32
+)
+
+type point struct {
+	policy   rcoal.CoalescingConfig
+	normTime float64
+	avgCorr  float64
+}
+
+func main() {
+	key := []byte("tuning demo key!")
+
+	// Baseline reference time.
+	baseTime := measureTime(rcoal.Baseline(), key)
+
+	var points []point
+	for _, m := range []int{2, 4, 8, 16} {
+		for _, mk := range []func(int) rcoal.CoalescingConfig{rcoal.FSS, rcoal.FSSRTS, rcoal.RSS, rcoal.RSSRTS} {
+			policy := mk(m)
+			pt := point{policy: policy}
+			pt.normTime, pt.avgCorr = measure(policy, key, baseTime)
+			points = append(points, pt)
+			fmt.Printf("measured %-12s  time %.2fx  attack corr %+.3f\n",
+				policy.Name(), pt.normTime, pt.avgCorr)
+		}
+	}
+
+	for _, design := range []struct {
+		title string
+		a, b  float64
+	}{
+		{"security-oriented (a=1, b=1)", 1, 1},
+		{"performance-oriented (a=1, b=20)", 1, 20},
+	} {
+		sort.Slice(points, func(i, j int) bool {
+			return score(points[i], design.a, design.b) > score(points[j], design.a, design.b)
+		})
+		fmt.Printf("\nTop configurations for a %s design:\n", design.title)
+		for i := 0; i < 3; i++ {
+			p := points[i]
+			fmt.Printf("  %d. %-12s  RCoal_Score %.3g (time %.2fx, corr %+.3f)\n",
+				i+1, p.policy.Name(), score(p, design.a, design.b), p.normTime, p.avgCorr)
+		}
+	}
+}
+
+func score(p point, a, b float64) float64 {
+	s := 1 / (p.avgCorr * p.avgCorr) // S = squared inverse of avg correlation
+	if math.IsInf(s, 1) {
+		s = math.MaxFloat64
+	}
+	return rcoal.RCoalScore(s, p.normTime, a, b)
+}
+
+func measureTime(policy rcoal.CoalescingConfig, key []byte) float64 {
+	t, _ := measureRaw(policy, key)
+	return t
+}
+
+func measure(policy rcoal.CoalescingConfig, key []byte, baseTime float64) (normTime, avgCorr float64) {
+	t, corr := measureRaw(policy, key)
+	return t / baseTime, corr
+}
+
+func measureRaw(policy rcoal.CoalescingConfig, key []byte) (meanTime, avgCorr float64) {
+	cfg := rcoal.DefaultGPUConfig()
+	cfg.Coalescing = policy
+	srv, err := rcoal.NewServer(cfg, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := srv.Collect(samples, lines, 0x7E57)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range ds.Samples {
+		meanTime += float64(s.TotalCycles)
+	}
+	meanTime /= float64(len(ds.Samples))
+
+	atk, err := rcoal.NewAttacker(policy, 0xBAD5EED)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cts := make([][]rcoal.Line, len(ds.Samples))
+	for i, s := range ds.Samples {
+		cts[i] = s.Ciphertexts
+	}
+	kr, err := atk.RecoverKey(cts, ds.LastRoundTimes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return meanTime, kr.AvgCorrectCorrelation(srv.LastRoundKey())
+}

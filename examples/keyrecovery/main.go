@@ -1,0 +1,78 @@
+// Key recovery: the full correlation timing attack of Jiang et al.
+// (the RCoal paper's baseline threat), end to end:
+//
+//  1. pose as a client of a remote GPU AES server, submitting random
+//     plaintexts and recording ciphertexts + last-round timing;
+//  2. for each last-round key byte, correlate guessed coalesced-access
+//     counts with the timing and pick the best guess;
+//  3. invert the AES-128 key schedule to recover the original key;
+//  4. repeat against an RCoal-defended server and fail.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"rcoal"
+)
+
+const samples = 500 // enough for full 16/16 recovery on this substrate
+
+func main() {
+	secret := []byte("do-not-reveal-me")
+
+	fmt.Println("=== Phase 1: attack the undefended GPU ===")
+	recovered, ok := attackServer(rcoal.Baseline(), secret)
+	if ok {
+		fmt.Printf("last-round key fully recovered; inverting the key schedule...\n")
+		original := rcoal.InvertAES128Schedule(recovered)
+		fmt.Printf("recovered AES key: %q\n", original[:])
+		if bytes.Equal(original[:], secret) {
+			fmt.Println("ATTACK SUCCESSFUL: the recovered key matches the server's secret.")
+		}
+	} else {
+		fmt.Println("attack incomplete (increase samples)")
+	}
+
+	fmt.Println("\n=== Phase 2: same attack against RCoal (RSS+RTS, 8 subwarps) ===")
+	if _, ok := attackServer(rcoal.RSSRTS(8), secret); !ok {
+		fmt.Println("ATTACK DEFEATED: randomized coalescing removed the usable correlation.")
+	}
+}
+
+// attackServer mounts the corresponding attack against a server
+// defended with the given policy; returns the recovered last-round key
+// and whether all 16 bytes were correct.
+func attackServer(policy rcoal.CoalescingConfig, key []byte) ([16]byte, bool) {
+	cfg := rcoal.DefaultGPUConfig()
+	cfg.Coalescing = policy
+	srv, err := rcoal.NewServer(cfg, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collecting %d timing samples from the %s server...\n", samples, policy.Name())
+	ds, err := srv.Collect(samples, 32, 0xA77AC4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	atk, err := rcoal.NewAttacker(policy, 0x5EED) // attacker's own RNG, not the hardware's
+	if err != nil {
+		log.Fatal(err)
+	}
+	cts := make([][]rcoal.Line, len(ds.Samples))
+	for i, s := range ds.Samples {
+		cts[i] = s.Ciphertexts
+	}
+	kr, err := atk.RecoverKey(cts, ds.LastRoundTimes())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trueKey := srv.LastRoundKey()
+	correct := kr.CorrectCount(trueKey)
+	fmt.Printf("recovered %d/16 last-round key bytes (avg correct-byte corr %.3f)\n",
+		correct, kr.AvgCorrectCorrelation(trueKey))
+	return kr.Key, correct == 16
+}

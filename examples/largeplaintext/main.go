@@ -1,0 +1,107 @@
+// Large plaintext: the paper's Section VI-D case study at library
+// scale. Encrypt 1024-line plaintexts (32 warps spread over 15 SMs)
+// under each mechanism and verify the defense scales: the attacker's
+// ability to reconstruct the last-round access counts collapses while
+// the performance overhead stays in the paper's reported band.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rcoal"
+)
+
+const (
+	samples = 12
+	lines   = 1024
+)
+
+func main() {
+	key := []byte("case study key!!")
+
+	baseTime := 0.0
+	fmt.Printf("%-12s  %10s  %12s  %16s\n", "mechanism", "time (x)", "last-rnd tx", "est-vs-obs corr")
+	for _, policy := range []rcoal.CoalescingConfig{
+		rcoal.Baseline(),
+		rcoal.RSS(2), rcoal.RSS(4), rcoal.RSS(8),
+		rcoal.RSSRTS(2), rcoal.RSSRTS(4), rcoal.RSSRTS(8),
+	} {
+		cfg := rcoal.DefaultGPUConfig()
+		cfg.Coalescing = policy
+		srv, err := rcoal.NewServer(cfg, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := srv.Collect(samples, lines, 0x10_24)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		meanTime, meanTx := 0.0, 0.0
+		for _, s := range ds.Samples {
+			meanTime += float64(s.TotalCycles)
+			meanTx += float64(s.LastRoundTx)
+		}
+		meanTime /= samples
+		meanTx /= samples
+		if baseTime == 0 {
+			baseTime = meanTime
+		}
+
+		// How well can the corresponding attack, granted the full
+		// correct key, reconstruct the observed last-round access
+		// counts? 1.0 means a perfect timing model; near 0 means the
+		// randomization removed the channel.
+		atk, err := rcoal.NewAttacker(policy, 0xCA5E)
+		if err != nil {
+			log.Fatal(err)
+		}
+		corr := estimateVsObserved(atk, srv, ds)
+
+		fmt.Printf("%-12s  %10.2f  %12.0f  %16.3f\n",
+			policy.Name(), meanTime/baseTime, meanTx, corr)
+	}
+	fmt.Println("\nPaper (Fig. 18): overhead 29-76% for RSS+RTS at 2-8 subwarps, with the")
+	fmt.Println("attack's access-count estimates decorrelated from the observed counts.")
+}
+
+func estimateVsObserved(atk *rcoal.Attacker, srv *rcoal.Server, ds *rcoal.Dataset) float64 {
+	trueKey := srv.LastRoundKey()
+	obs := ds.ObservedLastRoundTx()
+	est := make([]float64, len(ds.Samples))
+	cts := make([][]rcoal.Line, len(ds.Samples))
+	for i, s := range ds.Samples {
+		cts[i] = s.Ciphertexts
+	}
+	for j := 0; j < 16; j++ {
+		u := atk.EstimationVector(cts, j, trueKey[j])
+		for n := range u {
+			est[n] += u[n]
+		}
+	}
+	return pearson(est, obs)
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,52 @@
+// Quickstart: encrypt a plaintext on the simulated GPU under each
+// RCoal defense mechanism and watch the security/performance knob
+// move — more subwarps and more randomness mean more memory
+// transactions and more cycles, in exchange for a harder timing
+// side-channel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcoal"
+)
+
+func main() {
+	key := []byte("quickstart key!!")
+	plaintext := rcoal.RandomPlaintext(42, 32) // 32 lines = one warp
+
+	mechanisms := []rcoal.CoalescingConfig{
+		rcoal.Baseline(),
+		rcoal.FSS(4),
+		rcoal.FSSRTS(4),
+		rcoal.RSS(4),
+		rcoal.RSSRTS(4),
+		rcoal.FSS(32), // every thread alone: maximum security, maximum cost
+	}
+
+	fmt.Println("AES-128 encryption of 32 lines on the simulated GPU (Table I config):")
+	fmt.Printf("%-12s  %12s  %12s  %14s\n", "mechanism", "cycles", "transactions", "last-round tx")
+	for _, mech := range mechanisms {
+		cfg := rcoal.DefaultGPUConfig()
+		cfg.Coalescing = mech
+		srv, err := rcoal.NewServer(cfg, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sample, err := srv.Encrypt(plaintext, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  %12d  %12d  %14d\n",
+			mech.Name(), sample.TotalCycles, sample.TotalTx, sample.LastRoundTx)
+	}
+
+	// Ciphertexts are identical regardless of mechanism: RCoal changes
+	// timing, never results.
+	cfg := rcoal.DefaultGPUConfig()
+	srv, _ := rcoal.NewServer(cfg, key)
+	s, _ := srv.Encrypt(plaintext, 7)
+	fmt.Printf("\nfirst ciphertext line: %x\n", s.Ciphertexts[0])
+	fmt.Println("(identical under every mechanism — the defense only reshapes memory traffic)")
+}

@@ -1,0 +1,19 @@
+package rcoal
+
+import "testing"
+
+func FuzzParseMechanism(f *testing.F) {
+	for _, seed := range []string{"baseline", "fss:4", "rss+rts:8", "rss-normal:2", "", "fss:", "x:y", "fss:999999999999999999999"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseMechanism(spec)
+		if err != nil {
+			return // rejected input; fine
+		}
+		// Accepted specs must produce valid, plannable configurations.
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseMechanism(%q) returned invalid config: %v", spec, err)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module rcoal
+
+go 1.22

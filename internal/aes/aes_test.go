@@ -1,0 +1,200 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFIPS197Vectors(t *testing.T) {
+	cases := []struct{ key, pt, ct string }{
+		// FIPS-197 Appendix C.1 (AES-128), C.2 (AES-192), C.3 (AES-256).
+		{"000102030405060708090a0b0c0d0e0f", "00112233445566778899aabbccddeeff", "69c4e0d86a7b0430d8cdb78070b4c55a"},
+		{"000102030405060708090a0b0c0d0e0f1011121314151617", "00112233445566778899aabbccddeeff", "dda97ca4864cdfe06eaf70a0ec0d7191"},
+		{"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f", "00112233445566778899aabbccddeeff", "8ea2b7ca516745bfeafc49904b496089"},
+		// FIPS-197 Appendix B worked example.
+		{"2b7e151628aed2a6abf7158809cf4f3c", "3243f6a8885a308d313198a2e0370734", "3925841d02dc09fbdc118597196a0b32"},
+	}
+	for _, c := range cases {
+		ci, err := NewCipher(mustHex(t, c.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		ci.Encrypt(got, mustHex(t, c.pt))
+		if want := mustHex(t, c.ct); !bytes.Equal(got, want) {
+			t.Errorf("key %s: got %x, want %x", c.key, got, want)
+		}
+	}
+}
+
+func TestKeySizeError(t *testing.T) {
+	if _, err := NewCipher(make([]byte, 15)); err == nil {
+		t.Fatal("15-byte key accepted")
+	} else if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestAgainstStdlibRandomKeys(t *testing.T) {
+	f := func(key [16]byte, pt [16]byte) bool {
+		ours, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		ref, err := stdaes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		ours.Encrypt(got, pt[:])
+		ref.Encrypt(want, pt[:])
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgainstStdlib256(t *testing.T) {
+	f := func(key [32]byte, pt [16]byte) bool {
+		ours, _ := NewCipher(key[:])
+		ref, _ := stdaes.NewCipher(key[:])
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		ours.Encrypt(got, pt[:])
+		ref.Encrypt(want, pt[:])
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	for _, keyLen := range []int{16, 24, 32} {
+		key := make([]byte, keyLen)
+		for i := range key {
+			key[i] = byte(i*7 + keyLen)
+		}
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(pt [16]byte) bool {
+			ct := make([]byte, 16)
+			back := make([]byte, 16)
+			c.Encrypt(ct, pt[:])
+			c.Decrypt(back, ct)
+			return bytes.Equal(back, pt[:])
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("keyLen %d: %v", keyLen, err)
+		}
+	}
+}
+
+func TestEncryptInPlace(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	c, _ := NewCipher(key)
+	buf := mustHex(t, "3243f6a8885a308d313198a2e0370734")
+	c.Encrypt(buf, buf)
+	if want := mustHex(t, "3925841d02dc09fbdc118597196a0b32"); !bytes.Equal(buf, want) {
+		t.Errorf("in-place encrypt: got %x, want %x", buf, want)
+	}
+}
+
+func TestSBoxProperties(t *testing.T) {
+	if SBox(0x00) != 0x63 || SBox(0x01) != 0x7c || SBox(0x53) != 0xed {
+		t.Error("S-box spot values wrong")
+	}
+	seen := make(map[byte]bool)
+	for i := 0; i < 256; i++ {
+		s := SBox(byte(i))
+		if seen[s] {
+			t.Fatalf("S-box not a bijection: duplicate %#x", s)
+		}
+		seen[s] = true
+		if InvSBox(s) != byte(i) {
+			t.Fatalf("InvSBox(SBox(%#x)) = %#x", i, InvSBox(s))
+		}
+		if s == byte(i) {
+			t.Errorf("S-box has fixed point at %#x", i)
+		}
+		if s == byte(i)^0xff {
+			t.Errorf("S-box has anti-fixed point at %#x", i)
+		}
+	}
+}
+
+func TestGFMulProperties(t *testing.T) {
+	// xtime of 0x80 wraps through the reduction polynomial.
+	if gfMul(0x80, 2) != 0x1b {
+		t.Errorf("gfMul(0x80,2) = %#x, want 0x1b", gfMul(0x80, 2))
+	}
+	f := func(a, b byte) bool { return gfMul(a, b) == gfMul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error("gfMul not commutative:", err)
+	}
+	g := func(a byte) bool { return a == 0 || gfMul(a, gfInv(a)) == 1 }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error("gfInv not an inverse:", err)
+	}
+}
+
+func TestRoundKeyBounds(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RoundKey(11) did not panic for AES-128")
+		}
+	}()
+	c.RoundKey(11)
+}
+
+func TestInvertSchedule128(t *testing.T) {
+	f := func(key [16]byte) bool {
+		c, _ := NewCipher(key[:])
+		recovered := InvertSchedule128(c.LastRoundKey())
+		return recovered == key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableWordLanes(t *testing.T) {
+	// Te4 replicates the S-box across all four lanes.
+	for i := 0; i < 256; i++ {
+		w := TableWord(T4, byte(i))
+		s := uint32(SBox(byte(i)))
+		if w != s<<24|s<<16|s<<8|s {
+			t.Fatalf("Te4[%d] = %#x, want replicated %#x", i, w, s)
+		}
+	}
+	// Te0..Te3 are byte rotations of each other.
+	for i := 0; i < 256; i++ {
+		w0 := TableWord(T0, byte(i))
+		if TableWord(T1, byte(i)) != w0>>8|w0<<24 {
+			t.Fatalf("Te1[%d] is not Te0 rotated", i)
+		}
+		if TableWord(T2, byte(i)) != w0>>16|w0<<16 {
+			t.Fatalf("Te2[%d] is not Te0 rotated twice", i)
+		}
+		if TableWord(T3, byte(i)) != w0>>24|w0<<8 {
+			t.Fatalf("Te3[%d] is not Te0 rotated thrice", i)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecryptFastMatchesStdlib(t *testing.T) {
+	f := func(key, ct [16]byte) bool {
+		ours, _ := NewCipher(key[:])
+		ref, _ := stdaes.NewCipher(key[:])
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		ours.DecryptFast(got, ct[:])
+		ref.Decrypt(want, ct[:])
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecryptFastMatchesByteOriented(t *testing.T) {
+	// The two independent inverse-cipher implementations must agree,
+	// for all key sizes.
+	for _, keyLen := range []int{16, 24, 32} {
+		key := make([]byte, keyLen)
+		for i := range key {
+			key[i] = byte(i*13 + keyLen)
+		}
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(ct [16]byte) bool {
+			a := make([]byte, 16)
+			b := make([]byte, 16)
+			c.DecryptFast(a, ct[:])
+			c.Decrypt(b, ct[:])
+			return bytes.Equal(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("keyLen %d: %v", keyLen, err)
+		}
+	}
+}
+
+func TestEncryptDecryptFastRoundTrip(t *testing.T) {
+	c, _ := NewCipher([]byte("round trip key!!"))
+	f := func(pt [16]byte) bool {
+		ct := make([]byte, 16)
+		back := make([]byte, 16)
+		c.Encrypt(ct, pt[:])
+		c.DecryptFast(back, ct)
+		return bytes.Equal(back, pt[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceDecryptMatchesDecryptFast(t *testing.T) {
+	c, _ := NewCipher([]byte("trace dec key!!!"))
+	f := func(ct [16]byte) bool {
+		want := make([]byte, 16)
+		c.DecryptFast(want, ct[:])
+		got, trace := c.TraceDecrypt(ct[:])
+		if len(trace) != 10 {
+			return false
+		}
+		return bytes.Equal(got[:], want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceDecryptTableAssignment(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	_, trace := c.TraceDecrypt(make([]byte, 16))
+	for r := 0; r < 9; r++ {
+		for j := 0; j < 16; j++ {
+			if want := TableID(j % 4); trace[r][j].Table != want {
+				t.Fatalf("round %d slot %d: table %v, want %v", r+1, j, trace[r][j].Table, want)
+			}
+		}
+	}
+	for j := 0; j < 16; j++ {
+		if trace[9][j].Table != T4 {
+			t.Fatalf("last round slot %d: table %v, want T4", j, trace[9][j].Table)
+		}
+	}
+}
+
+func TestLastRoundDecEquation(t *testing.T) {
+	// The decryption analogue of Equation 3: the final-round Td4 index
+	// recorded in the trace equals SBox(p_j ^ dk_j) where dk is the
+	// equivalent inverse cipher's final round key (= the original
+	// round-0 key).
+	f := func(key, ct [16]byte) bool {
+		c, _ := NewCipher(key[:])
+		pt, trace := c.TraceDecrypt(ct[:])
+		dk := c.RoundKey(0) // final AddRoundKey of decryption
+		for j := 0; j < 16; j++ {
+			if trace[9][j].Index != LastRoundDecIndex(pt[j], dk[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecTableWordLanes(t *testing.T) {
+	// Td4 replicates the inverse S-box.
+	for i := 0; i < 256; i++ {
+		w := DecTableWord(4, byte(i))
+		s := uint32(InvSBox(byte(i)))
+		if w != s<<24|s<<16|s<<8|s {
+			t.Fatalf("Td4[%d] = %#x", i, w)
+		}
+	}
+	// Td1..Td3 are rotations of Td0.
+	for i := 0; i < 256; i++ {
+		w0 := DecTableWord(0, byte(i))
+		if DecTableWord(1, byte(i)) != w0>>8|w0<<24 {
+			t.Fatalf("Td1[%d] not a rotation", i)
+		}
+	}
+}
+
+func TestInvMixColumnsWordInvertsMixColumns(t *testing.T) {
+	// MixColumns via Te tables on an identity path: for any column w,
+	// invMixColumnsWord(MixColumns(w)) == w. Build MixColumns from the
+	// same GF arithmetic.
+	mix := func(w uint32) uint32 {
+		b0, b1, b2, b3 := byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+		return uint32(gfMul(b0, 2)^gfMul(b1, 3)^b2^b3)<<24 |
+			uint32(b0^gfMul(b1, 2)^gfMul(b2, 3)^b3)<<16 |
+			uint32(b0^b1^gfMul(b2, 2)^gfMul(b3, 3))<<8 |
+			uint32(gfMul(b0, 3)^b1^b2^gfMul(b3, 2))
+	}
+	f := func(w uint32) bool { return invMixColumnsWord(mix(w)) == w }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

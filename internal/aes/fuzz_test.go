@@ -1,0 +1,76 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"testing"
+)
+
+// Native fuzz targets. `go test` runs the seed corpus; `go test -fuzz`
+// explores further.
+
+func FuzzEncryptMatchesStdlib(f *testing.F) {
+	f.Add([]byte("0123456789abcdef"), []byte("fedcba9876543210"))
+	f.Add(make([]byte, 16), make([]byte, 16))
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), []byte("one block here!!"))
+	f.Fuzz(func(t *testing.T, key, pt []byte) {
+		if len(key) != 16 && len(key) != 24 && len(key) != 32 {
+			t.Skip()
+		}
+		if len(pt) < 16 {
+			t.Skip()
+		}
+		pt = pt[:16]
+		ours, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stdaes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		ours.Encrypt(got, pt)
+		ref.Encrypt(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("mismatch vs stdlib: key %x pt %x", key, pt)
+		}
+		// And the full round trip through both inverse ciphers.
+		back := make([]byte, 16)
+		ours.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Fatal("byte-oriented decrypt broke round trip")
+		}
+		ours.DecryptFast(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Fatal("T-table decrypt broke round trip")
+		}
+	})
+}
+
+func FuzzTraceConsistency(f *testing.F) {
+	f.Add([]byte("fuzz trace key!!"), []byte("fuzz trace text!"))
+	f.Fuzz(func(t *testing.T, key, pt []byte) {
+		if len(key) != 16 || len(pt) < 16 {
+			t.Skip()
+		}
+		pt = pt[:16]
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, trace := c.TraceEncrypt(pt)
+		want := make([]byte, 16)
+		c.Encrypt(want, pt)
+		if !bytes.Equal(ct[:], want) {
+			t.Fatal("trace ciphertext differs from Encrypt")
+		}
+		lrk := c.LastRoundKey()
+		for j := 0; j < 16; j++ {
+			if trace[9][j].Index != LastRoundIndex(ct[j], lrk[j]) {
+				t.Fatal("Equation 3 violated")
+			}
+		}
+	})
+}

@@ -1,0 +1,89 @@
+// Package aes is a from-scratch implementation of the Advanced
+// Encryption Standard (FIPS-197) in the T-table formulation used by
+// GPU implementations of AES, which is the workload attacked in the
+// RCoal paper.
+//
+// Beyond ordinary encryption/decryption the package exposes what the
+// attack and the simulator need:
+//
+//   - the per-round table-lookup trace of an encryption
+//     (TraceEncrypt), from which the GPU kernel builder derives the
+//     exact global-memory addresses each thread issues, and
+//   - the last-round algebra of the correlation timing attack
+//     (Equations 1-3 of the paper): recovering the last-round lookup
+//     index from a ciphertext byte and a key-byte guess.
+//
+// Correctness is validated against the standard library's crypto/aes
+// in the test suite.
+package aes
+
+// The S-box is generated programmatically from the GF(2^8) definition
+// (multiplicative inverse followed by the affine transform) rather than
+// pasted as a constant table, so the tests can cross-check it against
+// first principles and crypto/aes.
+
+// sbox and invSbox are built by variable initialization (not init
+// functions) so that the T-table initializers in other files of this
+// package — which Go orders by dependency — always see them populated.
+var sbox, invSbox = computeSBoxes()
+
+// gfMul multiplies two elements of GF(2^8) modulo the AES polynomial
+// x^8 + x^4 + x^3 + x + 1 (0x11b).
+func gfMul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv returns the multiplicative inverse in GF(2^8), with gfInv(0)=0
+// as AES specifies.
+func gfInv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// Inverse by exponentiation: a^254 = a^-1 in GF(2^8)*.
+	result := byte(1)
+	base := a
+	for e := 254; e > 0; e >>= 1 {
+		if e&1 != 0 {
+			result = gfMul(result, base)
+		}
+		base = gfMul(base, base)
+	}
+	return result
+}
+
+func computeSBoxes() (s, inv [256]byte) {
+	for i := 0; i < 256; i++ {
+		// Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
+		b := gfInv(byte(i))
+		x := b
+		for r := 1; r <= 4; r++ {
+			b = b<<1 | b>>7
+			x ^= b
+		}
+		s[i] = x ^ 0x63
+	}
+	for i := 0; i < 256; i++ {
+		inv[s[i]] = byte(i)
+	}
+	return s, inv
+}
+
+// SBox returns S(x), the AES substitution of x.
+func SBox(x byte) byte { return sbox[x] }
+
+// InvSBox returns S⁻¹(x). In the attack (Equation 3) this is the
+// T4⁻¹[·] operation that maps a ciphertext byte XOR a key-byte guess
+// back to the last-round table-lookup index.
+func InvSBox(x byte) byte { return invSbox[x] }

@@ -1,0 +1,68 @@
+package aes
+
+// The encryption T-tables fold SubBytes, ShiftRows, and MixColumns
+// into four 256-entry tables of 32-bit words (Te0..Te3), plus the
+// last-round table Te4 (the S-box replicated across all four byte
+// lanes, no MixColumns). This is the classic GPU/OpenSSL formulation:
+// each round becomes 16 table lookups plus XORs, and it is exactly
+// those lookups whose memory coalescing the RCoal paper studies.
+
+// TableID identifies which lookup table a memory access targets.
+type TableID uint8
+
+const (
+	T0 TableID = iota // rounds 1..9, state byte row 0
+	T1                // rounds 1..9, state byte row 1
+	T2                // rounds 1..9, state byte row 2
+	T3                // rounds 1..9, state byte row 3
+	T4                // last round (S-box table)
+	numTables
+)
+
+// String returns the conventional table name.
+func (t TableID) String() string {
+	switch t {
+	case T0:
+		return "T0"
+	case T1:
+		return "T1"
+	case T2:
+		return "T2"
+	case T3:
+		return "T3"
+	case T4:
+		return "T4"
+	}
+	return "T?"
+}
+
+const (
+	// TableEntries is the number of entries per lookup table.
+	TableEntries = 256
+	// EntryBytes is the size of one table entry. Four-byte entries and
+	// 64-byte memory blocks give the paper's "16 consecutive table
+	// elements map to the same memory block" (R = 16 blocks per table).
+	EntryBytes = 4
+	// TableBytes is the byte size of one table.
+	TableBytes = TableEntries * EntryBytes
+)
+
+var te = computeEncTables()
+
+func computeEncTables() (te [5][256]uint32) {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := gfMul(s, 2)
+		s3 := gfMul(s, 3)
+		te[T0][i] = uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te[T1][i] = uint32(s3)<<24 | uint32(s2)<<16 | uint32(s)<<8 | uint32(s)
+		te[T2][i] = uint32(s)<<24 | uint32(s3)<<16 | uint32(s2)<<8 | uint32(s)
+		te[T3][i] = uint32(s)<<24 | uint32(s)<<16 | uint32(s3)<<8 | uint32(s2)
+		te[T4][i] = uint32(s)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s)
+	}
+	return te
+}
+
+// TableWord returns entry i of table t, as the GPU kernel would load
+// it from global memory.
+func TableWord(t TableID, i byte) uint32 { return te[t][i] }

@@ -1,0 +1,110 @@
+package aes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceEncryptMatchesEncrypt(t *testing.T) {
+	f := func(key, pt [16]byte) bool {
+		c, _ := NewCipher(key[:])
+		want := make([]byte, 16)
+		c.Encrypt(want, pt[:])
+		got, trace := c.TraceEncrypt(pt[:])
+		if len(trace) != 10 {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceTableAssignment(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	_, trace := c.TraceEncrypt(make([]byte, 16))
+	for r := 0; r < 9; r++ {
+		for j := 0; j < 16; j++ {
+			if want := TableID(j % 4); trace[r][j].Table != want {
+				t.Fatalf("round %d slot %d: table %v, want %v", r+1, j, trace[r][j].Table, want)
+			}
+		}
+	}
+	for j := 0; j < 16; j++ {
+		if trace[9][j].Table != T4 {
+			t.Fatalf("last round slot %d: table %v, want T4", j, trace[9][j].Table)
+		}
+	}
+}
+
+func TestLastRoundEquation3(t *testing.T) {
+	// The heart of the attack: for every byte j, the T4 index recorded
+	// in the trace equals InvSBox[c_j ^ k_j] where k is the last round
+	// key (Equation 3). This must hold for the *correct* key guess.
+	f := func(key, pt [16]byte) bool {
+		c, _ := NewCipher(key[:])
+		ct, trace := c.TraceEncrypt(pt[:])
+		lrk := c.LastRoundKey()
+		for j := 0; j < 16; j++ {
+			if trace[9][j].Index != LastRoundIndex(ct[j], lrk[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLastRoundIndexWrongGuessDiffers(t *testing.T) {
+	// A wrong key guess must yield a different index (InvSBox is a
+	// bijection), which is what gives the attack its discriminating
+	// power.
+	for g := 1; g < 256; g++ {
+		if LastRoundIndex(0xab, 0x12) == LastRoundIndex(0xab, 0x12^byte(g)) {
+			t.Fatalf("guess offset %#x collides", g)
+		}
+	}
+}
+
+func TestBlockOfIndex(t *testing.T) {
+	if BlocksPerTable != 16 {
+		t.Fatalf("BlocksPerTable = %d, want 16 (R in the paper)", BlocksPerTable)
+	}
+	cases := []struct {
+		idx   byte
+		block int
+	}{{0, 0}, {15, 0}, {16, 1}, {255, 15}, {128, 8}}
+	for _, c := range cases {
+		if got := BlockOfIndex(c.idx); got != c.block {
+			t.Errorf("BlockOfIndex(%d) = %d, want %d", c.idx, got, c.block)
+		}
+	}
+}
+
+func TestTraceIndexDistributionNondegenerate(t *testing.T) {
+	// Over random plaintexts, last-round indices should touch many
+	// blocks (the coalescing signal the attack exploits).
+	c, _ := NewCipher([]byte("0123456789abcdef"))
+	blocks := map[int]bool{}
+	pt := make([]byte, 16)
+	for n := 0; n < 64; n++ {
+		for i := range pt {
+			pt[i] = byte(n*16 + i*31)
+		}
+		_, trace := c.TraceEncrypt(pt)
+		for j := 0; j < 16; j++ {
+			blocks[BlockOfIndex(trace[9][j].Index)] = true
+		}
+	}
+	if len(blocks) < 12 {
+		t.Errorf("last-round lookups touched only %d/16 blocks", len(blocks))
+	}
+}

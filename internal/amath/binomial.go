@@ -1,0 +1,100 @@
+package amath
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// factCache memoizes factorials; AES/RCoal sizes never exceed a few
+// hundred, so the cache stays tiny.
+var (
+	factMu    sync.Mutex
+	factCache = []*big.Int{big.NewInt(1)} // 0! = 1
+)
+
+// Factorial returns n! as a big integer. It panics if n is negative.
+func Factorial(n int) *big.Int {
+	if n < 0 {
+		panic(fmt.Sprintf("amath: Factorial of negative %d", n))
+	}
+	factMu.Lock()
+	defer factMu.Unlock()
+	for len(factCache) <= n {
+		k := len(factCache)
+		next := new(big.Int).Mul(factCache[k-1], big.NewInt(int64(k)))
+		factCache = append(factCache, next)
+	}
+	return new(big.Int).Set(factCache[n])
+}
+
+// Binomial returns C(n, k), the number of k-element subsets of an
+// n-element set. Out-of-range k (k < 0 or k > n) yields 0, matching the
+// usual combinatorial convention; negative n panics.
+func Binomial(n, k int) *big.Int {
+	if n < 0 {
+		panic(fmt.Sprintf("amath: Binomial with negative n=%d", n))
+	}
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// BinomialFloat returns C(n, k) as a float64. Values beyond float64
+// range return +Inf, which callers treat as saturation.
+func BinomialFloat(n, k int) float64 {
+	f, _ := new(big.Float).SetInt(Binomial(n, k)).Float64()
+	return f
+}
+
+// FallingFactorial returns n·(n-1)···(n-k+1), the number of injections
+// from a k-set into an n-set (k-permutations of n). k > n yields 0.
+func FallingFactorial(n, k int) *big.Int {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("amath: FallingFactorial with negative argument n=%d k=%d", n, k))
+	}
+	if k > n {
+		return big.NewInt(0)
+	}
+	out := big.NewInt(1)
+	for i := 0; i < k; i++ {
+		out.Mul(out, big.NewInt(int64(n-i)))
+	}
+	return out
+}
+
+// Multinomial returns n! / (k1!·k2!···km!) for parts that sum to n.
+// It panics if any part is negative or the parts do not sum to n.
+func Multinomial(n int, parts []int) *big.Int {
+	sum := 0
+	for _, p := range parts {
+		if p < 0 {
+			panic(fmt.Sprintf("amath: Multinomial with negative part %d", p))
+		}
+		sum += p
+	}
+	if sum != n {
+		panic(fmt.Sprintf("amath: Multinomial parts sum to %d, want %d", sum, n))
+	}
+	out := Factorial(n)
+	for _, p := range parts {
+		out.Quo(out, Factorial(p))
+	}
+	return out
+}
+
+// Pow returns base^exp as a big integer for exp >= 0.
+func Pow(base, exp int) *big.Int {
+	if exp < 0 {
+		panic(fmt.Sprintf("amath: Pow with negative exponent %d", exp))
+	}
+	return new(big.Int).Exp(big.NewInt(int64(base)), big.NewInt(int64(exp)), nil)
+}
+
+// RatFloat converts an exact rational to float64, for handing exact
+// model terms to the float64 aggregation pipeline.
+func RatFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}

@@ -1,0 +1,122 @@
+package amath
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorialSmall(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		if got := Factorial(n); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("Factorial(%d) = %s, want %d", n, got, w)
+		}
+	}
+}
+
+func TestFactorialNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Factorial(-1) did not panic")
+		}
+	}()
+	Factorial(-1)
+}
+
+func TestBinomialTable(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{32, 16, 601080390}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Binomial(%d,%d) = %s, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascalProperty(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) for 1 <= k <= n-1.
+	f := func(n, k uint8) bool {
+		nn := int(n%60) + 2
+		kk := int(k) % nn
+		if kk == 0 {
+			kk = 1
+		}
+		lhs := Binomial(nn, kk)
+		rhs := new(big.Int).Add(Binomial(nn-1, kk-1), Binomial(nn-1, kk))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFallingFactorial(t *testing.T) {
+	if got := FallingFactorial(16, 3); got.Cmp(big.NewInt(16*15*14)) != 0 {
+		t.Errorf("FallingFactorial(16,3) = %s, want %d", got, 16*15*14)
+	}
+	if got := FallingFactorial(4, 5); got.Sign() != 0 {
+		t.Errorf("FallingFactorial(4,5) = %s, want 0", got)
+	}
+	if got := FallingFactorial(7, 0); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("FallingFactorial(7,0) = %s, want 1", got)
+	}
+}
+
+func TestFallingFactorialMatchesBinomial(t *testing.T) {
+	// n!/(n-k)! = C(n,k) * k!
+	f := func(n, k uint8) bool {
+		nn := int(n % 40)
+		kk := int(k % 40)
+		lhs := FallingFactorial(nn, kk)
+		rhs := new(big.Int).Mul(Binomial(nn, kk), Factorial(kk))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultinomial(t *testing.T) {
+	if got := Multinomial(4, []int{2, 1, 1}); got.Cmp(big.NewInt(12)) != 0 {
+		t.Errorf("Multinomial(4;2,1,1) = %s, want 12", got)
+	}
+	if got := Multinomial(6, []int{6}); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("Multinomial(6;6) = %s, want 1", got)
+	}
+}
+
+func TestMultinomialBadSumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Multinomial with bad sum did not panic")
+		}
+	}()
+	Multinomial(5, []int{2, 2})
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(16, 32); got.Cmp(new(big.Int).Lsh(big.NewInt(1), 128)) != 0 {
+		t.Errorf("Pow(16,32) = %s, want 2^128", got)
+	}
+	if got := Pow(7, 0); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("Pow(7,0) = %s, want 1", got)
+	}
+}
+
+func TestBinomialFloat(t *testing.T) {
+	if got := BinomialFloat(10, 5); got != 252 {
+		t.Errorf("BinomialFloat(10,5) = %v, want 252", got)
+	}
+}
+
+func TestRatFloat(t *testing.T) {
+	if got := RatFloat(big.NewRat(1, 4)); got != 0.25 {
+		t.Errorf("RatFloat(1/4) = %v, want 0.25", got)
+	}
+}

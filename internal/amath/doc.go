@@ -1,0 +1,10 @@
+// Package amath provides the exact combinatorial machinery used by the
+// RCoal analytical security model (Section V of the paper): binomial and
+// multinomial coefficients, factorials, Stirling numbers of the second
+// kind, and enumeration of integer partitions and compositions.
+//
+// All counting functions are exact (math/big based) because the model
+// manipulates probabilities with denominators as large as R^N = 16^32;
+// convenience float64 views are provided for the numerical pipeline that
+// assembles Table II.
+package amath

@@ -1,0 +1,52 @@
+package amath
+
+import (
+	"math/big"
+	"sync"
+)
+
+// stirlingTable memoizes rows of the Stirling-number triangle. Row n
+// holds S2(n, 0..n).
+var (
+	stirlingMu    sync.Mutex
+	stirlingTable = [][]*big.Int{{big.NewInt(1)}} // S2(0,0) = 1
+)
+
+// Stirling2 returns the Stirling number of the second kind S2(n, k):
+// the number of ways to partition an n-element set into k non-empty
+// unlabeled subsets. Out-of-range k yields 0.
+//
+// In the RCoal model (Definition 1), S2(m, i) counts the ways m threads
+// can collapse onto exactly i distinct memory blocks.
+func Stirling2(n, k int) *big.Int {
+	if n < 0 {
+		panic("amath: Stirling2 with negative n")
+	}
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	stirlingMu.Lock()
+	defer stirlingMu.Unlock()
+	for len(stirlingTable) <= n {
+		m := len(stirlingTable)
+		prev := stirlingTable[m-1]
+		row := make([]*big.Int, m+1)
+		row[0] = big.NewInt(0)
+		row[m] = big.NewInt(1)
+		for j := 1; j < m; j++ {
+			// S2(m, j) = j*S2(m-1, j) + S2(m-1, j-1)
+			row[j] = new(big.Int).Mul(big.NewInt(int64(j)), prev[j])
+			row[j].Add(row[j], prev[j-1])
+		}
+		stirlingTable = append(stirlingTable, row)
+	}
+	return new(big.Int).Set(stirlingTable[n][k])
+}
+
+// SurjectionCount returns the number of surjections from an n-set onto
+// a k-set: k! · S2(n, k). It is the number of ways n threads can touch
+// exactly k labeled memory blocks with none left untouched.
+func SurjectionCount(n, k int) *big.Int {
+	out := Stirling2(n, k)
+	return out.Mul(out, Factorial(k))
+}

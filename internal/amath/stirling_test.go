@@ -1,0 +1,80 @@
+package amath
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestStirling2Known(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 1, 1}, {4, 2, 7}, {5, 3, 25}, {6, 3, 90},
+		{7, 4, 350}, {4, 0, 0}, {3, 4, 0}, {10, 10, 1},
+	}
+	for _, c := range cases {
+		if got := Stirling2(c.n, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Stirling2(%d,%d) = %s, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestStirling2RowSumIsBell(t *testing.T) {
+	// Sum_k S2(n,k) = Bell(n); spot-check Bell numbers.
+	bell := []int64{1, 1, 2, 5, 15, 52, 203, 877, 4140}
+	for n, b := range bell {
+		sum := big.NewInt(0)
+		for k := 0; k <= n; k++ {
+			sum.Add(sum, Stirling2(n, k))
+		}
+		if sum.Cmp(big.NewInt(b)) != 0 {
+			t.Errorf("sum_k S2(%d,k) = %s, want Bell=%d", n, sum, b)
+		}
+	}
+}
+
+func TestStirling2Recurrence(t *testing.T) {
+	f := func(n, k uint8) bool {
+		nn := int(n%30) + 2
+		kk := int(k)%nn + 1
+		lhs := Stirling2(nn, kk)
+		rhs := new(big.Int).Mul(big.NewInt(int64(kk)), Stirling2(nn-1, kk))
+		rhs.Add(rhs, Stirling2(nn-1, kk-1))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurjectionTotalsPowerIdentity(t *testing.T) {
+	// r^n = Sum_{k=0..r} C(r,k) * k! * S2(n,k): each function onto some
+	// subset of its range. This is the identity Definition 1 relies on.
+	for _, tc := range []struct{ n, r int }{{5, 3}, {8, 4}, {32, 16}} {
+		sum := big.NewInt(0)
+		for k := 0; k <= tc.r; k++ {
+			term := new(big.Int).Mul(Binomial(tc.r, k), SurjectionCount(tc.n, k))
+			sum.Add(sum, term)
+		}
+		if sum.Cmp(Pow(tc.r, tc.n)) != 0 {
+			t.Errorf("n=%d r=%d: surjection sum %s != %d^%d", tc.n, tc.r, sum, tc.r, tc.n)
+		}
+	}
+}
+
+func TestDefinition1DistributionSumsToOne(t *testing.T) {
+	// P(N_{m,n}=i) = n!/(n-i)! * S2(m,i) / n^m must sum to 1 over i.
+	for _, tc := range []struct{ m, n int }{{4, 4}, {32, 16}, {1, 16}, {16, 2}} {
+		sum := new(big.Rat)
+		den := Pow(tc.n, tc.m)
+		for i := 0; i <= tc.m && i <= tc.n; i++ {
+			num := new(big.Int).Mul(FallingFactorial(tc.n, i), Stirling2(tc.m, i))
+			sum.Add(sum, new(big.Rat).SetFrac(num, den))
+		}
+		if sum.Cmp(big.NewRat(1, 1)) != 0 {
+			t.Errorf("m=%d n=%d: distribution sums to %s, want 1", tc.m, tc.n, sum)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package attack
+
+import (
+	"fmt"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/kernels"
+)
+
+// Algorithm1 is a direct transcription of the paper's Algorithm 1: the
+// FSS attack's computation of the last-round coalesced accesses for
+// one key-byte guess, given the ciphertext lines of a single warp and
+// the number of subwarps. Lines are split into numSubwarp contiguous
+// groups (the in-order thread→subwarp mapping of FSS); each group's
+// accesses coalesce independently via a per-block holder array.
+//
+// The generic EstimateSample subsumes this for every mechanism; this
+// literal version exists as executable documentation and as a
+// cross-check in the test suite.
+func Algorithm1(cipher []kernels.Line, j int, guess byte, numSubwarp int) int {
+	if numSubwarp < 1 || len(cipher)%numSubwarp != 0 {
+		panic(fmt.Sprintf("attack: Algorithm1 num-subwarp %d must divide %d lines", numSubwarp, len(cipher)))
+	}
+	lastRoundMemAccesses := 0
+	memAccessesSubwarp := make([]int, numSubwarp)
+	len_ := len(cipher)
+	for grp := 0; grp < numSubwarp; grp++ {
+		var holder [aes.BlocksPerTable]int
+		for line := grp * len_ / numSubwarp; line < (grp+1)*len_/numSubwarp; line++ {
+			holder[aes.LastRoundIndex(cipher[line][j], guess)>>4]++
+		}
+		for i := range holder {
+			if holder[i] != 0 {
+				memAccessesSubwarp[grp]++
+			}
+		}
+	}
+	for grp := 0; grp < numSubwarp; grp++ {
+		lastRoundMemAccesses += memAccessesSubwarp[grp]
+	}
+	return lastRoundMemAccesses
+}

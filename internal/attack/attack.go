@@ -1,0 +1,250 @@
+// Package attack implements the correlation timing attacks of the
+// RCoal paper: the baseline attack of Jiang et al. (Section II-C) and
+// the "corresponding attacks" against each defense mechanism (Section
+// IV-E), which mimic the defense's coalescing logic on the attacker's
+// side.
+//
+// The attack recovers the AES last-round key byte by byte. For key
+// byte j and guess m, each ciphertext byte c_j implies a last-round
+// table index t_j = T4⁻¹[c_j ⊕ m] (Equation 3); grouping the indices'
+// memory blocks by the assumed subwarp plan predicts the number of
+// last-round coalesced accesses (Algorithm 1, generalized to any
+// mechanism). Correlating the predictions with the measured last-round
+// execution time over many samples ranks the 256 guesses; the correct
+// byte wins when the defense leaves enough signal.
+//
+// The decisive asymmetry: a corresponding attack knows the *mechanism*
+// (and num-subwarp) but can never know the *hardware random stream*,
+// so for RSS/RTS defenses its simulated plans differ per sample from
+// the plans the GPU actually drew.
+package attack
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/core"
+	"rcoal/internal/kernels"
+	"rcoal/internal/rng"
+	"rcoal/internal/stats"
+)
+
+// KeyBytes is the number of last-round key bytes (AES state size).
+const KeyBytes = 16
+
+// IndexFunc derives the final-round table-lookup index from one
+// observed output byte and a key-byte guess. Encryption attacks use
+// aes.LastRoundIndex (Equation 3, over ciphertext bytes); decryption
+// attacks use aes.LastRoundDecIndex (over recovered plaintext bytes).
+type IndexFunc func(observedByte, keyGuess byte) byte
+
+// Attacker runs correlation attacks under an assumed defense policy.
+// It is not safe for concurrent use (the per-sample plan cache grows
+// lazily) — create one per goroutine.
+type Attacker struct {
+	policy  core.Config
+	seed    uint64
+	indexFn IndexFunc
+
+	// planCache[n] is the attacker's simulated plan for sample n; one
+	// plan per sample, shared across byte positions and guesses, just
+	// as the hardware fixes one plan per launch.
+	planCache []core.Plan
+}
+
+// New builds an attacker that assumes the GPU runs the given
+// coalescing policy, targeting an encryption service. For randomized
+// policies the seed drives the attacker's *own* simulation of the
+// defense randomness; it is unrelated to (and cannot match) the
+// victim's hardware stream.
+func New(policy core.Config, seed uint64) (*Attacker, error) {
+	return NewWithIndex(policy, seed, aes.LastRoundIndex)
+}
+
+// NewDecrypt builds an attacker targeting a GPU *decryption* service:
+// the observed lines are recovered plaintexts and the recovered key
+// bytes are the equivalent inverse cipher's final round key — which
+// for AES is the original key itself.
+func NewDecrypt(policy core.Config, seed uint64) (*Attacker, error) {
+	return NewWithIndex(policy, seed, aes.LastRoundDecIndex)
+}
+
+// NewWithIndex builds an attacker with a custom final-round index
+// derivation.
+func NewWithIndex(policy core.Config, seed uint64, fn IndexFunc) (*Attacker, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, fmt.Errorf("attack: invalid assumed policy: %w", err)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("attack: nil index function")
+	}
+	return &Attacker{policy: policy, seed: seed, indexFn: fn}, nil
+}
+
+// Baseline returns the original attack of Jiang et al.: whole-warp
+// coalescing assumed (num-subwarp = 1).
+func Baseline(seed uint64) *Attacker {
+	a, err := New(core.Baseline(), seed)
+	if err != nil {
+		panic(err) // baseline policy is always valid
+	}
+	return a
+}
+
+// Name describes the attack, e.g. "attack[RSS+RTS(8)]".
+func (a *Attacker) Name() string { return "attack[" + a.policy.Name() + "]" }
+
+func (a *Attacker) plan(n int) core.Plan {
+	for len(a.planCache) <= n {
+		r := rng.New(a.seed).Split(uint64(len(a.planCache)) + 1)
+		a.planCache = append(a.planCache, a.policy.NewPlan(r))
+	}
+	return a.planCache[n]
+}
+
+// EstimateSample predicts the last-round coalesced accesses of one
+// sample for key byte j and guess m under the given plan: Algorithm 1
+// generalized from FSS to arbitrary subwarp plans and multiple warps.
+// Lines map to warp threads sequentially, like the victim kernel.
+func EstimateSample(plan core.Plan, lines []kernels.Line, j int, m byte) int {
+	return EstimateSampleWith(plan, lines, j, m, aes.LastRoundIndex)
+}
+
+// EstimateSampleWith is EstimateSample with a custom index derivation
+// (decryption attacks pass aes.LastRoundDecIndex).
+func EstimateSampleWith(plan core.Plan, lines []kernels.Line, j int, m byte, fn IndexFunc) int {
+	if j < 0 || j >= KeyBytes {
+		panic(fmt.Sprintf("attack: key byte index %d out of range", j))
+	}
+	warpSize := plan.WarpSize()
+	nsw := plan.NumSubwarps()
+	var masks [core.DefaultWarpSize]uint16 // R=16 blocks per table fits uint16
+	if nsw > len(masks) {
+		panic(fmt.Sprintf("attack: plan has %d subwarps, estimator supports %d", nsw, len(masks)))
+	}
+	total := 0
+	for base := 0; base < len(lines); base += warpSize {
+		hi := base + warpSize
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		for s := 0; s < nsw; s++ {
+			masks[s] = 0
+		}
+		for t := base; t < hi; t++ {
+			// holder[T4inv[c_j ^ k_j] >> 4]++ of Algorithm 1, as a
+			// per-subwarp block bitmask.
+			idx := fn(lines[t][j], m)
+			masks[plan.SID[t-base]] |= 1 << (idx >> 4)
+		}
+		for s := 0; s < nsw; s++ {
+			total += bits.OnesCount16(masks[s])
+		}
+	}
+	return total
+}
+
+// EstimationVector returns Û_{k_j^m}: the predicted access counts for
+// guess m of byte j across all samples.
+func (a *Attacker) EstimationVector(cts [][]kernels.Line, j int, m byte) []float64 {
+	out := make([]float64, len(cts))
+	for n, lines := range cts {
+		out[n] = float64(EstimateSampleWith(a.plan(n), lines, j, m, a.indexFn))
+	}
+	return out
+}
+
+// ByteResult is the attack outcome for one key byte position.
+type ByteResult struct {
+	// Correlations[m] is the Pearson correlation between guess m's
+	// estimation vector and the measurement vector.
+	Correlations [256]float64
+	// Best is the guess with the maximum correlation — the attacker's
+	// answer.
+	Best byte
+	// BestCorr is that maximum correlation.
+	BestCorr float64
+}
+
+// Rank returns the position (0 = winner) of the given byte value in
+// the correlation ranking; low ranks mean the attack nearly succeeded.
+func (b *ByteResult) Rank(v byte) int {
+	rank := 0
+	target := b.Correlations[v]
+	for m := 0; m < 256; m++ {
+		if byte(m) != v && b.Correlations[m] > target {
+			rank++
+		}
+	}
+	return rank
+}
+
+// RecoverByte attacks key byte j: it builds the 256×N access matrix
+// (Figure 4b) and correlates each row with the measurement vector.
+func (a *Attacker) RecoverByte(cts [][]kernels.Line, measurements []float64, j int) (*ByteResult, error) {
+	if len(cts) != len(measurements) {
+		return nil, fmt.Errorf("attack: %d ciphertext samples vs %d measurements", len(cts), len(measurements))
+	}
+	if len(cts) < 2 {
+		return nil, fmt.Errorf("attack: need at least 2 samples, have %d", len(cts))
+	}
+	res := &ByteResult{BestCorr: -2}
+	for m := 0; m < 256; m++ {
+		u := a.EstimationVector(cts, j, byte(m))
+		r, err := stats.Pearson(u, measurements)
+		if err != nil {
+			return nil, err
+		}
+		res.Correlations[m] = r
+		if r > res.BestCorr {
+			res.BestCorr = r
+			res.Best = byte(m)
+		}
+	}
+	return res, nil
+}
+
+// KeyResult is the outcome of a full 16-byte last-round key attack.
+type KeyResult struct {
+	Bytes [KeyBytes]*ByteResult
+	// Key is the attacker's recovered last-round key.
+	Key [KeyBytes]byte
+}
+
+// RecoverKey attacks all 16 last-round key bytes.
+func (a *Attacker) RecoverKey(cts [][]kernels.Line, measurements []float64) (*KeyResult, error) {
+	kr := &KeyResult{}
+	for j := 0; j < KeyBytes; j++ {
+		br, err := a.RecoverByte(cts, measurements, j)
+		if err != nil {
+			return nil, err
+		}
+		kr.Bytes[j] = br
+		kr.Key[j] = br.Best
+	}
+	return kr, nil
+}
+
+// CorrectCount returns how many recovered bytes match the true
+// last-round key.
+func (k *KeyResult) CorrectCount(trueKey [KeyBytes]byte) int {
+	n := 0
+	for j := 0; j < KeyBytes; j++ {
+		if k.Key[j] == trueKey[j] {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgCorrectCorrelation returns the average, over the 16 byte
+// positions, of the correlation the *correct* key byte achieved — the
+// security metric of Figures 7b, 15, and 18a.
+func (k *KeyResult) AvgCorrectCorrelation(trueKey [KeyBytes]byte) float64 {
+	sum := 0.0
+	for j := 0; j < KeyBytes; j++ {
+		sum += k.Bytes[j].Correlations[trueKey[j]]
+	}
+	return sum / KeyBytes
+}

@@ -1,0 +1,397 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/core"
+	"rcoal/internal/kernels"
+	"rcoal/internal/rng"
+)
+
+func randomLines(seed uint64, n int) []kernels.Line {
+	return kernels.RandomPlaintext(rng.New(seed), n)
+}
+
+func TestNewRejectsInvalidPolicy(t *testing.T) {
+	if _, err := New(core.Config{NumSubwarps: 3}, 1); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+}
+
+func TestEstimateSampleMatchesAlgorithm1(t *testing.T) {
+	// The generic estimator with an FSS plan must agree with the
+	// paper's literal Algorithm 1 on single-warp inputs.
+	lines := randomLines(1, 32)
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		plan := core.FSS(m).NewPlan(rng.New(1))
+		for j := 0; j < 16; j += 5 {
+			for guess := 0; guess < 256; guess += 17 {
+				a := EstimateSample(plan, lines, j, byte(guess))
+				b := Algorithm1(lines, j, byte(guess), m)
+				if a != b {
+					t.Fatalf("M=%d j=%d guess=%d: EstimateSample %d != Algorithm1 %d", m, j, guess, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateSampleBounds(t *testing.T) {
+	f := func(seed uint64, jRaw, guess uint8, mIdx uint8) bool {
+		ms := []int{1, 2, 4, 8, 16, 32}
+		m := ms[int(mIdx)%len(ms)]
+		lines := randomLines(seed, 32)
+		plan := core.FSSRTS(m).NewPlan(rng.New(seed))
+		j := int(jRaw) % 16
+		got := EstimateSample(plan, lines, j, byte(guess))
+		// At least one access per non-empty subwarp, at most one per
+		// thread.
+		return got >= m && got <= 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateSampleMultiWarp(t *testing.T) {
+	// Two warps of identical lines double the single-warp estimate.
+	lines := randomLines(2, 32)
+	double := append(append([]kernels.Line{}, lines...), lines...)
+	plan := core.FSS(4).NewPlan(rng.New(3))
+	one := EstimateSample(plan, lines, 0, 0xAB)
+	two := EstimateSample(plan, double, 0, 0xAB)
+	if two != 2*one {
+		t.Errorf("multi-warp: %d, want %d", two, 2*one)
+	}
+}
+
+func TestEstimateSamplePanics(t *testing.T) {
+	plan := core.Baseline().NewPlan(rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad byte index did not panic")
+		}
+	}()
+	EstimateSample(plan, randomLines(1, 32), 16, 0)
+}
+
+func TestAlgorithm1Worked(t *testing.T) {
+	// Hand construction: choose ciphertext bytes so that for guess 0
+	// the indices are the S-box outputs' inverses... simpler: craft
+	// lines whose byte 0 all equal. Then all threads share one block:
+	// 1 access per subwarp group.
+	var lines []kernels.Line
+	for i := 0; i < 32; i++ {
+		var l kernels.Line
+		l[0] = 0x5c
+		lines = append(lines, l)
+	}
+	for _, m := range []int{1, 2, 4, 8} {
+		if got := Algorithm1(lines, 0, 0x00, m); got != m {
+			t.Errorf("uniform lines, M=%d: %d accesses, want %d", m, got, m)
+		}
+	}
+}
+
+func TestAlgorithm1PanicsOnBadSplit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-dividing num-subwarp did not panic")
+		}
+	}()
+	Algorithm1(randomLines(1, 32), 0, 0, 5)
+}
+
+func TestAttackerPlanStableAcrossCalls(t *testing.T) {
+	a, err := New(core.RSSRTS(4), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := [][]kernels.Line{randomLines(1, 32), randomLines(2, 32)}
+	u1 := a.EstimationVector(cts, 0, 10)
+	u2 := a.EstimationVector(cts, 0, 10)
+	for i := range u1 {
+		if u1[i] != u2[i] {
+			t.Fatal("estimation vector unstable across calls")
+		}
+	}
+}
+
+func TestRecoverByteValidation(t *testing.T) {
+	a := Baseline(1)
+	cts := [][]kernels.Line{randomLines(1, 32)}
+	if _, err := a.RecoverByte(cts, []float64{1, 2}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := a.RecoverByte(cts, []float64{1}, 0); err == nil {
+		t.Error("single sample accepted")
+	}
+}
+
+func TestByteResultRank(t *testing.T) {
+	br := &ByteResult{}
+	for m := 0; m < 256; m++ {
+		br.Correlations[m] = float64(m) / 256
+	}
+	if br.Rank(255) != 0 {
+		t.Errorf("Rank(best) = %d, want 0", br.Rank(255))
+	}
+	if br.Rank(0) != 255 {
+		t.Errorf("Rank(worst) = %d, want 255", br.Rank(0))
+	}
+}
+
+func TestKeyResultScoring(t *testing.T) {
+	kr := &KeyResult{}
+	var trueKey [16]byte
+	for j := 0; j < 16; j++ {
+		trueKey[j] = byte(j)
+		br := &ByteResult{}
+		br.Correlations[j] = 0.5 // correct byte's correlation
+		kr.Bytes[j] = br
+		if j < 4 {
+			kr.Key[j] = byte(j) // 4 correct
+		} else {
+			kr.Key[j] = byte(j + 1)
+		}
+	}
+	if got := kr.CorrectCount(trueKey); got != 4 {
+		t.Errorf("CorrectCount = %d, want 4", got)
+	}
+	if got := kr.AvgCorrectCorrelation(trueKey); got != 0.5 {
+		t.Errorf("AvgCorrectCorrelation = %v, want 0.5", got)
+	}
+}
+
+func TestAttackerName(t *testing.T) {
+	a, _ := New(core.RSSRTS(8), 1)
+	if a.Name() != "attack[RSS+RTS(8)]" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+// Synthetic end-to-end: build "measurements" directly from the true
+// access counts (a noise-free timing channel) and verify the baseline
+// attack recovers a key byte, while the same attack fails against
+// constant measurements (coalescing disabled).
+func TestBaselineAttackOnSyntheticChannel(t *testing.T) {
+	key := []byte("attack test key!")
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrk := c.LastRoundKey()
+
+	const samples = 100
+	src := rng.New(11)
+	var cts [][]kernels.Line
+	var times []float64
+	basePlan := core.Baseline().NewPlan(rng.New(1))
+	for n := 0; n < samples; n++ {
+		pts := kernels.RandomPlaintext(src, 32)
+		lines := make([]kernels.Line, 32)
+		for i, pt := range pts {
+			ct, _ := c.TraceEncrypt(pt[:])
+			lines[i] = ct
+		}
+		cts = append(cts, lines)
+		// Noise-free channel: time = true access count for byte 0's
+		// lookup... the attacker only sees aggregate time, so sum over
+		// all 16 byte positions like the real last round does.
+		total := 0
+		for j := 0; j < 16; j++ {
+			total += EstimateSample(basePlan, lines, j, lrk[j])
+		}
+		times = append(times, float64(total))
+	}
+
+	a := Baseline(5)
+	br, err := a.RecoverByte(cts, times, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Best != lrk[0] {
+		t.Errorf("baseline attack failed: recovered %#02x, true %#02x (rank %d)",
+			br.Best, lrk[0], br.Rank(lrk[0]))
+	}
+
+	// Constant measurements (no timing channel): correlation collapses
+	// and the winner is essentially arbitrary — the correct byte gains
+	// no advantage.
+	flat := make([]float64, samples)
+	for i := range flat {
+		flat[i] = 4242
+	}
+	br2, err := a.RecoverByte(cts, flat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br2.Correlations[lrk[0]] != 0 {
+		t.Errorf("flat channel: correct-byte correlation %v, want 0", br2.Correlations[lrk[0]])
+	}
+}
+
+func TestKeyRankMetrics(t *testing.T) {
+	kr := &KeyResult{}
+	var trueKey [16]byte
+	for j := 0; j < 16; j++ {
+		trueKey[j] = 0x40
+		br := &ByteResult{}
+		// Give the correct byte rank j: j guesses score higher.
+		for m := 0; m < j; m++ {
+			br.Correlations[m] = 1 - float64(m)/100
+		}
+		br.Correlations[0x40] = 0.5
+		kr.Bytes[j] = br
+	}
+	// Ranks are 0,1,...,15: mean 7.5.
+	if ge := kr.GuessingEntropy(trueKey); ge != 7.5 {
+		t.Errorf("GuessingEntropy = %v, want 7.5", ge)
+	}
+	bits := kr.RemainingKeyBits(trueKey)
+	want := 0.0
+	for j := 0; j < 16; j++ {
+		want += math.Log2(float64(j + 1))
+	}
+	if math.Abs(bits-want) > 1e-9 {
+		t.Errorf("RemainingKeyBits = %v, want %v", bits, want)
+	}
+	// Perfect attack: all ranks 0 -> 0 bits.
+	perfect := &KeyResult{}
+	for j := 0; j < 16; j++ {
+		br := &ByteResult{}
+		br.Correlations[trueKey[j]] = 1
+		perfect.Bytes[j] = br
+	}
+	if perfect.RemainingKeyBits(trueKey) != 0 {
+		t.Error("perfect attack leaves bits")
+	}
+}
+
+func TestDecryptAttackOnSyntheticChannel(t *testing.T) {
+	// The decryption-side attack recovers round key 0 (= the original
+	// key byte) from a noise-free access-count channel built with
+	// LastRoundDecIndex, mirroring TestBaselineAttackOnSyntheticChannel.
+	key := []byte("dec attack key!!")
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk0 := c.RoundKey(0)
+
+	const samples = 100
+	src := rng.New(51)
+	var outputs [][]kernels.Line
+	var times []float64
+	basePlan := core.Baseline().NewPlan(rng.New(1))
+	for n := 0; n < samples; n++ {
+		cts := kernels.RandomPlaintext(src, 32)
+		pts := make([]kernels.Line, 32)
+		for i, ct := range cts {
+			pt, _ := c.TraceDecrypt(ct[:])
+			pts[i] = pt
+		}
+		outputs = append(outputs, pts)
+		total := 0
+		for j := 0; j < 16; j++ {
+			total += EstimateSampleWith(basePlan, pts, j, rk0[j], aes.LastRoundDecIndex)
+		}
+		times = append(times, float64(total))
+	}
+
+	a, err := NewDecrypt(core.Baseline(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := a.RecoverByte(outputs, times, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Best != rk0[0] {
+		t.Errorf("decryption attack: recovered %#02x, true %#02x (rank %d)",
+			br.Best, rk0[0], br.Rank(rk0[0]))
+	}
+}
+
+func TestNewWithIndexValidation(t *testing.T) {
+	if _, err := NewWithIndex(core.Baseline(), 1, nil); err == nil {
+		t.Error("nil index function accepted")
+	}
+}
+
+func TestEstimateSharedSampleDegrees(t *testing.T) {
+	// All lines share byte 0: every thread computes the same index ->
+	// broadcast -> degree 1 per warp.
+	var lines []kernels.Line
+	for i := 0; i < 32; i++ {
+		var l kernels.Line
+		l[0] = 0x3c
+		lines = append(lines, l)
+	}
+	if got := EstimateSharedSample(lines, 0, 0x11); got != 1 {
+		t.Errorf("broadcast degree = %d, want 1", got)
+	}
+	// Two warps double the sum.
+	double := append(append([]kernels.Line{}, lines...), lines...)
+	if got := EstimateSharedSample(double, 0, 0x11); got != 2 {
+		t.Errorf("two-warp degree = %d, want 2", got)
+	}
+	// Degree is bounded by ceil(32 threads / 32 banks distinct words):
+	// at most 8 (256 entries / 32 banks words per bank).
+	r := rng.New(97)
+	for trial := 0; trial < 50; trial++ {
+		rl := kernels.RandomPlaintext(r, 32)
+		d := EstimateSharedSample(rl, trial%16, byte(trial))
+		if d < 1 || d > 8 {
+			t.Fatalf("degree %d outside [1,8]", d)
+		}
+	}
+}
+
+func TestBankConflictAttackerOnSyntheticChannel(t *testing.T) {
+	// Noise-free bank-conflict channel: measurement = true summed
+	// degree over all byte positions; byte 0 must be recoverable.
+	key := []byte("bank conflict ky")
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrk := c.LastRoundKey()
+	src := rng.New(101)
+	var cts [][]kernels.Line
+	var times []float64
+	for n := 0; n < 500; n++ {
+		pts := kernels.RandomPlaintext(src, 32)
+		lines := make([]kernels.Line, 32)
+		for i, pt := range pts {
+			ct, _ := c.TraceEncrypt(pt[:])
+			lines[i] = ct
+		}
+		cts = append(cts, lines)
+		total := 0
+		for j := 0; j < 16; j++ {
+			total += EstimateSharedSample(lines, j, lrk[j])
+		}
+		times = append(times, float64(total))
+	}
+	// The bank-conflict channel is weaker per byte than the coalescing
+	// channel (the degree is a small-range max statistic), so judge on
+	// the full key: most bytes should rank near the top.
+	var a BankConflictAttacker
+	kr, err := a.RecoverKey(cts, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge := kr.GuessingEntropy(lrk); ge > 20 {
+		t.Errorf("bank-conflict attack guessing entropy %v, want near-zero", ge)
+	}
+	if kr.CorrectCount(lrk) < 8 {
+		t.Errorf("bank-conflict attack recovered only %d/16 bytes", kr.CorrectCount(lrk))
+	}
+	if _, err := a.RecoverByte(cts, times[:3], 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

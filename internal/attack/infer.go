@@ -1,0 +1,103 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rcoal/internal/aesgpu"
+	"rcoal/internal/core"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/stats"
+)
+
+// This file implements the prelude to the FSS attack described in
+// Section IV-A of the paper: before Algorithm 1 can run, the attacker
+// must learn num-subwarp. "The calculation can be done based on the
+// significant execution time differences across num-subwarp values
+// (Figure 7). By repeatedly measuring the execution time for
+// encryption of a plaintext, an attacker can determine which
+// num-subwarp is used by the remote GPU server."
+//
+// The attacker calibrates on hardware it controls (the same GPU model
+// with known settings), building a timing profile per candidate M,
+// then matches the victim's observed mean time against the profile.
+
+// Calibration maps a candidate num-subwarp value to the expected mean
+// total execution time (cycles per encryption) on the attacker's
+// reference hardware.
+type Calibration map[int]float64
+
+// CalibrateSubwarps builds a timing profile by running the given
+// mechanism at each candidate M on an attacker-controlled replica of
+// the victim GPU. The key is arbitrary: mean timing over random
+// plaintexts is key-independent.
+func CalibrateSubwarps(base gpusim.Config, mechanism func(int) core.Config,
+	candidates []int, samples, lines int, seed uint64) (Calibration, error) {
+	if samples < 1 || lines < 1 {
+		return nil, fmt.Errorf("attack: calibration needs positive samples (%d) and lines (%d)", samples, lines)
+	}
+	cal := Calibration{}
+	for _, m := range candidates {
+		cfg := base
+		cfg.Coalescing = mechanism(m)
+		srv, err := aesgpu.NewServer(cfg, []byte("calibration-key!"))
+		if err != nil {
+			return nil, fmt.Errorf("attack: calibrating M=%d: %w", m, err)
+		}
+		ds, err := srv.Collect(samples, lines, seed^uint64(m)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		cal[m] = stats.Mean(ds.TotalTimes())
+	}
+	return cal, nil
+}
+
+// Candidates returns the calibrated M values in ascending order.
+func (c Calibration) Candidates() []int {
+	out := make([]int, 0, len(c))
+	for m := range c {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Infer matches an observed mean execution time against the profile
+// and returns the closest candidate M plus the relative timing gap to
+// the runner-up (a confidence proxy: small gaps mean the guess is
+// fragile).
+func (c Calibration) Infer(observedMeanCycles float64) (m int, margin float64) {
+	if len(c) == 0 {
+		panic("attack: Infer on empty calibration")
+	}
+	type cand struct {
+		m    int
+		dist float64
+	}
+	cands := make([]cand, 0, len(c))
+	for mm, t := range c {
+		cands = append(cands, cand{m: mm, dist: math.Abs(t - observedMeanCycles)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].m < cands[j].m
+	})
+	if len(cands) == 1 {
+		return cands[0].m, math.Inf(1)
+	}
+	best, next := cands[0], cands[1]
+	if observedMeanCycles != 0 {
+		return best.m, (next.dist - best.dist) / observedMeanCycles
+	}
+	return best.m, 0
+}
+
+// ObserveMeanTime is the attacker's victim-side measurement: the mean
+// total execution time over the dataset.
+func ObserveMeanTime(ds *aesgpu.Dataset) float64 {
+	return stats.Mean(ds.TotalTimes())
+}

@@ -1,0 +1,76 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"rcoal/internal/aesgpu"
+	"rcoal/internal/core"
+	"rcoal/internal/gpusim"
+)
+
+func TestCalibrationValidation(t *testing.T) {
+	if _, err := CalibrateSubwarps(gpusim.DefaultConfig(), core.FSS, []int{1}, 0, 32, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestInferEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Infer on empty calibration did not panic")
+		}
+	}()
+	Calibration{}.Infer(100)
+}
+
+func TestInferMatching(t *testing.T) {
+	cal := Calibration{1: 100, 2: 200, 4: 400}
+	if m, _ := cal.Infer(195); m != 2 {
+		t.Errorf("inferred %d, want 2", m)
+	}
+	if m, _ := cal.Infer(90); m != 1 {
+		t.Errorf("inferred %d, want 1", m)
+	}
+	m, margin := cal.Infer(399)
+	if m != 4 || margin <= 0 {
+		t.Errorf("inferred %d margin %v", m, margin)
+	}
+	if got := cal.Candidates(); len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Errorf("candidates %v", got)
+	}
+	single := Calibration{8: 800}
+	if m, margin := single.Infer(1); m != 8 || !math.IsInf(margin, 1) {
+		t.Errorf("single-candidate inference: %d, %v", m, margin)
+	}
+}
+
+func TestInferSubwarpsEndToEnd(t *testing.T) {
+	// The paper's claim: execution-time differences across num-subwarp
+	// are large enough to identify the victim's M remotely.
+	candidates := []int{1, 2, 4, 8, 16, 32}
+	cal, err := CalibrateSubwarps(gpusim.DefaultConfig(), core.FSS, candidates, 8, 32, 0xCA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trueM := range candidates {
+		cfg := gpusim.DefaultConfig()
+		cfg.Coalescing = core.FSS(trueM)
+		// Victim uses its own secret key and seed.
+		srv, err := aesgpu.NewServer(cfg, []byte("victims own key!"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := srv.Collect(8, 32, x71C71M(trueM))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := cal.Infer(ObserveMeanTime(ds))
+		if got != trueM {
+			t.Errorf("victim M=%d inferred as %d", trueM, got)
+		}
+	}
+}
+
+// x71C71M derives a per-M victim seed.
+func x71C71M(m int) uint64 { return 0x71C71 ^ uint64(m)<<8 }

@@ -1,0 +1,32 @@
+package attack
+
+import "math"
+
+// Key-rank metrics: finer-grained security measures than the binary
+// recovered/not-recovered. The paper reasons in terms of correlations
+// and sample counts; rank metrics summarize how close an attack came,
+// which the evaluation uses to compare near-misses across mechanisms.
+
+// GuessingEntropy returns the average rank (0 = attacker's first
+// guess) of the correct byte value across the 16 positions: the
+// expected number of wrong guesses per byte before hitting the right
+// one if the attacker descends the correlation ranking.
+func (k *KeyResult) GuessingEntropy(trueKey [KeyBytes]byte) float64 {
+	sum := 0.0
+	for j := 0; j < KeyBytes; j++ {
+		sum += float64(k.Bytes[j].Rank(trueKey[j]))
+	}
+	return sum / KeyBytes
+}
+
+// RemainingKeyBits estimates the brute-force work left after the
+// attack, in bits: Σ_j log2(rank_j + 1). A fully successful attack
+// leaves 0 bits; an uninformative one leaves ≈16·log2(128) ≈ 112 bits
+// (expected rank 127.5 per byte against a uniform ranking).
+func (k *KeyResult) RemainingKeyBits(trueKey [KeyBytes]byte) float64 {
+	bits := 0.0
+	for j := 0; j < KeyBytes; j++ {
+		bits += math.Log2(float64(k.Bytes[j].Rank(trueKey[j]) + 1))
+	}
+	return bits
+}

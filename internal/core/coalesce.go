@@ -1,0 +1,187 @@
+package core
+
+// This file is the coalescing logic itself: turning a warp-wide memory
+// instruction (one block address per active thread) into the set of
+// memory transactions the MCU emits. Coalescing happens independently
+// per subwarp — threads in different subwarps never merge, which is
+// the entire lever the defense turns.
+//
+// The same functions serve the simulated hardware (via Transaction,
+// which carries full block keys and member threads) and the attacker's
+// estimators (via CountSmallBlocks, a bitset fast path for table
+// lookups where blocks are 0..R-1 with R <= 64).
+
+// Transaction is one coalesced memory access: the distinct memory
+// block touched by one subwarp, with the threads whose requests were
+// merged into it.
+type Transaction struct {
+	// SID is the subwarp that generated the access.
+	SID int
+	// Block is the 64-byte-aligned memory block key (address >> 6).
+	Block uint64
+	// Threads are the warp-relative thread ids merged into the access,
+	// in increasing tid order.
+	Threads []int
+}
+
+// Coalesce merges the per-thread block accesses of one warp-wide
+// memory instruction into transactions, independently per subwarp.
+// blocks[tid] is the memory block requested by thread tid; active[tid]
+// false means the thread is predicated off (branch divergence) and
+// issues no request. A nil active slice means all threads are active.
+// Transactions are ordered by subwarp, then by first requesting
+// thread — the order the PRT drains them.
+func (p Plan) Coalesce(blocks []uint64, active []bool) []Transaction {
+	if len(blocks) != len(p.SID) {
+		panic("core: Coalesce blocks length does not match warp size")
+	}
+	if active != nil && len(active) != len(p.SID) {
+		panic("core: Coalesce active length does not match warp size")
+	}
+	var out []Transaction
+	// Per-subwarp open-transaction index; small M, linear scan is fine
+	// and allocation-free for the common path.
+	for s := 0; s < len(p.Sizes); s++ {
+		start := len(out)
+		for tid, sid := range p.SID {
+			if int(sid) != s || (active != nil && !active[tid]) {
+				continue
+			}
+			b := blocks[tid]
+			merged := false
+			for i := start; i < len(out); i++ {
+				if out[i].Block == b {
+					out[i].Threads = append(out[i].Threads, tid)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out = append(out, Transaction{SID: s, Block: b, Threads: []int{tid}})
+			}
+		}
+	}
+	return out
+}
+
+// CoalesceBlocks is the allocation-lean variant used on the
+// simulator's hot path: it appends to out the block key of each
+// transaction Coalesce would produce (same count, same order), without
+// materializing per-transaction thread lists.
+func (p Plan) CoalesceBlocks(blocks []uint64, active []bool, out []uint64) []uint64 {
+	if len(blocks) != len(p.SID) {
+		panic("core: CoalesceBlocks blocks length does not match warp size")
+	}
+	if active != nil && len(active) != len(p.SID) {
+		panic("core: CoalesceBlocks active length does not match warp size")
+	}
+	for s := 0; s < len(p.Sizes); s++ {
+		start := len(out)
+		for tid, sid := range p.SID {
+			if int(sid) != s || (active != nil && !active[tid]) {
+				continue
+			}
+			b := blocks[tid]
+			dup := false
+			for i := start; i < len(out); i++ {
+				if out[i] == b {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// CountCoalesced returns only the number of transactions Coalesce
+// would produce, without materializing them.
+func (p Plan) CountCoalesced(blocks []uint64, active []bool) int {
+	if len(blocks) != len(p.SID) {
+		panic("core: CountCoalesced blocks length does not match warp size")
+	}
+	count := 0
+	var seenBuf [DefaultWarpSize]uint64 // distinct blocks seen per subwarp scan
+	seen := seenBuf[:]
+	if len(p.SID) > len(seen) {
+		seen = make([]uint64, len(p.SID))
+	}
+	for s := 0; s < len(p.Sizes); s++ {
+		n := 0
+		for tid, sid := range p.SID {
+			if int(sid) != s || (active != nil && !active[tid]) {
+				continue
+			}
+			b := blocks[tid]
+			dup := false
+			for i := 0; i < n; i++ {
+				if seen[i] == b {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen[n] = b
+				n++
+			}
+		}
+		count += n
+	}
+	return count
+}
+
+// CountSmallBlocks is the attacker-side hot path: per-thread block ids
+// are small (0..r-1, r <= 64, e.g. the R = 16 lines of a lookup
+// table), so each subwarp's distinct-block set is a 64-bit mask and
+// the count is a popcount. blocks[tid] < 0 marks an inactive thread.
+func (p Plan) CountSmallBlocks(blocks []int) int {
+	if len(blocks) != len(p.SID) {
+		panic("core: CountSmallBlocks blocks length does not match warp size")
+	}
+	var maskBuf [DefaultWarpSize]uint64
+	masks := maskBuf[:]
+	if len(p.Sizes) > len(masks) {
+		masks = make([]uint64, len(p.Sizes))
+	}
+	for tid, sid := range p.SID {
+		b := blocks[tid]
+		if b < 0 {
+			continue
+		}
+		if b >= 64 {
+			panic("core: CountSmallBlocks block id out of small range")
+		}
+		masks[sid] |= 1 << uint(b)
+	}
+	count := 0
+	for s := 0; s < len(p.Sizes); s++ {
+		count += popcount(masks[s])
+	}
+	return count
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// CountUncoalesced returns the transaction count with coalescing
+// disabled entirely: one access per active thread. This is the
+// worst-case defense the paper rejects in Section III (up to 178%
+// slowdown, 2.7x data movement).
+func CountUncoalesced(blocks []uint64, active []bool) int {
+	n := 0
+	for tid := range blocks {
+		if active == nil || active[tid] {
+			n++
+		}
+	}
+	return n
+}

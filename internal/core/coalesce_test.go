@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rcoal/internal/rng"
+)
+
+func fullWarpPlan() Plan {
+	sid := make([]uint8, 32)
+	return Plan{Sizes: []int{32}, SID: sid}
+}
+
+func TestCoalescePerfect(t *testing.T) {
+	// All 32 threads hit one block -> 1 transaction with 32 threads.
+	blocks := make([]uint64, 32)
+	txs := fullWarpPlan().Coalesce(blocks, nil)
+	if len(txs) != 1 || len(txs[0].Threads) != 32 {
+		t.Fatalf("perfect coalescing: %d txs", len(txs))
+	}
+}
+
+func TestCoalesceWorstCase(t *testing.T) {
+	blocks := make([]uint64, 32)
+	for i := range blocks {
+		blocks[i] = uint64(i)
+	}
+	txs := fullWarpPlan().Coalesce(blocks, nil)
+	if len(txs) != 32 {
+		t.Fatalf("worst case: %d txs, want 32", len(txs))
+	}
+}
+
+func TestCoalesceRespectsActiveMask(t *testing.T) {
+	blocks := make([]uint64, 32)
+	active := make([]bool, 32)
+	for i := 0; i < 4; i++ {
+		active[i] = true
+		blocks[i] = uint64(i % 2)
+	}
+	txs := fullWarpPlan().Coalesce(blocks, active)
+	if len(txs) != 2 {
+		t.Fatalf("masked coalescing: %d txs, want 2", len(txs))
+	}
+	n := 0
+	for _, tx := range txs {
+		n += len(tx.Threads)
+	}
+	if n != 4 {
+		t.Fatalf("masked coalescing merged %d threads, want 4", n)
+	}
+}
+
+func TestCoalesceThreadsSortedAndAttributed(t *testing.T) {
+	p := Plan{Sizes: []int{16, 16}, SID: make([]uint8, 32)}
+	for i := 16; i < 32; i++ {
+		p.SID[i] = 1
+	}
+	blocks := make([]uint64, 32)
+	for i := range blocks {
+		blocks[i] = 7 // all same block, but two subwarps -> 2 txs
+	}
+	txs := p.Coalesce(blocks, nil)
+	if len(txs) != 2 {
+		t.Fatalf("got %d txs, want 2 (one per subwarp)", len(txs))
+	}
+	for _, tx := range txs {
+		for i := 1; i < len(tx.Threads); i++ {
+			if tx.Threads[i] <= tx.Threads[i-1] {
+				t.Fatal("threads not in increasing order")
+			}
+		}
+		for _, tid := range tx.Threads {
+			if int(p.SID[tid]) != tx.SID {
+				t.Fatalf("thread %d attributed to subwarp %d, has sid %d", tid, tx.SID, p.SID[tid])
+			}
+		}
+	}
+}
+
+func TestCountMatchesCoalesce(t *testing.T) {
+	r := rng.New(11)
+	f := func(seed uint64, mRaw uint8) bool {
+		ms := []int{1, 2, 4, 8, 16, 32}
+		m := ms[int(mRaw)%len(ms)]
+		src := rng.New(seed)
+		for _, cfg := range []Config{FSS(m), FSSRTS(m), RSS(m), RSSRTS(m)} {
+			p := cfg.NewPlan(r)
+			blocks := make([]uint64, 32)
+			small := make([]int, 32)
+			for i := range blocks {
+				b := src.Intn(16)
+				blocks[i] = uint64(b)
+				small[i] = b
+			}
+			txs := p.Coalesce(blocks, nil)
+			want := len(txs)
+			if p.CountCoalesced(blocks, nil) != want {
+				return false
+			}
+			if p.CountSmallBlocks(small) != want {
+				return false
+			}
+			// CoalesceBlocks agrees in count, order, and content.
+			lean := p.CoalesceBlocks(blocks, nil, nil)
+			if len(lean) != want {
+				return false
+			}
+			for i := range lean {
+				if lean[i] != txs[i].Block {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountSmallBlocksInactive(t *testing.T) {
+	p := fullWarpPlan()
+	blocks := make([]int, 32)
+	for i := range blocks {
+		blocks[i] = -1 // all inactive
+	}
+	if got := p.CountSmallBlocks(blocks); got != 0 {
+		t.Errorf("all inactive: %d, want 0", got)
+	}
+	blocks[5] = 3
+	if got := p.CountSmallBlocks(blocks); got != 1 {
+		t.Errorf("one active: %d, want 1", got)
+	}
+}
+
+func TestCountSmallBlocksPanicsOnLargeBlock(t *testing.T) {
+	p := fullWarpPlan()
+	blocks := make([]int, 32)
+	blocks[0] = 64
+	defer func() {
+		if recover() == nil {
+			t.Fatal("block id 64 did not panic")
+		}
+	}()
+	p.CountSmallBlocks(blocks)
+}
+
+func TestLengthMismatchesPanic(t *testing.T) {
+	p := fullWarpPlan()
+	for name, fn := range map[string]func(){
+		"Coalesce":         func() { p.Coalesce(make([]uint64, 4), nil) },
+		"CoalesceActive":   func() { p.Coalesce(make([]uint64, 32), make([]bool, 4)) },
+		"CountCoalesced":   func() { p.CountCoalesced(make([]uint64, 4), nil) },
+		"CountSmallBlocks": func() { p.CountSmallBlocks(make([]int, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched length did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSubwarpCountBounds(t *testing.T) {
+	// Property: for any plan and access pattern, the coalesced count is
+	// at least the whole-warp count (splitting can only break merges)
+	// and at most min(warp size, whole-warp count + ... ) — concretely,
+	// it is bounded by the number of active threads.
+	r := rng.New(13)
+	f := func(seed uint64, mRaw uint8) bool {
+		ms := []int{2, 4, 8, 16, 32}
+		m := ms[int(mRaw)%len(ms)]
+		src := rng.New(seed)
+		blocks := make([]uint64, 32)
+		for i := range blocks {
+			blocks[i] = uint64(src.Intn(16))
+		}
+		whole := fullWarpPlan().CountCoalesced(blocks, nil)
+		for _, cfg := range []Config{FSS(m), FSSRTS(m), RSS(m), RSSRTS(m)} {
+			p := cfg.NewPlan(r)
+			got := p.CountCoalesced(blocks, nil)
+			if got < whole || got > 32 {
+				return false
+			}
+			// And the uncoalesced bound dominates everything.
+			if got > CountUncoalesced(blocks, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreSubwarpsNeverImproveCoalescing(t *testing.T) {
+	// FSS monotonicity: doubling M (nested refinement) cannot decrease
+	// the access count — the performance cost curve of Figure 7a.
+	src := rng.New(17)
+	for trial := 0; trial < 100; trial++ {
+		blocks := make([]uint64, 32)
+		for i := range blocks {
+			blocks[i] = uint64(src.Intn(16))
+		}
+		prev := 0
+		for _, m := range []int{1, 2, 4, 8, 16, 32} {
+			p := FSS(m).NewPlan(rng.New(1))
+			got := p.CountCoalesced(blocks, nil)
+			if got < prev {
+				t.Fatalf("FSS(%d) count %d < previous %d", m, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestCountUncoalesced(t *testing.T) {
+	blocks := make([]uint64, 32)
+	if got := CountUncoalesced(blocks, nil); got != 32 {
+		t.Errorf("CountUncoalesced = %d, want 32", got)
+	}
+	active := make([]bool, 32)
+	active[3] = true
+	if got := CountUncoalesced(blocks, active); got != 1 {
+		t.Errorf("CountUncoalesced masked = %d, want 1", got)
+	}
+}
+
+func TestM32IsConstantCount(t *testing.T) {
+	// num-subwarp = 32: every thread is alone, the count is always 32
+	// regardless of addresses — the rho = 0 row of Table II.
+	p := FSS(32).NewPlan(rng.New(19))
+	src := rng.New(23)
+	for trial := 0; trial < 50; trial++ {
+		blocks := make([]uint64, 32)
+		for i := range blocks {
+			blocks[i] = uint64(src.Intn(16))
+		}
+		if got := p.CountCoalesced(blocks, nil); got != 32 {
+			t.Fatalf("M=32 count = %d, want constant 32", got)
+		}
+	}
+}

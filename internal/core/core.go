@@ -1,0 +1,252 @@
+// Package core implements the primary contribution of the RCoal paper:
+// subwarp-based randomized memory-access coalescing (Section IV).
+//
+// A warp's threads are grouped into subwarps; the memory coalescing
+// unit (MCU) merges requests only within a subwarp. The paper's three
+// mechanisms control how that grouping is formed:
+//
+//   - FSS (fixed-sized subwarps): num-subwarp equal-sized groups,
+//     threads assigned in order;
+//   - RSS (random-sized subwarps): per-kernel-launch random subwarp
+//     sizes drawn uniformly from all compositions of the warp size
+//     into num-subwarp non-empty parts (the "skewed" distribution), or
+//     from a discretized normal for comparison (Figure 9);
+//   - RTS (random-threaded subwarps): threads are assigned to subwarps
+//     by a random permutation instead of in order. RTS composes with
+//     both FSS and RSS.
+//
+// The package separates the *policy* (Config: which mechanism, how
+// many subwarps) from the *plan* (Plan: one realized thread→subwarp
+// mapping, drawn per kernel launch with hardware randomness). The
+// same Plan type and the same coalescing counter serve both the
+// simulated hardware and the attacker's estimation algorithms — the
+// paper's "corresponding attacks" (Section IV-E) differ from the
+// hardware only in *whose* random stream generated the plan.
+package core
+
+import (
+	"fmt"
+
+	"rcoal/internal/rng"
+)
+
+// DefaultWarpSize is the SIMT width of the simulated GPU (Table I).
+const DefaultWarpSize = 32
+
+// SizeDistribution selects how subwarp sizes are drawn.
+type SizeDistribution uint8
+
+const (
+	// SizeFixed gives every subwarp WarpSize/NumSubwarps threads (FSS).
+	SizeFixed SizeDistribution = iota
+	// SizeSkewed draws sizes uniformly from all compositions of the
+	// warp into non-empty subwarps — the RSS default (Section V-B3).
+	SizeSkewed
+	// SizeNormal draws sizes from a discretized normal centered on the
+	// FSS size; evaluated only as the Figure 9 comparison point.
+	SizeNormal
+)
+
+func (d SizeDistribution) String() string {
+	switch d {
+	case SizeFixed:
+		return "fixed"
+	case SizeSkewed:
+		return "skewed"
+	case SizeNormal:
+		return "normal"
+	}
+	return "unknown"
+}
+
+// Config is a coalescing policy: the mechanism knobs of Section IV.
+// The zero value is not valid; use the constructors.
+type Config struct {
+	// NumSubwarps is M, the number of subwarps per warp. 1 reproduces
+	// the baseline (whole-warp) coalescing of the attacked GPU.
+	NumSubwarps int
+	// SizeDist selects FSS (fixed) or RSS (skewed/normal) sizing.
+	SizeDist SizeDistribution
+	// RandomThreads enables RTS: random thread→subwarp allocation.
+	RandomThreads bool
+	// NormalSigma is the standard deviation for SizeNormal.
+	NormalSigma float64
+	// WarpSize is the number of threads per warp; 0 means
+	// DefaultWarpSize.
+	WarpSize int
+}
+
+// Baseline returns the undefended configuration: one subwarp holding
+// the whole warp, in-order threads.
+func Baseline() Config { return Config{NumSubwarps: 1, SizeDist: SizeFixed} }
+
+// FSS returns the fixed-sized-subwarp mechanism with m subwarps.
+func FSS(m int) Config { return Config{NumSubwarps: m, SizeDist: SizeFixed} }
+
+// FSSRTS returns FSS+RTS: fixed sizes, random thread allocation.
+func FSSRTS(m int) Config {
+	return Config{NumSubwarps: m, SizeDist: SizeFixed, RandomThreads: true}
+}
+
+// RSS returns the random-sized-subwarp mechanism (skewed sizing) with
+// m subwarps.
+func RSS(m int) Config { return Config{NumSubwarps: m, SizeDist: SizeSkewed} }
+
+// RSSRTS returns RSS+RTS: random sizes and random thread allocation.
+func RSSRTS(m int) Config {
+	return Config{NumSubwarps: m, SizeDist: SizeSkewed, RandomThreads: true}
+}
+
+// RSSNormal returns the normal-sized RSS variant of Figure 9.
+func RSSNormal(m int, sigma float64) Config {
+	return Config{NumSubwarps: m, SizeDist: SizeNormal, NormalSigma: sigma}
+}
+
+// Name returns the paper's name for the mechanism, e.g. "FSS+RTS(8)".
+func (c Config) Name() string {
+	base := "FSS"
+	switch c.SizeDist {
+	case SizeSkewed:
+		base = "RSS"
+	case SizeNormal:
+		base = "RSS(normal)"
+	}
+	if c.NumSubwarps == 1 && c.SizeDist == SizeFixed && !c.RandomThreads {
+		return "Baseline"
+	}
+	if c.RandomThreads {
+		base += "+RTS"
+	}
+	return fmt.Sprintf("%s(%d)", base, c.NumSubwarps)
+}
+
+func (c Config) warpSize() int {
+	if c.WarpSize == 0 {
+		return DefaultWarpSize
+	}
+	return c.WarpSize
+}
+
+// Validate checks the configuration against the hardware constraints:
+// M must divide nothing in particular, but it must be in [1, warp
+// size] (no subwarp may be empty), and FSS additionally requires M to
+// divide the warp size so all subwarps are equal.
+func (c Config) Validate() error {
+	w := c.warpSize()
+	if w <= 0 {
+		return fmt.Errorf("core: warp size %d must be positive", w)
+	}
+	if c.NumSubwarps < 1 || c.NumSubwarps > w {
+		return fmt.Errorf("core: num-subwarp %d outside [1, %d]", c.NumSubwarps, w)
+	}
+	if c.SizeDist == SizeFixed && w%c.NumSubwarps != 0 {
+		return fmt.Errorf("core: FSS num-subwarp %d must divide warp size %d", c.NumSubwarps, w)
+	}
+	if c.SizeDist == SizeNormal && c.NormalSigma < 0 {
+		return fmt.Errorf("core: negative NormalSigma %v", c.NormalSigma)
+	}
+	return nil
+}
+
+// NewPlan draws one realized subwarp plan from the policy using the
+// supplied random source (the hardware RNG of Figure 11, or the
+// attacker's own stream in a corresponding attack). It panics on an
+// invalid configuration; call Validate first on untrusted input.
+func (c Config) NewPlan(r *rng.Source) Plan {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	w := c.warpSize()
+	m := c.NumSubwarps
+
+	var sizes []int
+	switch c.SizeDist {
+	case SizeFixed:
+		sizes = make([]int, m)
+		for i := range sizes {
+			sizes[i] = w / m
+		}
+	case SizeSkewed:
+		sizes = r.Composition(w, m)
+	case SizeNormal:
+		sigma := c.NormalSigma
+		if sigma == 0 {
+			sigma = float64(w) / float64(4*m) // gentle default spread
+		}
+		sizes = r.NormalComposition(w, m, sigma)
+	}
+
+	sid := make([]uint8, w)
+	if c.RandomThreads {
+		perm := r.Perm(w)
+		pos := 0
+		for s, sz := range sizes {
+			for k := 0; k < sz; k++ {
+				sid[perm[pos]] = uint8(s)
+				pos++
+			}
+		}
+	} else {
+		pos := 0
+		for s, sz := range sizes {
+			for k := 0; k < sz; k++ {
+				sid[pos] = uint8(s)
+				pos++
+			}
+		}
+	}
+	return Plan{Sizes: sizes, SID: sid}
+}
+
+// Plan is one realized thread→subwarp assignment for a warp: the
+// contents of the subwarp-id (sid) fields the modified MCU stores in
+// its pending request table (Figure 11). It is drawn once per kernel
+// launch and fixed for the launch's duration (Section IV-D).
+type Plan struct {
+	// Sizes[s] is the capacity of subwarp s; the sizes sum to the warp
+	// size.
+	Sizes []int
+	// SID[tid] is the subwarp id of thread tid.
+	SID []uint8
+}
+
+// String renders the plan compactly for logs: sizes then the
+// thread→sid map, e.g. "sizes=[2 2] sid=[0 1 0 1]".
+func (p Plan) String() string {
+	return fmt.Sprintf("sizes=%v sid=%v", p.Sizes, p.SID)
+}
+
+// NumSubwarps returns M for this plan.
+func (p Plan) NumSubwarps() int { return len(p.Sizes) }
+
+// WarpSize returns the number of threads covered by the plan.
+func (p Plan) WarpSize() int { return len(p.SID) }
+
+// Check verifies the structural invariants of the plan: non-empty
+// subwarps, sizes summing to the warp size, and per-subwarp membership
+// counts matching the declared sizes.
+func (p Plan) Check() error {
+	total := 0
+	for s, sz := range p.Sizes {
+		if sz <= 0 {
+			return fmt.Errorf("core: subwarp %d empty (size %d)", s, sz)
+		}
+		total += sz
+	}
+	if total != len(p.SID) {
+		return fmt.Errorf("core: sizes sum to %d, warp has %d threads", total, len(p.SID))
+	}
+	counts := make([]int, len(p.Sizes))
+	for tid, s := range p.SID {
+		if int(s) >= len(p.Sizes) {
+			return fmt.Errorf("core: thread %d has sid %d, only %d subwarps", tid, s, len(p.Sizes))
+		}
+		counts[s]++
+	}
+	for s := range counts {
+		if counts[s] != p.Sizes[s] {
+			return fmt.Errorf("core: subwarp %d has %d members, declared size %d", s, counts[s], p.Sizes[s])
+		}
+	}
+	return nil
+}

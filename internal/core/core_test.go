@@ -1,0 +1,247 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rcoal/internal/rng"
+)
+
+func TestConstructors(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		name string
+	}{
+		{Baseline(), "Baseline"},
+		{FSS(4), "FSS(4)"},
+		{FSSRTS(8), "FSS+RTS(8)"},
+		{RSS(2), "RSS(2)"},
+		{RSSRTS(16), "RSS+RTS(16)"},
+		{RSSNormal(4, 1.5), "RSS(normal)(4)"},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err != nil {
+			t.Errorf("%v: %v", c.name, err)
+		}
+		if got := c.cfg.Name(); got != c.name {
+			t.Errorf("Name() = %q, want %q", got, c.name)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{NumSubwarps: 0},
+		{NumSubwarps: 33},
+		{NumSubwarps: 3, SizeDist: SizeFixed}, // 3 does not divide 32
+		{NumSubwarps: 4, SizeDist: SizeNormal, NormalSigma: -1},
+		{NumSubwarps: 1, WarpSize: -4},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated but should not", c)
+		}
+	}
+	// RSS with M=3 is fine (sizes need not be equal).
+	if err := RSS(3).Validate(); err != nil {
+		t.Errorf("RSS(3): %v", err)
+	}
+}
+
+func TestSizeDistributionString(t *testing.T) {
+	for _, c := range []struct {
+		d    SizeDistribution
+		want string
+	}{{SizeFixed, "fixed"}, {SizeSkewed, "skewed"}, {SizeNormal, "normal"}, {SizeDistribution(9), "unknown"}} {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestNewPlanInvariantsAllMechanisms(t *testing.T) {
+	r := rng.New(1)
+	ms := []int{1, 2, 4, 8, 16, 32}
+	for _, m := range ms {
+		for _, cfg := range []Config{FSS(m), FSSRTS(m), RSS(m), RSSRTS(m), RSSNormal(m, 2)} {
+			for trial := 0; trial < 50; trial++ {
+				p := cfg.NewPlan(r)
+				if err := p.Check(); err != nil {
+					t.Fatalf("%s: invalid plan: %v", cfg.Name(), err)
+				}
+				if p.NumSubwarps() != m || p.WarpSize() != 32 {
+					t.Fatalf("%s: M=%d warp=%d", cfg.Name(), p.NumSubwarps(), p.WarpSize())
+				}
+			}
+		}
+	}
+}
+
+func TestFSSPlanIsInOrder(t *testing.T) {
+	r := rng.New(2)
+	p := FSS(4).NewPlan(r)
+	for tid, sid := range p.SID {
+		if int(sid) != tid/8 {
+			t.Fatalf("FSS(4): thread %d in subwarp %d, want %d", tid, sid, tid/8)
+		}
+	}
+	for _, sz := range p.Sizes {
+		if sz != 8 {
+			t.Fatalf("FSS(4) sizes = %v, want all 8", p.Sizes)
+		}
+	}
+}
+
+func TestRSSPlanInOrderButRandomSizes(t *testing.T) {
+	r := rng.New(3)
+	sawUnequal := false
+	for trial := 0; trial < 50; trial++ {
+		p := RSS(4).NewPlan(r)
+		// Without RTS, sids must be non-decreasing across tids.
+		for tid := 1; tid < len(p.SID); tid++ {
+			if p.SID[tid] < p.SID[tid-1] {
+				t.Fatalf("RSS without RTS: sid order broken at tid %d: %v", tid, p.SID)
+			}
+		}
+		for _, sz := range p.Sizes {
+			if sz != 8 {
+				sawUnequal = true
+			}
+		}
+	}
+	if !sawUnequal {
+		t.Error("RSS(4) never produced unequal sizes in 50 draws")
+	}
+}
+
+func TestRTSPlanShufflesThreads(t *testing.T) {
+	r := rng.New(4)
+	shuffled := false
+	for trial := 0; trial < 20; trial++ {
+		p := FSSRTS(4).NewPlan(r)
+		for tid := 1; tid < len(p.SID); tid++ {
+			if p.SID[tid] < p.SID[tid-1] {
+				shuffled = true
+			}
+		}
+	}
+	if !shuffled {
+		t.Error("FSS+RTS never shuffled thread order in 20 draws")
+	}
+}
+
+func TestPlanDiffersAcrossLaunches(t *testing.T) {
+	// RSS/RTS must re-randomize per launch — the property the
+	// corresponding attacks cannot bypass.
+	r := rng.New(5)
+	for _, cfg := range []Config{RSS(4), FSSRTS(4), RSSRTS(4)} {
+		distinct := map[string]bool{}
+		for trial := 0; trial < 30; trial++ {
+			p := cfg.NewPlan(r)
+			key := planKey(p)
+			distinct[key] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("%s: plans identical across launches", cfg.Name())
+		}
+	}
+}
+
+func planKey(p Plan) string {
+	var b strings.Builder
+	for _, s := range p.SID {
+		b.WriteByte(byte('a' + s))
+	}
+	return b.String()
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	good := FSS(4).NewPlan(rng.New(6))
+	bad1 := Plan{Sizes: []int{0, 32}, SID: good.SID}
+	if bad1.Check() == nil {
+		t.Error("empty subwarp not caught")
+	}
+	bad2 := Plan{Sizes: []int{16, 8}, SID: good.SID}
+	if bad2.Check() == nil {
+		t.Error("size sum mismatch not caught")
+	}
+	sid := make([]uint8, 32)
+	sid[0] = 9
+	bad3 := Plan{Sizes: []int{16, 16}, SID: sid}
+	if bad3.Check() == nil {
+		t.Error("out-of-range sid not caught")
+	}
+	sid2 := make([]uint8, 32)
+	for i := range sid2 {
+		sid2[i] = uint8(i % 2)
+	}
+	bad4 := Plan{Sizes: []int{20, 12}, SID: sid2}
+	if bad4.Check() == nil {
+		t.Error("membership/size mismatch not caught")
+	}
+}
+
+func TestNewPlanPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPlan with invalid config did not panic")
+		}
+	}()
+	Config{NumSubwarps: 0}.NewPlan(rng.New(1))
+}
+
+// --- Paper worked examples -------------------------------------------------
+
+// figure2Plan builds the 4-thread example warp of Figure 2: accesses
+// [A, B, B, C] (threads 1 and 2 share a block).
+var figure2Blocks = []uint64{100, 200, 200, 300}
+
+func TestFigure2Case1WholeWarp(t *testing.T) {
+	// Case 1: num-subwarp = 1 -> 3 coalesced accesses.
+	p := Plan{Sizes: []int{4}, SID: []uint8{0, 0, 0, 0}}
+	if got := p.CountCoalesced(figure2Blocks, nil); got != 3 {
+		t.Errorf("Figure 2 case 1: %d accesses, want 3", got)
+	}
+}
+
+func TestFigure2Case2TwoSubwarps(t *testing.T) {
+	// Case 2: num-subwarp = 2, in-order halves -> threads {0,1} and
+	// {2,3}: blocks {A,B} and {B,C} -> 4 accesses.
+	p := Plan{Sizes: []int{2, 2}, SID: []uint8{0, 0, 1, 1}}
+	if got := p.CountCoalesced(figure2Blocks, nil); got != 4 {
+		t.Errorf("Figure 2 case 2: %d accesses, want 4", got)
+	}
+}
+
+func TestFigure10aFSSRTS(t *testing.T) {
+	// Figure 10a: FSS+RTS, M = 2, subwarp 0 holds threads {0,2},
+	// subwarp 1 holds {1,3} -> blocks {A,B} and {B,C} -> 4 accesses.
+	p := Plan{Sizes: []int{2, 2}, SID: []uint8{0, 1, 0, 1}}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CountCoalesced(figure2Blocks, nil); got != 4 {
+		t.Errorf("Figure 10a: %d accesses, want 4", got)
+	}
+}
+
+func TestFigure10bRSSRTS(t *testing.T) {
+	// Figure 10b: RSS+RTS, M = 2, sizes {3,1}; thread 0 moved to
+	// subwarp 1 (alone) -> subwarp 0 = {1,2,3} with blocks {B,B,C}
+	// (2 accesses), subwarp 1 = {0} with block {A} (1 access):
+	// 3 accesses total.
+	p := Plan{Sizes: []int{3, 1}, SID: []uint8{1, 0, 0, 0}}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CountCoalesced(figure2Blocks, nil); got != 3 {
+		t.Errorf("Figure 10b: %d accesses, want 3", got)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{Sizes: []int{2, 2}, SID: []uint8{0, 1, 0, 1}}
+	if got := p.String(); got != "sizes=[2 2] sid=[0 1 0 1]" {
+		t.Errorf("Plan.String() = %q", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package experiments reproduces every table and figure of the RCoal
+// paper's evaluation (Sections III, V-C, and VI). Each experiment is a
+// function from Options to a typed result that renders as an ASCII
+// table/chart; the Registry maps paper artifact IDs ("fig6", "table2",
+// ...) to runners for the CLI and the benchmark harness.
+//
+// Reproduction is shape-level, per the repository's DESIGN.md: the
+// simulated substrate differs from the authors' GPGPU-Sim testbed, so
+// absolute cycle counts differ, but trends, winners, and crossovers
+// are expected to match the paper.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"rcoal/internal/aesgpu"
+	"rcoal/internal/attack"
+	"rcoal/internal/core"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/kernels"
+	"rcoal/internal/stats"
+)
+
+// Options parameterizes an experiment run.
+type Options struct {
+	// Samples is the number of plaintext timing samples (the paper
+	// demonstrates all attacks with 100).
+	Samples int
+	// Lines is the plaintext size in 16-byte lines per sample (32 for
+	// the main evaluation, 1024 for the case study).
+	Lines int
+	// Seed drives all randomness: plaintexts, hardware plans, attacker
+	// simulations (as independent derived streams).
+	Seed uint64
+	// Key is the AES key under attack.
+	Key []byte
+	// Width is the render width for bar charts.
+	Width int
+}
+
+// DefaultOptions mirrors the paper's evaluation setup.
+func DefaultOptions() Options {
+	return Options{
+		Samples: 100,
+		Lines:   32,
+		Seed:    0x8C0A1,
+		Key:     []byte("RCoal eval key 1"),
+		Width:   40,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Samples < 2 {
+		return fmt.Errorf("experiments: need >= 2 samples, have %d", o.Samples)
+	}
+	if o.Lines < 1 {
+		return fmt.Errorf("experiments: need >= 1 line, have %d", o.Lines)
+	}
+	if len(o.Key) != 16 && len(o.Key) != 24 && len(o.Key) != 32 {
+		return fmt.Errorf("experiments: key length %d invalid", len(o.Key))
+	}
+	return nil
+}
+
+// Mechanism identifies one defense mechanism family.
+type Mechanism int
+
+const (
+	// MechFSS is fixed-sized subwarps.
+	MechFSS Mechanism = iota
+	// MechFSSRTS is FSS with random thread allocation.
+	MechFSSRTS
+	// MechRSS is random-sized (skewed) subwarps.
+	MechRSS
+	// MechRSSRTS combines random sizing and random threads.
+	MechRSSRTS
+)
+
+// AllMechanisms lists the four mechanism families in paper order.
+var AllMechanisms = []Mechanism{MechFSS, MechFSSRTS, MechRSS, MechRSSRTS}
+
+// String returns the paper's name for the mechanism family.
+func (m Mechanism) String() string {
+	switch m {
+	case MechFSS:
+		return "FSS"
+	case MechFSSRTS:
+		return "FSS+RTS"
+	case MechRSS:
+		return "RSS"
+	case MechRSSRTS:
+		return "RSS+RTS"
+	}
+	return "unknown"
+}
+
+// Policy returns the coalescing policy of this mechanism with m
+// subwarps.
+func (m Mechanism) Policy(subwarps int) core.Config {
+	switch m {
+	case MechFSS:
+		return core.FSS(subwarps)
+	case MechFSSRTS:
+		return core.FSSRTS(subwarps)
+	case MechRSS:
+		return core.RSS(subwarps)
+	case MechRSSRTS:
+		return core.RSSRTS(subwarps)
+	}
+	panic("experiments: unknown mechanism")
+}
+
+// collect runs the encryption server under the given policy and
+// gathers the attacker's dataset.
+func collect(o Options, policy core.Config, coalescingDisabled bool) (*aesgpu.Server, *aesgpu.Dataset, error) {
+	if err := o.validate(); err != nil {
+		return nil, nil, err
+	}
+	cfg := gpusim.DefaultConfig()
+	cfg.Coalescing = policy
+	cfg.CoalescingDisabled = coalescingDisabled
+	srv, err := aesgpu.NewServer(cfg, o.Key)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := srv.Collect(o.Samples, o.Lines, o.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, ds, nil
+}
+
+// ciphertexts extracts the attacker-visible ciphertext matrix.
+func ciphertexts(ds *aesgpu.Dataset) [][]kernels.Line {
+	out := make([][]kernels.Line, len(ds.Samples))
+	for i, s := range ds.Samples {
+		out[i] = s.Ciphertexts
+	}
+	return out
+}
+
+// avgCorrectCorrelation computes the mean, over the 16 key-byte
+// positions, of the correlation between the attack's estimation vector
+// for the *correct* byte value and the measurement vector — the metric
+// of Figures 7b, 15, and 18a. It avoids the 256-guess sweep that the
+// full recovery performs.
+func avgCorrectCorrelation(a *attack.Attacker, cts [][]kernels.Line, meas []float64, trueKey [16]byte) (float64, error) {
+	sum := 0.0
+	for j := 0; j < attack.KeyBytes; j++ {
+		u := a.EstimationVector(cts, j, trueKey[j])
+		r, err := stats.Pearson(u, meas)
+		if err != nil {
+			return 0, err
+		}
+		sum += r
+	}
+	return sum / attack.KeyBytes, nil
+}
+
+// fullKeyEstimateCorrelation grants the attacker the entire correct
+// key and asks how well the mechanism lets it reconstruct the total
+// last-round access count: ρ(Σ_j Û_j(k_j), measurement). For
+// deterministic mechanisms (baseline, FSS) this is exactly 1 against
+// observed access counts; randomization drives it down. It is the
+// cleanest single number for "can the access count be predicted at
+// all".
+func fullKeyEstimateCorrelation(a *attack.Attacker, cts [][]kernels.Line, meas []float64, trueKey [16]byte) (float64, error) {
+	total := make([]float64, len(cts))
+	for j := 0; j < attack.KeyBytes; j++ {
+		u := a.EstimationVector(cts, j, trueKey[j])
+		for n := range u {
+			total[n] += u[n]
+		}
+	}
+	return stats.Pearson(total, meas)
+}
+
+// Result is what every experiment produces: something renderable plus
+// a stable ID.
+type Result interface {
+	// Render returns the human-readable report.
+	Render() string
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (Result, error)
+
+// Registry maps experiment IDs (paper artifact names) to runners. It
+// is populated by the per-figure files' init functions.
+var Registry = map[string]Runner{}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, o Options) (Result, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o)
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rcoal/internal/aesgpu"
+	"rcoal/internal/attack"
+	"rcoal/internal/core"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/kernels"
+	"rcoal/internal/report"
+	"rcoal/internal/rng"
+)
+
+func init() {
+	Registry["ext-modes"] = func(o Options) (Result, error) { return ExtModes(o) }
+}
+
+// ExtModesRow is one (service, defense) attack outcome.
+type ExtModesRow struct {
+	Service   string
+	Defense   string
+	AvgCorr   float64
+	Recovered int // correct key bytes of 16
+	// Target names what the attack recovers in this mode.
+	Target string
+}
+
+// ExtModesResult extends the paper's threat model to the other GPU AES
+// services a deployment exposes: block decryption (the attack then
+// recovers the *original key* directly — the equivalent inverse
+// cipher's final round key is round key 0) and CTR-mode encryption
+// (the attacker reconstructs the keystream from known plaintext and
+// attacks it like ECB ciphertext). Both fall to the same correlation
+// attack on the undefended GPU and both are protected by RCoal.
+type ExtModesResult struct {
+	Rows []ExtModesRow
+}
+
+// ExtModes runs the attack against decryption and CTR services,
+// undefended and defended.
+func ExtModes(o Options) (*ExtModesResult, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	res := &ExtModesResult{}
+	for _, defense := range []core.Config{core.Baseline(), core.RSSRTS(8)} {
+		cfg := gpusim.DefaultConfig()
+		cfg.Coalescing = defense
+		srv, err := aesgpu.NewServer(cfg, o.Key)
+		if err != nil {
+			return nil, err
+		}
+
+		// --- Decryption service ------------------------------------
+		decRow, err := attackDecryption(o, srv, defense)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *decRow)
+
+		// --- CTR service --------------------------------------------
+		ctrRow, err := attackCTR(o, srv, defense)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *ctrRow)
+	}
+	return res, nil
+}
+
+func attackDecryption(o Options, srv *aesgpu.Server, defense core.Config) (*ExtModesRow, error) {
+	src := rng.New(o.Seed).Split(0xDEC)
+	var outputs [][]kernels.Line
+	var times []float64
+	for n := 0; n < o.Samples; n++ {
+		cts := kernels.RandomPlaintext(src, o.Lines)
+		smp, err := srv.Decrypt(cts, o.Seed^uint64(n+1)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		outputs = append(outputs, smp.Ciphertexts) // recovered plaintexts
+		times = append(times, float64(smp.LastRoundCycles))
+	}
+	atk, err := attack.NewDecrypt(defense, o.Seed^0xDEC0DE)
+	if err != nil {
+		return nil, err
+	}
+	kr, err := atk.RecoverKey(outputs, times)
+	if err != nil {
+		return nil, err
+	}
+	trueKey := srv.RoundZeroKey() // the original AES key
+	return &ExtModesRow{
+		Service:   "decryption",
+		Defense:   defense.Name(),
+		AvgCorr:   kr.AvgCorrectCorrelation(trueKey),
+		Recovered: kr.CorrectCount(trueKey),
+		Target:    "original AES key (round-0 key), no schedule inversion needed",
+	}, nil
+}
+
+func attackCTR(o Options, srv *aesgpu.Server, defense core.Config) (*ExtModesRow, error) {
+	src := rng.New(o.Seed).Split(0xC7)
+	var keystreams [][]kernels.Line
+	var times []float64
+	for n := 0; n < o.Samples; n++ {
+		pts := kernels.RandomPlaintext(src, o.Lines)
+		out, err := srv.EncryptCTR(uint64(n)<<20, pts, o.Seed^uint64(n+7)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		// The attacker reconstructs keystream = pt XOR ct; here that
+		// equals out.Keystream by construction.
+		keystreams = append(keystreams, out.Keystream)
+		times = append(times, float64(out.LastRoundCycles))
+	}
+	atk, err := attack.New(defense, o.Seed^0xC7C7)
+	if err != nil {
+		return nil, err
+	}
+	kr, err := atk.RecoverKey(keystreams, times)
+	if err != nil {
+		return nil, err
+	}
+	trueKey := srv.LastRoundKey()
+	return &ExtModesRow{
+		Service:   "CTR encryption",
+		Defense:   defense.Name(),
+		AvgCorr:   kr.AvgCorrectCorrelation(trueKey),
+		Recovered: kr.CorrectCount(trueKey),
+		Target:    "last-round key via keystream (known plaintext)",
+	}, nil
+}
+
+// Render implements Result.
+func (r *ExtModesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: the attack transfers to other GPU AES services\n\n")
+	t := &report.Table{Headers: []string{"service", "defense", "avg correct corr", "bytes recovered", "target"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Service, row.Defense, row.AvgCorr,
+			fmt.Sprintf("%d/16", row.Recovered), row.Target)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nDecryption leaks the original key directly (its final inverse round\n" +
+		"uses round key 0); CTR leaks through the reconstructed keystream. RCoal\n" +
+		"closes both channels with the same mechanism.\n")
+	return b.String()
+}

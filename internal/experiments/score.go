@@ -1,0 +1,11 @@
+package experiments
+
+import "rcoal/internal/stats"
+
+// RCoalScoreOf evaluates Equation 7 for one sweep cell: S is the
+// squared inverse of the cell's average attack correlation, execution
+// time is normalized to the baseline.
+func RCoalScoreOf(cell *SweepCell, a, b float64) float64 {
+	s := stats.SecurityS(cell.AvgCorrectCorr)
+	return stats.RCoalScore(s, cell.NormCycles, a, b)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rcoal/internal/report"
+	"rcoal/internal/theory"
+)
+
+func init() {
+	Registry["ext-sensitivity"] = func(o Options) (Result, error) { return ExtSensitivity(o) }
+}
+
+// ExtSensitivityRow is one (N, R, M) analytical point.
+type ExtSensitivityRow struct {
+	N, R, M              int
+	RhoFSSRTS, RhoRSSRTS float64
+}
+
+// ExtSensitivityResult sweeps the analytical model over the
+// architectural parameters the paper fixes: R (memory blocks per
+// table — i.e. cache-line size vs table layout) and N (threads per
+// warp). It answers questions the paper leaves open: how would RCoal's
+// security change on a GPU with 128-byte lines (R = 8), sectored
+// 32-byte fetches (R = 32), or 64-wide wavefronts (N = 64)?
+type ExtSensitivityResult struct {
+	Rows []ExtSensitivityRow
+}
+
+// ExtSensitivity evaluates the model across parameter variants.
+func ExtSensitivity(o Options) (*ExtSensitivityResult, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	res := &ExtSensitivityResult{}
+	variants := []struct{ n, r int }{
+		{32, 8},  // 128-byte lines: 8 blocks per table
+		{32, 16}, // the paper's configuration
+		{32, 32}, // 32-byte sectors: 32 blocks per table
+		{64, 16}, // 64-wide wavefronts (AMD-style)
+	}
+	for _, v := range variants {
+		md, err := theory.NewModel(v.n, v.r)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range []int{2, 4, 8} {
+			res.Rows = append(res.Rows, ExtSensitivityRow{
+				N: v.n, R: v.r, M: m,
+				RhoFSSRTS: md.RhoFSSRTS(m),
+				RhoRSSRTS: md.RhoRSSRTS(m),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Row returns the (n, r, m) row, or nil.
+func (r *ExtSensitivityResult) Row(n, rr, m int) *ExtSensitivityRow {
+	for i := range r.Rows {
+		if r.Rows[i].N == n && r.Rows[i].R == rr && r.Rows[i].M == m {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render implements Result.
+func (r *ExtSensitivityResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: analytical sensitivity to architecture (N threads, R blocks/table)\n\n")
+	t := &report.Table{Headers: []string{"N", "R", "M", "rho FSS+RTS", "rho RSS+RTS",
+		"S FSS+RTS", "S RSS+RTS"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.N, row.R, row.M,
+			report.FormatFloat(row.RhoFSSRTS, 4), report.FormatFloat(row.RhoRSSRTS, 4),
+			fmt.Sprintf("%.0f", 1/(row.RhoFSSRTS*row.RhoFSSRTS)),
+			fmt.Sprintf("%.0f", 1/(row.RhoRSSRTS*row.RhoRSSRTS)))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nFinding: coarser fetch granularity (smaller R) and wider warps (larger\n" +
+		"N) both STRENGTHEN RCoal — with fewer blocks per table the access counts\n" +
+		"saturate and carry less per-byte signal, and wider warps give the\n" +
+		"randomization more thread entropy. Finer sectoring (R = 32) weakens it.\n")
+	return b.String()
+}
+
+// CSV implements CSVer.
+func (r *ExtSensitivityResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("n,r,m,rho_fss_rts,rho_rss_rts\n")
+	for _, row := range r.Rows {
+		b.WriteString(csvJoin(row.N, row.R, row.M, row.RhoFSSRTS, row.RhoRSSRTS))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

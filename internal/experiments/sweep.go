@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"rcoal/internal/attack"
+)
+
+// SweepCell is one (mechanism, num-subwarp) evaluation point shared by
+// Figures 15, 16, and 17: performance (cycles, accesses) plus security
+// (average correct-guess correlation under the corresponding attack).
+type SweepCell struct {
+	Mechanism Mechanism
+	M         int
+	// MeanCycles / MeanTx are per-plaintext averages.
+	MeanCycles float64
+	MeanTx     float64
+	// AvgCorrectCorr is the corresponding attack's average correct-byte
+	// correlation against the last-round execution time.
+	AvgCorrectCorr float64
+	// NormCycles is MeanCycles normalized to the baseline
+	// (num-subwarp = 1) cell.
+	NormCycles float64
+	// NormTx is MeanTx normalized to the baseline cell.
+	NormTx float64
+}
+
+// SweepResult is the full mechanism × num-subwarp grid.
+type SweepResult struct {
+	Ms    []int
+	Cells []SweepCell // ordered mechanism-major, then M
+	// BaselineCycles / BaselineTx are the num-subwarp = 1 references.
+	BaselineCycles float64
+	BaselineTx     float64
+}
+
+// Cell returns the cell for (mech, m), or nil.
+func (s *SweepResult) Cell(mech Mechanism, m int) *SweepCell {
+	for i := range s.Cells {
+		if s.Cells[i].Mechanism == mech && s.Cells[i].M == m {
+			return &s.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Sweep evaluates every mechanism at every num-subwarp value in ms.
+// The baseline reference is measured separately at num-subwarp = 1.
+func Sweep(o Options, ms []int) (*SweepResult, error) {
+	res := &SweepResult{Ms: ms}
+
+	// Baseline reference for normalization.
+	_, base, err := collect(o, MechFSS.Policy(1), false)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range base.Samples {
+		res.BaselineCycles += float64(s.TotalCycles)
+		res.BaselineTx += float64(s.TotalTx)
+	}
+	res.BaselineCycles /= float64(len(base.Samples))
+	res.BaselineTx /= float64(len(base.Samples))
+
+	for _, mech := range AllMechanisms {
+		for _, m := range ms {
+			srv, ds, err := collect(o, mech.Policy(m), false)
+			if err != nil {
+				return nil, err
+			}
+			cell := SweepCell{Mechanism: mech, M: m}
+			for _, s := range ds.Samples {
+				cell.MeanCycles += float64(s.TotalCycles)
+				cell.MeanTx += float64(s.TotalTx)
+			}
+			cell.MeanCycles /= float64(len(ds.Samples))
+			cell.MeanTx /= float64(len(ds.Samples))
+			cell.NormCycles = cell.MeanCycles / res.BaselineCycles
+			cell.NormTx = cell.MeanTx / res.BaselineTx
+
+			atk, err := attack.New(mech.Policy(m), o.Seed^0x5EC)
+			if err != nil {
+				return nil, err
+			}
+			cell.AvgCorrectCorr, err = avgCorrectCorrelation(
+				atk, ciphertexts(ds), ds.LastRoundTimes(), srv.LastRoundKey())
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,255 @@
+// Package gpusim is a cycle-level timing simulator of the baseline GPU
+// architecture of the RCoal paper (Table I): SIMT cores with dual warp
+// schedulers, a load/store unit containing the (modified, Figure 11)
+// memory coalescing unit, a crossbar interconnect per direction, and
+// six GDDR5 memory partitions with FR-FCFS scheduling.
+//
+// It plays the role GPGPU-Sim plays in the paper: executing the AES
+// workload as per-warp instruction traces and reporting total cycles,
+// per-round cycle windows, and per-round coalesced-access counts — the
+// quantities the correlation timing attack and the defense evaluation
+// consume. Matching the paper's methodology, L1/L2 caches and MSHR
+// request merging default to off (the paper disables them, Section
+// VII), so every coalesced transaction travels to DRAM; they can be
+// enabled for the hierarchy ablations, alongside shared-memory
+// bank-conflict modeling, warp-scheduler selection, event tracing, and
+// energy accounting.
+package gpusim
+
+import (
+	"fmt"
+
+	"rcoal/internal/core"
+	"rcoal/internal/gpusim/cache"
+	"rcoal/internal/gpusim/dram"
+	"rcoal/internal/gpusim/mem"
+)
+
+// Config is the simulated GPU configuration. DefaultConfig returns
+// the Table I values.
+type Config struct {
+	// NumSMs is the number of streaming multiprocessors (15).
+	NumSMs int
+	// SchedulersPerSM is the number of concurrent warp schedulers per
+	// SM (2); warps on an SM are split between them.
+	SchedulersPerSM int
+	// WarpSize is the number of threads per warp (32).
+	WarpSize int
+	// SIMTLanes is the number of physical lanes (16 × 2 in Table I's
+	// "SIMT width = 32 (16×2)" notation): a full warp issues over
+	// WarpSize/SIMTLanes cycles.
+	SIMTLanes int
+	// ALULatency is the pipeline latency of an arithmetic warp
+	// instruction in core cycles.
+	ALULatency int
+	// ICNTLatency is the one-way crossbar latency in core cycles.
+	ICNTLatency int
+	// FlitBytes is the interconnect flit size; a 64-byte data reply
+	// occupies its return port for BlockBytes/FlitBytes cycles while a
+	// request header takes one flit. 32 B matches the crossbar of the
+	// baseline architecture.
+	FlitBytes int
+	// CoreClockMHz and MemClockMHz set the clock domains (1400 / 924);
+	// DRAM timing is scaled into the core domain by their ratio.
+	CoreClockMHz, MemClockMHz int
+	// AddressMap is the partition/bank interleaving.
+	AddressMap mem.AddressMap
+	// DRAMTiming is the GDDR5 timing in memory-clock cycles.
+	DRAMTiming dram.Timing
+	// DRAMQueueCap bounds each controller's request queue (0 =
+	// unbounded).
+	DRAMQueueCap int
+	// Coalescing is the RCoal policy installed in the MCU: Baseline,
+	// FSS/RSS with or without RTS.
+	Coalescing core.Config
+	// CoalescingDisabled bypasses the coalescer entirely: one
+	// transaction per active thread (the strawman defense of Section
+	// III).
+	CoalescingDisabled bool
+	// MCURate is the number of coalesced transactions the LD/ST unit
+	// injects into the interconnect per cycle (Table I: one subwarp
+	// per coalescing unit per cycle; we inject one transaction per
+	// cycle).
+	MCURate int
+
+	// --- Optional subsystems beyond the paper's baseline ------------
+	//
+	// The paper's methodology disables caches and MSHR request merging
+	// to isolate the coalescing channel (§VII); they are modeled here
+	// for ablations and for the paper's future-work extensions, and
+	// default to off.
+
+	// L1Enabled adds a per-SM L1 data cache (loads only; stores bypass
+	// write-through, no-allocate).
+	L1Enabled bool
+	// L1 configures the per-SM cache when enabled.
+	L1 cache.Config
+	// L2Enabled adds a per-partition L2 slice in front of DRAM.
+	L2Enabled bool
+	// L2 configures the per-partition cache when enabled.
+	L2 cache.Config
+	// CacheRandomized turns on the per-launch randomized set-index
+	// hash in every enabled cache — the paper's future-work
+	// "randomization at all levels of the memory hierarchy".
+	CacheRandomized bool
+	// MSHREnabled merges outstanding same-block loads per SM (inter-
+	// and intra-warp request merging via miss-status holding
+	// registers).
+	MSHREnabled bool
+	// Scheduler selects the warp scheduling policy.
+	Scheduler SchedulerKind
+	// VulnerableRounds restricts the randomized coalescing to the
+	// listed AES rounds (the paper's future work #1: selective RCoal
+	// with software-identified vulnerable code). Instructions in other
+	// rounds coalesce with the baseline whole-warp plan. Empty means
+	// the policy applies to the entire execution, as in the paper.
+	VulnerableRounds []int
+	// PlanPerWarp draws an independent subwarp plan per warp instead
+	// of one per launch — an ablation on the hardware's randomization
+	// granularity.
+	PlanPerWarp bool
+	// Trace, when non-nil, receives the simulation's event timeline
+	// (issues, transactions, replies, retirements). Debugging aid;
+	// leave nil for full speed.
+	Trace TraceSink
+	// SharedBanks is the number of shared-memory banks (32 on the
+	// baseline architecture); SharedLoad instructions serialize over
+	// bank conflicts.
+	SharedBanks int
+	// SharedLatency is the conflict-free shared-memory access latency
+	// in core cycles.
+	SharedLatency int
+}
+
+// SchedulerKind selects the warp scheduling policy.
+type SchedulerKind uint8
+
+const (
+	// LRR is loose round-robin (the default).
+	LRR SchedulerKind = iota
+	// GTO is greedy-then-oldest: stick with the current warp until it
+	// stalls, then pick the oldest ready warp.
+	GTO
+)
+
+func (s SchedulerKind) String() string {
+	if s == GTO {
+		return "gto"
+	}
+	return "lrr"
+}
+
+// DefaultL1 returns a 16 KiB, 4-way, 64 B-line L1 configuration.
+func DefaultL1() cache.Config {
+	return cache.Config{SizeBytes: 16 << 10, LineBytes: mem.BlockBytes, Ways: 4, HitLatency: 4}
+}
+
+// DefaultL2 returns a 128 KiB-per-partition, 8-way L2 configuration
+// (768 KiB total over 6 partitions).
+func DefaultL2() cache.Config {
+	return cache.Config{SizeBytes: 128 << 10, LineBytes: mem.BlockBytes, Ways: 8, HitLatency: 12}
+}
+
+// DefaultConfig returns the simulated configuration of Table I with
+// baseline (whole-warp) coalescing.
+func DefaultConfig() Config {
+	return Config{
+		NumSMs:          15,
+		SchedulersPerSM: 2,
+		WarpSize:        32,
+		SIMTLanes:       16,
+		ALULatency:      4,
+		ICNTLatency:     8,
+		FlitBytes:       32,
+		CoreClockMHz:    1400,
+		MemClockMHz:     924,
+		AddressMap:      mem.DefaultAddressMap(),
+		DRAMTiming:      dram.HynixGDDR5(),
+		DRAMQueueCap:    64,
+		Coalescing:      core.Baseline(),
+		MCURate:         1,
+		SharedBanks:     32,
+		SharedLatency:   2,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return fmt.Errorf("gpusim: NumSMs %d must be positive", c.NumSMs)
+	case c.SchedulersPerSM <= 0:
+		return fmt.Errorf("gpusim: SchedulersPerSM %d must be positive", c.SchedulersPerSM)
+	case c.WarpSize <= 0:
+		return fmt.Errorf("gpusim: WarpSize %d must be positive", c.WarpSize)
+	case c.SIMTLanes <= 0 || c.WarpSize%c.SIMTLanes != 0:
+		return fmt.Errorf("gpusim: SIMTLanes %d must divide WarpSize %d", c.SIMTLanes, c.WarpSize)
+	case c.ALULatency < 1:
+		return fmt.Errorf("gpusim: ALULatency %d must be >= 1", c.ALULatency)
+	case c.ICNTLatency < 1:
+		return fmt.Errorf("gpusim: ICNTLatency %d must be >= 1", c.ICNTLatency)
+	case c.FlitBytes < 1 || mem.BlockBytes%c.FlitBytes != 0:
+		return fmt.Errorf("gpusim: FlitBytes %d must divide block size %d", c.FlitBytes, mem.BlockBytes)
+	case c.CoreClockMHz <= 0 || c.MemClockMHz <= 0:
+		return fmt.Errorf("gpusim: clocks must be positive (%d, %d)", c.CoreClockMHz, c.MemClockMHz)
+	case c.MCURate < 1:
+		return fmt.Errorf("gpusim: MCURate %d must be >= 1", c.MCURate)
+	case c.SharedBanks < 1:
+		return fmt.Errorf("gpusim: SharedBanks %d must be >= 1", c.SharedBanks)
+	case c.SharedLatency < 1:
+		return fmt.Errorf("gpusim: SharedLatency %d must be >= 1", c.SharedLatency)
+	}
+	if err := c.AddressMap.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAMTiming.Validate(); err != nil {
+		return err
+	}
+	if c.L1Enabled {
+		if err := c.L1.Validate(); err != nil {
+			return err
+		}
+		if c.L1.LineBytes != mem.BlockBytes {
+			return fmt.Errorf("gpusim: L1 line %d must equal block size %d", c.L1.LineBytes, mem.BlockBytes)
+		}
+	}
+	if c.L2Enabled {
+		if err := c.L2.Validate(); err != nil {
+			return err
+		}
+		if c.L2.LineBytes != mem.BlockBytes {
+			return fmt.Errorf("gpusim: L2 line %d must equal block size %d", c.L2.LineBytes, mem.BlockBytes)
+		}
+	}
+	if c.Scheduler != LRR && c.Scheduler != GTO {
+		return fmt.Errorf("gpusim: unknown scheduler %d", c.Scheduler)
+	}
+	for _, r := range c.VulnerableRounds {
+		if r < 1 || r > MaxRounds {
+			return fmt.Errorf("gpusim: vulnerable round %d outside [1,%d]", r, MaxRounds)
+		}
+	}
+	cc := c.Coalescing
+	if cc.WarpSize == 0 {
+		cc.WarpSize = c.WarpSize
+	}
+	if cc.WarpSize != c.WarpSize {
+		return fmt.Errorf("gpusim: coalescing warp size %d != GPU warp size %d", cc.WarpSize, c.WarpSize)
+	}
+	return cc.Validate()
+}
+
+// clockRatio returns core cycles per memory cycle.
+func (c Config) clockRatio() float64 {
+	return float64(c.CoreClockMHz) / float64(c.MemClockMHz)
+}
+
+// issueCycles is how many cycles a warp occupies its scheduler per
+// instruction (WarpSize / SIMTLanes).
+func (c Config) issueCycles() int64 {
+	n := c.WarpSize / c.SIMTLanes
+	if n < 1 {
+		n = 1
+	}
+	return int64(n)
+}

@@ -1,0 +1,255 @@
+// Package dram models a GDDR5 memory partition of the simulated GPU:
+// a memory controller running first-ready, first-come-first-served
+// (FR-FCFS) scheduling over banked DRAM with the Hynix GDDR5 timing
+// parameters of Table I.
+//
+// The model is command-level but compact: when the scheduler selects a
+// request it computes the request's data-return time from the bank's
+// row state and the shared data-bus occupancy, then advances the bank
+// timing state (tRC/tRAS/tRP/tRCD for activations, tCCD for column
+// commands, tRRD across banks). That preserves the two properties the
+// RCoal evaluation depends on — service time grows with the number of
+// coalesced transactions, and row hits are cheaper than row conflicts —
+// without simulating individual DRAM commands cycle by cycle.
+package dram
+
+import (
+	"fmt"
+
+	"rcoal/internal/gpusim/mem"
+)
+
+// Timing holds the GDDR5 timing parameters in memory-clock cycles
+// (Table I: Hynix GDDR5 H5GQ1H24AFR).
+type Timing struct {
+	CL  int // CAS latency: column command to first data
+	RP  int // row precharge
+	RC  int // activate-to-activate, same bank
+	RAS int // activate-to-precharge, same bank
+	CCD int // column-command to column-command, same bank group
+	RCD int // activate to column command
+	RRD int // activate-to-activate, different banks
+	// Burst is the data-bus occupancy of one 64-byte transaction in
+	// memory (command-clock) cycles: a 32-bit GDDR5 bus with 8n
+	// prefetch moves 32 bytes per command clock, so 64 bytes take 2.
+	Burst int
+}
+
+// HynixGDDR5 returns the Table I timing: tCL=12, tRP=12, tRC=40,
+// tRAS=28, tCCD=2, tRCD=12, tRRD=6.
+func HynixGDDR5() Timing {
+	return Timing{CL: 12, RP: 12, RC: 40, RAS: 28, CCD: 2, RCD: 12, RRD: 6, Burst: 2}
+}
+
+// Scale multiplies every parameter by ratio (core clock / memory
+// clock) and rounds up, converting memory-clock timing into the core-
+// clock domain the simulator ticks in.
+func (t Timing) Scale(ratio float64) Timing {
+	s := func(v int) int {
+		scaled := int(float64(v)*ratio + 0.9999)
+		if scaled < 1 {
+			scaled = 1
+		}
+		return scaled
+	}
+	return Timing{CL: s(t.CL), RP: s(t.RP), RC: s(t.RC), RAS: s(t.RAS),
+		CCD: s(t.CCD), RCD: s(t.RCD), RRD: s(t.RRD), Burst: s(t.Burst)}
+}
+
+// Validate rejects non-positive parameters.
+func (t Timing) Validate() error {
+	for name, v := range map[string]int{"CL": t.CL, "RP": t.RP, "RC": t.RC,
+		"RAS": t.RAS, "CCD": t.CCD, "RCD": t.RCD, "RRD": t.RRD, "Burst": t.Burst} {
+		if v <= 0 {
+			return fmt.Errorf("dram: timing %s = %d must be positive", name, v)
+		}
+	}
+	return nil
+}
+
+// queued pairs a request with its pre-decoded location so the FR-FCFS
+// scan does not re-decode every queued address every cycle.
+type queued struct {
+	req *mem.Request
+	loc mem.Location
+}
+
+type bankState struct {
+	openRow  int   // currently open row, -1 if closed
+	nextCol  int64 // earliest cycle for the next column command
+	nextAct  int64 // earliest cycle for the next activate (tRC)
+	nextPre  int64 // earliest cycle the open row may be precharged (tRAS)
+	rowHits  uint64
+	rowMiss  uint64
+	accesses uint64
+}
+
+// Controller is one memory partition's FR-FCFS controller.
+type Controller struct {
+	timing   Timing
+	addrMap  mem.AddressMap
+	banks    []bankState
+	queue    []queued       // arrival order preserved (FCFS component)
+	pending  []*mem.Request // scheduled, waiting for data return
+	busFree  int64          // shared data bus availability
+	lastAct  int64          // most recent activate, for tRRD
+	queueCap int
+	minDone  int64          // earliest completion among pending requests
+	doneBuf  []*mem.Request // reused by Tick; valid until the next Tick
+
+	// Stats counts controller-level events.
+	Stats Stats
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Accesses  uint64 // requests serviced
+	RowHits   uint64
+	RowMisses uint64
+	MaxQueue  int
+}
+
+// NewController builds a controller for one partition. queueCap <= 0
+// means unbounded.
+func NewController(t Timing, m mem.AddressMap, queueCap int) (*Controller, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	banks := make([]bankState, m.Banks)
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	// lastAct starts far in the past so the first activate pays no tRRD.
+	return &Controller{timing: t, addrMap: m, banks: banks, queueCap: queueCap,
+		lastAct: -int64(t.RRD) - 1}, nil
+}
+
+// CanAccept reports whether the request queue has room.
+func (c *Controller) CanAccept() bool {
+	return c.queueCap <= 0 || len(c.queue) < c.queueCap
+}
+
+// Push enqueues a request. It panics if the queue is full; callers
+// gate on CanAccept (back-pressure propagates into the interconnect).
+func (c *Controller) Push(r *mem.Request) {
+	if !c.CanAccept() {
+		panic("dram: push into full queue")
+	}
+	c.queue = append(c.queue, queued{req: r, loc: c.addrMap.Decode(r.Addr)})
+	if len(c.queue) > c.Stats.MaxQueue {
+		c.Stats.MaxQueue = len(c.queue)
+	}
+}
+
+// QueueLen returns the number of waiting (unscheduled) requests.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// InFlight returns the number of scheduled requests whose data has not
+// returned yet.
+func (c *Controller) InFlight() int { return len(c.pending) }
+
+// Tick advances the controller to cycle now: it schedules at most one
+// request (FR-FCFS: the oldest row-hit if any, otherwise the oldest
+// request) and returns every request whose data is ready by now. The
+// returned slice is reused by the next Tick call; callers consume it
+// immediately.
+func (c *Controller) Tick(now int64) []*mem.Request {
+	c.schedule(now)
+	return c.collect(now)
+}
+
+func (c *Controller) schedule(now int64) {
+	if len(c.queue) == 0 {
+		return
+	}
+	// First-ready: oldest request whose bank has the needed row open
+	// and can take a column command now.
+	pick := -1
+	for i := range c.queue {
+		loc := &c.queue[i].loc
+		b := &c.banks[loc.Bank]
+		if b.openRow == loc.Row && b.nextCol <= now && c.busFree <= now {
+			pick = i
+			break
+		}
+	}
+	if pick == -1 {
+		// FCFS fallback: the oldest request, whenever its bank allows.
+		pick = 0
+	}
+	r := c.queue[pick].req
+	loc := c.queue[pick].loc
+	b := &c.banks[loc.Bank]
+
+	var colCmd int64
+	if b.openRow == loc.Row {
+		// Row hit: column command when the bank and bus allow.
+		colCmd = maxi64(now, b.nextCol, c.busFree)
+		b.rowHits++
+		c.Stats.RowHits++
+	} else {
+		// Row miss/conflict: precharge (respecting tRAS) + activate
+		// (respecting tRC and tRRD) + tRCD before the column command.
+		act := maxi64(now, b.nextAct, c.lastAct+int64(c.timing.RRD))
+		if b.openRow >= 0 {
+			act = maxi64(act, b.nextPre+int64(c.timing.RP))
+		}
+		b.openRow = loc.Row
+		b.nextAct = act + int64(c.timing.RC)
+		b.nextPre = act + int64(c.timing.RAS)
+		c.lastAct = act
+		colCmd = maxi64(act+int64(c.timing.RCD), c.busFree)
+		b.rowMiss++
+		c.Stats.RowMisses++
+	}
+	b.nextCol = colCmd + int64(c.timing.CCD)
+	c.busFree = colCmd + int64(c.timing.Burst)
+	r.Done = colCmd + int64(c.timing.CL) + int64(c.timing.Burst)
+	b.accesses++
+	c.Stats.Accesses++
+
+	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+	c.pending = append(c.pending, r)
+	if len(c.pending) == 1 || r.Done < c.minDone {
+		c.minDone = r.Done
+	}
+}
+
+func (c *Controller) collect(now int64) []*mem.Request {
+	if len(c.pending) == 0 || now < c.minDone {
+		return nil
+	}
+	done := c.doneBuf[:0]
+	kept := c.pending[:0]
+	next := int64(1) << 62
+	for _, r := range c.pending {
+		if r.Done <= now {
+			done = append(done, r)
+		} else {
+			kept = append(kept, r)
+			if r.Done < next {
+				next = r.Done
+			}
+		}
+	}
+	c.pending = kept
+	c.minDone = next
+	c.doneBuf = done
+	return done
+}
+
+// Idle reports whether the controller has no queued or in-flight work.
+func (c *Controller) Idle() bool { return len(c.queue) == 0 && len(c.pending) == 0 }
+
+func maxi64(vs ...int64) int64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,90 @@
+package gpusim
+
+// Energy accounting in the style of GPUWattch (which the paper cites
+// for its energy-efficiency argument): per-event dynamic energies plus
+// cycle-proportional leakage, evaluated over a Result's counters. The
+// constants are order-of-magnitude figures from the accelerator
+// literature (≈20 pJ/bit DRAM, SRAM arrays at hundreds of pJ/access,
+// ~45 nm-class logic); absolute joules are not the point — the paper's
+// claims are about *relative* energy across mechanisms, which is what
+// the experiments compare.
+
+// EnergyModel holds per-event energies in picojoules.
+type EnergyModel struct {
+	// ALUOp is one warp-wide arithmetic instruction.
+	ALUOp float64
+	// CoalesceTx is the MCU/PRT work per emitted transaction.
+	CoalesceTx float64
+	// ICNTFlit is one 32-byte flit traversing the crossbar.
+	ICNTFlit float64
+	// L1Access / L2Access are per 64-byte SRAM access.
+	L1Access, L2Access float64
+	// DRAMAccess is one 64-byte DRAM access (activation amortized).
+	DRAMAccess float64
+	// LeakagePerCycle is whole-chip static power per core cycle.
+	LeakagePerCycle float64
+}
+
+// DefaultEnergyModel returns the order-of-magnitude constants.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		ALUOp:           120,
+		CoalesceTx:      40,
+		ICNTFlit:        190,
+		L1Access:        430,
+		L2Access:        1100,
+		DRAMAccess:      10500,
+		LeakagePerCycle: 600,
+	}
+}
+
+// EnergyBreakdown is the estimate for one kernel launch, in picojoules.
+type EnergyBreakdown struct {
+	ALU, Coalescing, Interconnect, L1, L2, DRAM, Leakage float64
+}
+
+// Total returns the summed energy in picojoules.
+func (e EnergyBreakdown) Total() float64 {
+	return e.ALU + e.Coalescing + e.Interconnect + e.L1 + e.L2 + e.DRAM + e.Leakage
+}
+
+// Estimate evaluates the model over a finished run. Flit counts follow
+// the simulator's interconnect model: one request flit out plus
+// BlockBytes/FlitBytes reply flits back per transaction that reached
+// the interconnect (L1 hits never leave the SM).
+func (m EnergyModel) Estimate(res *Result, cfg Config) EnergyBreakdown {
+	var l1Hits, l2Hits, dram uint64
+	for _, s := range res.L1 {
+		l1Hits += s.Hits
+	}
+	for _, s := range res.L2 {
+		l2Hits += s.Hits
+	}
+	for _, s := range res.DRAM {
+		dram += s.Accesses
+	}
+	// Transactions that traversed the interconnect: everything the
+	// coalescer emitted except L1 hits and MSHR merges.
+	net := res.TotalTx - l1Hits - res.MSHRMerges
+	flitsPerTx := float64(1 + 64/cfg.FlitBytes)
+
+	eb := EnergyBreakdown{
+		ALU:          float64(res.ALUOps) * m.ALUOp,
+		Coalescing:   float64(res.TotalTx) * m.CoalesceTx,
+		Interconnect: float64(net) * flitsPerTx * m.ICNTFlit,
+		// Every coalesced load probes the L1 when present; hits also
+		// avoid everything downstream.
+		L1:      float64(l1Hits) * m.L1Access,
+		L2:      float64(l2Hits+dram) * m.L2Access * btof(cfg.L2Enabled),
+		DRAM:    float64(dram) * m.DRAMAccess,
+		Leakage: float64(res.Cycles) * m.LeakagePerCycle,
+	}
+	return eb
+}
+
+func btof(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,621 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"rcoal/internal/core"
+	"rcoal/internal/gpusim/cache"
+	"rcoal/internal/gpusim/dram"
+	"rcoal/internal/gpusim/icnt"
+	"rcoal/internal/gpusim/mem"
+	"rcoal/internal/rng"
+)
+
+// maxSimCycles aborts runaway simulations (deadlock guard).
+const maxSimCycles = 1 << 28
+
+// GPU is a configured simulator instance. It is stateless between
+// runs; Run builds fresh runtime state per launch, so a GPU can be
+// shared sequentially across experiments. It is not safe for
+// concurrent use (Run reuses scratch buffers) — create one GPU per
+// goroutine.
+type GPU struct {
+	cfg    Config
+	timing dram.Timing // scaled into core-clock domain
+
+	// scratch buffers for the memory-issue hot path; Run is
+	// sequential, so sharing them across instructions is safe.
+	blockScratch []uint64
+	txScratch    []uint64
+}
+
+// New validates the configuration and returns a simulator.
+func New(cfg Config) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Coalescing.WarpSize == 0 {
+		cfg.Coalescing.WarpSize = cfg.WarpSize
+	}
+	return &GPU{cfg: cfg, timing: cfg.DRAMTiming.Scale(cfg.clockRatio())}, nil
+}
+
+// Config returns the configuration the GPU was built with.
+func (g *GPU) Config() Config { return g.cfg }
+
+// warpRun is the runtime state of one warp.
+type warpRun struct {
+	prog     *WarpProgram
+	pc       int
+	readyAt  int64
+	pending  int  // outstanding memory replies
+	blocked  bool // waiting on memory
+	curRound int
+	done     bool
+	plan     core.Plan // this warp's subwarp plan
+	stats    WarpStats
+}
+
+// localReply is an L1 hit completing after the hit latency.
+type localReply struct {
+	at   int64
+	warp int
+}
+
+// smState is the runtime state of one SM: its resident warps, the
+// per-scheduler warp subsets, the LD/ST unit's pending transaction
+// queue (the PRT drain queue of Figure 11), the optional L1, and the
+// optional MSHR merge table.
+type smState struct {
+	warps    []*warpRun
+	sched    [][]*warpRun // per-scheduler warp subsets
+	schedPtr []int
+	injectQ  []*mem.Request
+	l1       *cache.Cache
+	replies  []localReply
+	// mshr maps an outstanding block to the warp ids piggybacked on
+	// the primary request (the primary's warp id is in the request).
+	mshr map[uint64][]int
+}
+
+// partState is one memory partition: the optional L2 slice in front of
+// the DRAM controller, plus its delayed hit replies.
+type partState struct {
+	ctrl    *dram.Controller
+	l2      *cache.Cache
+	replies []*mem.Request // L2 hits, delivered when Done <= now
+}
+
+// runState bundles one launch's mutable state.
+type runState struct {
+	runs      []*warpRun
+	sms       []*smState
+	parts     []*partState
+	toMem     *icnt.Crossbar
+	toSM      *icnt.Crossbar
+	res       *Result
+	reqID     uint64
+	remaining int
+	basePlan  core.Plan // whole-warp plan for non-vulnerable rounds
+	roundMask [MaxRounds + 1]bool
+	selective bool
+}
+
+// Run executes the kernel to completion and returns its statistics.
+// The seed drives the launch's hardware randomness: the subwarp plans
+// for RSS/RTS policies and the cache index keys when randomized.
+// Identical (kernel, seed) pairs produce identical results.
+func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
+	if err := k.Validate(g.cfg.WarpSize); err != nil {
+		return nil, err
+	}
+	st, err := g.setup(k, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	for now := int64(0); ; now++ {
+		if now > maxSimCycles {
+			return nil, fmt.Errorf("gpusim: kernel %q exceeded %d cycles (deadlock?)", k.Label, maxSimCycles)
+		}
+		g.stepSMs(st, now)
+		g.stepMemory(st, now)
+		if st.remaining == 0 && st.toMem.Idle() && st.toSM.Idle() && st.idleMemory() && st.idleSMs() {
+			st.res.Cycles = now
+			break
+		}
+	}
+
+	for _, p := range st.parts {
+		st.res.DRAM = append(st.res.DRAM, p.ctrl.Stats)
+		if p.l2 != nil {
+			st.res.L2 = append(st.res.L2, p.l2.Stats)
+		}
+	}
+	for _, sm := range st.sms {
+		if sm.l1 != nil {
+			st.res.L1 = append(st.res.L1, sm.l1.Stats)
+		}
+	}
+	return st.res, nil
+}
+
+// setup builds the launch state: warps on SMs, plans, interconnect,
+// caches, and memory partitions.
+func (g *GPU) setup(k *Kernel, seed uint64) (*runState, error) {
+	// The subwarp-id mapping is set by the hardware logic at the
+	// beginning of the execution and stays fixed for the launch
+	// (Section IV-D): one plan shared by every warp of the launch,
+	// unless PlanPerWarp asks for per-warp randomization.
+	hwRNG := rng.New(seed).Split(0xC0A1) // hardware stream; attackers never see it
+	launchPlan := g.cfg.Coalescing.NewPlan(hwRNG)
+
+	st := &runState{
+		res: &Result{Plan: launchPlan, Warps: make([]WarpStats, len(k.Warps))},
+	}
+	st.selective = len(g.cfg.VulnerableRounds) > 0
+	if st.selective {
+		wholeWarp := core.Baseline()
+		wholeWarp.WarpSize = g.cfg.WarpSize
+		st.basePlan = wholeWarp.NewPlan(hwRNG)
+		for _, r := range g.cfg.VulnerableRounds {
+			st.roundMask[r] = true
+		}
+	}
+
+	st.sms = make([]*smState, g.cfg.NumSMs)
+	cacheRNG := rng.New(seed).Split(0xCAC8E)
+	for i := range st.sms {
+		sm := &smState{schedPtr: make([]int, g.cfg.SchedulersPerSM)}
+		if g.cfg.L1Enabled {
+			cfg := g.cfg.L1
+			cfg.RandomizeIndex = cfg.RandomizeIndex || g.cfg.CacheRandomized
+			l1, err := cache.New(cfg, cacheRNG.Uint64())
+			if err != nil {
+				return nil, err
+			}
+			sm.l1 = l1
+		}
+		if g.cfg.MSHREnabled {
+			sm.mshr = make(map[uint64][]int)
+		}
+		st.sms[i] = sm
+	}
+
+	for i, wp := range k.Warps {
+		w := &warpRun{prog: wp, plan: launchPlan}
+		if g.cfg.PlanPerWarp {
+			w.plan = g.cfg.Coalescing.NewPlan(hwRNG)
+		}
+		for r := 0; r <= MaxRounds; r++ {
+			w.stats.RoundStart[r] = -1
+			w.stats.RoundEnd[r] = -1
+		}
+		st.sms[i%len(st.sms)].warps = append(st.sms[i%len(st.sms)].warps, w)
+		st.runs = append(st.runs, w)
+	}
+	for _, sm := range st.sms {
+		sm.sched = make([][]*warpRun, g.cfg.SchedulersPerSM)
+		for i, w := range sm.warps {
+			s := i % g.cfg.SchedulersPerSM
+			sm.sched[s] = append(sm.sched[s], w)
+		}
+	}
+
+	var err error
+	st.toMem, err = icnt.NewCrossbar(g.cfg.AddressMap.Partitions, g.cfg.ICNTLatency, 1)
+	if err != nil {
+		return nil, err
+	}
+	st.toSM, err = icnt.NewCrossbar(g.cfg.NumSMs, g.cfg.ICNTLatency, mem.BlockBytes/g.cfg.FlitBytes)
+	if err != nil {
+		return nil, err
+	}
+	st.parts = make([]*partState, g.cfg.AddressMap.Partitions)
+	for i := range st.parts {
+		p := &partState{}
+		p.ctrl, err = dram.NewController(g.timing, g.cfg.AddressMap, g.cfg.DRAMQueueCap)
+		if err != nil {
+			return nil, err
+		}
+		if g.cfg.L2Enabled {
+			cfg := g.cfg.L2
+			cfg.RandomizeIndex = cfg.RandomizeIndex || g.cfg.CacheRandomized
+			p.l2, err = cache.New(cfg, cacheRNG.Uint64())
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.parts[i] = p
+	}
+	st.remaining = len(st.runs)
+	return st, nil
+}
+
+// stepSMs advances every SM by one cycle: deliver replies, drain the
+// LD/ST injection queues, and let the schedulers issue.
+func (g *GPU) stepSMs(st *runState, now int64) {
+	for smID, sm := range st.sms {
+		// 1a. L1-hit replies maturing this cycle.
+		if len(sm.replies) > 0 {
+			kept := sm.replies[:0]
+			for _, lr := range sm.replies {
+				if lr.at <= now {
+					g.settle(st, st.runs[lr.warp], now)
+				} else {
+					kept = append(kept, lr)
+				}
+			}
+			sm.replies = kept
+		}
+
+		// 1b. Memory replies from the interconnect (one per cycle:
+		// return-port bandwidth).
+		if r := st.toSM.Pop(smID, now); r != nil {
+			if sm.l1 != nil && r.Kind == mem.Load {
+				sm.l1.Access(mem.BlockOf(r.Addr)) // fill
+			}
+			g.settle(st, st.runs[r.Warp], now)
+			if sm.mshr != nil {
+				block := mem.BlockOf(r.Addr)
+				if waiters, ok := sm.mshr[block]; ok {
+					for _, waiter := range waiters {
+						g.settle(st, st.runs[waiter], now)
+					}
+					delete(sm.mshr, block)
+				}
+			}
+		}
+
+		// 2. Drain the LD/ST injection queue into the interconnect.
+		for n := 0; n < g.cfg.MCURate && len(sm.injectQ) > 0; n++ {
+			req := sm.injectQ[0]
+			sm.injectQ = sm.injectQ[1:]
+			req.Issued = now
+			st.toMem.Push(g.cfg.AddressMap.Decode(req.Addr).Partition, req, now)
+		}
+
+		// 3. Warp schedulers issue.
+		for s := 0; s < g.cfg.SchedulersPerSM; s++ {
+			g.issueOne(st, sm, smID, s, now)
+		}
+	}
+}
+
+// settle delivers one memory reply to a warp, retiring the warp if it
+// has run off its program.
+func (g *GPU) settle(st *runState, w *warpRun, now int64) {
+	if g.cfg.Trace != nil {
+		g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvReply, Warp: w.prog.ID})
+	}
+	w.pending--
+	if w.pending < 0 {
+		panic(fmt.Sprintf("gpusim: warp %d reply underflow", w.prog.ID))
+	}
+	if w.pending == 0 && w.blocked {
+		w.blocked = false
+		w.readyAt = now + 1
+		if w.pc >= len(w.prog.Instrs) {
+			g.retire(st, w, now)
+		}
+	}
+}
+
+// retire finishes a warp and emits its trace event.
+func (g *GPU) retire(st *runState, w *warpRun, now int64) {
+	w.finish(now, &st.res.Warps[w.prog.ID])
+	st.remaining--
+	if g.cfg.Trace != nil {
+		g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvRetire, Warp: w.prog.ID})
+	}
+}
+
+// stepMemory advances every partition: accept a request from the
+// interconnect (through the L2 when enabled), tick the DRAM
+// controller, and send replies back.
+func (g *GPU) stepMemory(st *runState, now int64) {
+	for pid, p := range st.parts {
+		// L2-hit replies maturing this cycle.
+		if len(p.replies) > 0 {
+			kept := p.replies[:0]
+			for _, r := range p.replies {
+				if r.Done <= now {
+					st.toSM.Push(r.SM, r, now)
+				} else {
+					kept = append(kept, r)
+				}
+			}
+			p.replies = kept
+		}
+
+		if p.ctrl.CanAccept() {
+			if r := st.toMem.Pop(pid, now); r != nil {
+				if p.l2 != nil && r.Kind == mem.Load {
+					if hit, _, _ := p.l2.Access(mem.BlockOf(r.Addr)); hit {
+						r.Done = now + int64(p.l2.HitLatency())
+						p.replies = append(p.replies, r)
+						goto tick
+					}
+				}
+				p.ctrl.Push(r)
+			}
+		}
+	tick:
+		for _, done := range p.ctrl.Tick(now) {
+			done.Done = now
+			st.toSM.Push(done.SM, done, now)
+		}
+	}
+}
+
+func (st *runState) idleMemory() bool {
+	for _, p := range st.parts {
+		if !p.ctrl.Idle() || len(p.replies) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *runState) idleSMs() bool {
+	for _, sm := range st.sms {
+		if len(sm.injectQ) > 0 || len(sm.replies) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *warpRun) finish(now int64, stats *WarpStats) {
+	w.done = true
+	if w.curRound > 0 && w.stats.RoundEnd[w.curRound] < 0 {
+		w.stats.RoundEnd[w.curRound] = now
+	}
+	w.stats.Finish = now
+	*stats = w.stats
+}
+
+// issueOne lets scheduler s of the SM issue for at most one warp.
+// Under LRR the scan starts after the last issued warp; under GTO the
+// scheduler greedily retries the warp it issued last and otherwise
+// falls back to the oldest ready warp (subset order encodes age).
+func (g *GPU) issueOne(st *runState, sm *smState, smID, s int, now int64) {
+	mine := sm.sched[s]
+	nLocal := len(mine)
+	if nLocal == 0 {
+		return
+	}
+	start := sm.schedPtr[s]
+	if g.cfg.Scheduler == GTO {
+		prev := start - 1
+		if prev < 0 {
+			prev = nLocal - 1
+		}
+		if g.tryIssue(st, sm, smID, mine[prev], now) {
+			sm.schedPtr[s] = prev + 1
+			if sm.schedPtr[s] >= nLocal {
+				sm.schedPtr[s] = 0
+			}
+			return
+		}
+		start = 0
+	}
+	for probe := 0; probe < nLocal; probe++ {
+		idx := start + probe
+		if idx >= nLocal {
+			idx -= nLocal
+		}
+		if g.tryIssue(st, sm, smID, mine[idx], now) {
+			sm.schedPtr[s] = (idx + 1) % nLocal
+			return
+		}
+	}
+}
+
+// tryIssue attempts to issue one instruction for the warp, reporting
+// whether the warp consumed the issue slot.
+func (g *GPU) tryIssue(st *runState, sm *smState, smID int, w *warpRun, now int64) bool {
+	if w.done || w.blocked || w.readyAt > now {
+		return false
+	}
+	if w.pc >= len(w.prog.Instrs) {
+		// Ran off the end on a non-memory instruction: retire.
+		if w.pending == 0 {
+			g.retire(st, w, now)
+		} else {
+			w.blocked = true
+		}
+		return false
+	}
+
+	// Consume zero-cost round markers eagerly.
+	for w.pc < len(w.prog.Instrs) && w.prog.Instrs[w.pc].Kind == RoundMark {
+		ins := &w.prog.Instrs[w.pc]
+		if w.curRound > 0 && w.stats.RoundEnd[w.curRound] < 0 {
+			w.stats.RoundEnd[w.curRound] = now
+		}
+		if ins.Round > 0 && ins.Round <= MaxRounds {
+			if w.stats.RoundStart[ins.Round] < 0 {
+				w.stats.RoundStart[ins.Round] = now
+			}
+			w.curRound = ins.Round
+		} else {
+			w.curRound = 0
+		}
+		w.pc++
+	}
+	if w.pc >= len(w.prog.Instrs) {
+		if w.pending == 0 {
+			g.retire(st, w, now)
+		} else {
+			w.blocked = true
+		}
+		return true
+	}
+
+	ins := &w.prog.Instrs[w.pc]
+	if g.cfg.Trace != nil {
+		g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvIssue, SM: smID, Warp: w.prog.ID, PC: w.pc, Round: ins.Round})
+	}
+	switch ins.Kind {
+	case ALU:
+		lat := int64(ins.Latency)
+		if lat <= 0 {
+			lat = int64(g.cfg.ALULatency)
+		}
+		if issue := g.cfg.issueCycles(); lat < issue {
+			lat = issue
+		}
+		w.readyAt = now + lat
+		w.pc++
+		st.res.ALUOps++
+	case Load, Store:
+		g.issueMemory(st, sm, smID, w, ins, now)
+		w.pc++
+	case SharedLoad:
+		g.issueShared(st, w, ins, now)
+		w.pc++
+	}
+	return true
+}
+
+// issueShared models a shared-memory access: requests to the same bank
+// for different words serialize into multiple passes (same-word
+// requests broadcast). The warp stalls for the conflict-serialized
+// latency; no global-memory traffic is generated.
+func (g *GPU) issueShared(st *runState, w *warpRun, ins *Instr, now int64) {
+	degree := g.sharedConflictDegree(ins)
+	lat := int64(g.cfg.SharedLatency + degree - 1)
+	if degree == 0 {
+		lat = 1 // fully predicated off
+	}
+	w.readyAt = now + lat
+	round := ins.Round
+	if round < 0 || round > MaxRounds {
+		round = 0
+	}
+	w.stats.SharedPasses[round] += degree
+	st.res.SharedPasses[round] += uint64(degree)
+}
+
+// sharedConflictDegree returns the number of serialized passes the
+// access needs: the maximum, over banks, of distinct words requested
+// in that bank (0 if no thread is active).
+func (g *GPU) sharedConflictDegree(ins *Instr) int {
+	banks := g.cfg.SharedBanks
+	seen := make(map[int]map[uint64]struct{}, banks)
+	degree := 0
+	for t, a := range ins.Addrs {
+		if ins.Active != nil && !ins.Active[t] {
+			continue
+		}
+		word := a / 4
+		bank := int(word % uint64(banks))
+		words := seen[bank]
+		if words == nil {
+			words = make(map[uint64]struct{}, 4)
+			seen[bank] = words
+		}
+		if _, dup := words[word]; dup {
+			continue // broadcast
+		}
+		words[word] = struct{}{}
+		if len(words) > degree {
+			degree = len(words)
+		}
+	}
+	return degree
+}
+
+// planFor selects the subwarp plan governing this instruction: the
+// randomized plan everywhere by default; under selective RCoal
+// (VulnerableRounds) only the listed rounds are randomized and the
+// rest coalesce whole-warp.
+func (g *GPU) planFor(st *runState, w *warpRun, round int) core.Plan {
+	if !st.selective || (round >= 0 && round <= MaxRounds && st.roundMask[round]) {
+		return w.plan
+	}
+	return st.basePlan
+}
+
+// issueMemory runs the (modified) coalescing unit on a warp-wide
+// memory instruction: per-thread addresses are reduced to block
+// requests, grouped by the governing plan's subwarp ids, filtered
+// through the L1 and the MSHR merge table when enabled, and the
+// surviving transactions queued for injection.
+func (g *GPU) issueMemory(st *runState, sm *smState, smID int, w *warpRun, ins *Instr, now int64) {
+	blocks := g.blockScratch[:0]
+	for _, a := range ins.Addrs {
+		blocks = append(blocks, mem.BlockOf(a))
+	}
+
+	txBlocks := g.txScratch[:0]
+	if g.cfg.CoalescingDisabled {
+		// One transaction per active thread, duplicates included.
+		for t, b := range blocks {
+			if ins.Active == nil || ins.Active[t] {
+				txBlocks = append(txBlocks, b)
+			}
+		}
+	} else {
+		txBlocks = g.planFor(st, w, ins.Round).CoalesceBlocks(blocks, ins.Active, txBlocks)
+	}
+	g.blockScratch = blocks[:0]
+
+	round := ins.Round
+	if round < 0 || round > MaxRounds {
+		round = 0
+	}
+	issued := 0
+	for _, b := range txBlocks {
+		// Every coalesced transaction counts as an access (the
+		// quantity the attack reasons about), even when a cache or
+		// the MSHR absorbs it downstream.
+		w.stats.RoundTx[round]++
+		w.stats.TotalTx++
+		st.res.RoundTx[round]++
+		st.res.TotalTx++
+		issued++
+		w.pending++
+
+		if ins.Kind == Load {
+			// L1 probe.
+			if sm.l1 != nil {
+				if hit, _, _ := sm.l1.Access(b); hit {
+					sm.replies = append(sm.replies,
+						localReply{at: now + int64(sm.l1.HitLatency()), warp: w.prog.ID})
+					continue
+				}
+			}
+			// MSHR merge with an outstanding miss to the same block.
+			if sm.mshr != nil {
+				if _, outstanding := sm.mshr[b]; outstanding {
+					sm.mshr[b] = append(sm.mshr[b], w.prog.ID)
+					st.res.MSHRMerges++
+					continue
+				}
+				sm.mshr[b] = []int{} // primary in flight
+			}
+		}
+
+		if g.cfg.Trace != nil {
+			g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvMemTx, SM: smID, Warp: w.prog.ID, Addr: b * mem.BlockBytes, Round: round})
+		}
+		st.reqID++
+		sm.injectQ = append(sm.injectQ, &mem.Request{
+			ID:    st.reqID,
+			Addr:  b * mem.BlockBytes,
+			Kind:  kindOf(ins.Kind),
+			SM:    smID,
+			Warp:  w.prog.ID,
+			Round: round,
+		})
+	}
+	g.txScratch = txBlocks[:0]
+	if issued > 0 {
+		w.blocked = true
+	} else {
+		// Fully predicated-off instruction: nothing to wait for.
+		w.readyAt = now + 1
+	}
+}

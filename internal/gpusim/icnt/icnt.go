@@ -1,0 +1,109 @@
+// Package icnt models the on-chip interconnect of the simulated GPU:
+// one crossbar per direction (SM→memory-partition and partition→SM,
+// Table I) with a fixed pipeline latency and one packet per output
+// port per cycle of delivery bandwidth, approximating the iSLIP-
+// allocated crossbar of the baseline architecture with round-robin
+// fairness per output port.
+package icnt
+
+import (
+	"fmt"
+
+	"rcoal/internal/gpusim/mem"
+)
+
+// packet wraps a request with its earliest possible delivery cycle.
+type packet struct {
+	req     *mem.Request
+	readyAt int64
+}
+
+// Crossbar is one direction of the interconnect. Packets pushed to an
+// output port are delivered in order, no earlier than latency cycles
+// after injection, at most one per cycle per port.
+type Crossbar struct {
+	latency   int64
+	occupancy int64
+	ports     [][]packet
+	// nextSlot[p] is the next cycle at which port p may deliver,
+	// enforcing the per-packet port occupancy.
+	nextSlot []int64
+
+	// Stats
+	Delivered uint64
+	MaxQueue  int
+}
+
+// NewCrossbar builds a crossbar with the given number of output ports
+// and pipeline latency in core cycles. Each packet occupies its output
+// port for occupancy cycles (its flit count: a 64-byte data reply is
+// two 32-byte flits, a request header one).
+func NewCrossbar(ports int, latency, occupancy int) (*Crossbar, error) {
+	if ports <= 0 {
+		return nil, fmt.Errorf("icnt: ports %d must be positive", ports)
+	}
+	if latency < 1 {
+		return nil, fmt.Errorf("icnt: latency %d must be >= 1", latency)
+	}
+	if occupancy < 1 {
+		return nil, fmt.Errorf("icnt: occupancy %d must be >= 1", occupancy)
+	}
+	return &Crossbar{
+		latency:   int64(latency),
+		occupancy: int64(occupancy),
+		ports:     make([][]packet, ports),
+		nextSlot:  make([]int64, ports),
+	}, nil
+}
+
+// Push injects a request toward output port dst at cycle now.
+func (x *Crossbar) Push(dst int, r *mem.Request, now int64) {
+	if dst < 0 || dst >= len(x.ports) {
+		panic(fmt.Sprintf("icnt: push to port %d of %d", dst, len(x.ports)))
+	}
+	x.ports[dst] = append(x.ports[dst], packet{req: r, readyAt: now + x.latency})
+	if n := len(x.ports[dst]); n > x.MaxQueue {
+		x.MaxQueue = n
+	}
+}
+
+// Pop returns at most one request deliverable at port dst on cycle
+// now, honoring in-order delivery, pipeline latency, and port
+// bandwidth. It returns nil when nothing is deliverable.
+func (x *Crossbar) Pop(dst int, now int64) *mem.Request {
+	q := x.ports[dst]
+	if len(q) == 0 {
+		return nil
+	}
+	head := q[0]
+	if head.readyAt > now || x.nextSlot[dst] > now {
+		return nil
+	}
+	x.ports[dst] = q[1:]
+	x.nextSlot[dst] = now + x.occupancy
+	x.Delivered++
+	return head.req
+}
+
+// Peek reports whether port dst could deliver at cycle now without
+// consuming the packet (used for back-pressure checks).
+func (x *Crossbar) Peek(dst int, now int64) bool {
+	q := x.ports[dst]
+	return len(q) > 0 && q[0].readyAt <= now && x.nextSlot[dst] <= now
+}
+
+// Pending returns the number of packets queued for port dst.
+func (x *Crossbar) Pending(dst int) int { return len(x.ports[dst]) }
+
+// Idle reports whether no packets are queued on any port.
+func (x *Crossbar) Idle() bool {
+	for _, q := range x.ports {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Ports returns the number of output ports.
+func (x *Crossbar) Ports() int { return len(x.ports) }

@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"fmt"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/gpusim"
+)
+
+// BuildDecrypt constructs the kernel for *decrypting* the given
+// ciphertext lines: the mirror of Build using the equivalent inverse
+// cipher's Td-table dataflow (one line per thread, 16 lookups per
+// inverse round). The decryption tables occupy the same address
+// layout as the encryption tables (a decryption kernel binds Td0..Td4
+// at TableBase), so the coalescing geometry — 16 entries per 64-byte
+// block, R = 16 blocks per table — is identical.
+//
+// It returns the recovered plaintext lines alongside the kernel.
+func BuildDecrypt(c *aes.Cipher, lines []Line) (*gpusim.Kernel, []Line, error) {
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("kernels: no ciphertext lines")
+	}
+	const warpSize = 32
+	rounds := c.Rounds()
+	pts := make([]Line, len(lines))
+
+	numWarps := (len(lines) + warpSize - 1) / warpSize
+	kernel := &gpusim.Kernel{Label: fmt.Sprintf("aes%d-dec-%dlines", 128+(rounds-10)*32, len(lines))}
+
+	for w := 0; w < numWarps; w++ {
+		lo := w * warpSize
+		hi := lo + warpSize
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		nActive := hi - lo
+
+		traces := make([]aes.Trace, nActive)
+		for t := 0; t < nActive; t++ {
+			pt, tr := c.TraceDecrypt(lines[lo+t][:])
+			pts[lo+t] = pt
+			traces[t] = tr
+		}
+
+		var active []bool
+		if nActive < warpSize {
+			active = make([]bool, warpSize)
+			for t := 0; t < nActive; t++ {
+				active[t] = true
+			}
+		}
+
+		wp := &gpusim.WarpProgram{ID: w}
+
+		// Ciphertext loads.
+		for word := 0; word < 4; word++ {
+			addrs := make([]uint64, warpSize)
+			for t := 0; t < warpSize; t++ {
+				line := lo + t
+				if line >= len(lines) {
+					line = lo
+				}
+				addrs[t] = CipherBase + uint64(line)*LineBytes + uint64(word)*4
+			}
+			wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.Load, Addrs: addrs, Active: active})
+		}
+		wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.ALU})
+
+		for r := 1; r <= rounds; r++ {
+			wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.RoundMark, Round: r})
+			for j := 0; j < 16; j++ {
+				addrs := make([]uint64, warpSize)
+				for t := 0; t < warpSize; t++ {
+					if t < nActive {
+						lk := traces[t][r-1][j]
+						addrs[t] = TableAddr(lk.Table, lk.Index)
+					} else {
+						addrs[t] = TableAddr(aes.T0, 0)
+					}
+				}
+				wp.Instrs = append(wp.Instrs, gpusim.Instr{
+					Kind: gpusim.Load, Addrs: addrs, Active: active, Round: r,
+				})
+				if j%4 == 3 {
+					wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.ALU, Round: r})
+				}
+			}
+		}
+		wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.RoundMark, Round: 0})
+
+		// Plaintext stores.
+		for word := 0; word < 4; word++ {
+			addrs := make([]uint64, warpSize)
+			for t := 0; t < warpSize; t++ {
+				line := lo + t
+				if line >= len(lines) {
+					line = lo
+				}
+				addrs[t] = PlainBase + uint64(line)*LineBytes + uint64(word)*4
+			}
+			wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.Store, Addrs: addrs, Active: active})
+		}
+
+		kernel.Warps = append(kernel.Warps, wp)
+	}
+	return kernel, pts, nil
+}

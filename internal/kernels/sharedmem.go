@@ -1,0 +1,121 @@
+package kernels
+
+import (
+	"fmt"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/gpusim"
+)
+
+// BuildSharedMem constructs the shared-memory variant of the AES
+// kernel: the T-tables live in per-SM scratchpad (staged from global
+// memory once at kernel start), so round lookups are SharedLoad
+// instructions that serialize over bank conflicts instead of global
+// loads that coalesce.
+//
+// This variant exists to map the *boundary* of RCoal: it removes the
+// coalescing channel entirely (the last round issues no global
+// traffic), but it opens the shared-memory bank-conflict channel of
+// Jiang et al. (GLSVLSI'17) — which subwarp randomization does not
+// close, since bank conflicts are computed per thread address,
+// independent of coalescing groups.
+func BuildSharedMem(c *aes.Cipher, lines []Line) (*gpusim.Kernel, []Line, error) {
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("kernels: no plaintext lines")
+	}
+	const warpSize = 32
+	rounds := c.Rounds()
+	cts := make([]Line, len(lines))
+
+	numWarps := (len(lines) + warpSize - 1) / warpSize
+	kernel := &gpusim.Kernel{Label: fmt.Sprintf("aes%d-shared-%dlines", 128+(rounds-10)*32, len(lines))}
+
+	for w := 0; w < numWarps; w++ {
+		lo := w * warpSize
+		hi := lo + warpSize
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		nActive := hi - lo
+
+		traces := make([]aes.Trace, nActive)
+		for t := 0; t < nActive; t++ {
+			ct, tr := c.TraceEncrypt(lines[lo+t][:])
+			cts[lo+t] = ct
+			traces[t] = tr
+		}
+
+		var active []bool
+		if nActive < warpSize {
+			active = make([]bool, warpSize)
+			for t := 0; t < nActive; t++ {
+				active[t] = true
+			}
+		}
+
+		wp := &gpusim.WarpProgram{ID: w}
+
+		// Table staging: the warp cooperatively copies the five 1 KiB
+		// tables from global memory into shared memory — 5120 B / (32
+		// threads × 4 B) = 40 coalesced global loads, once per launch.
+		for chunk := 0; chunk < 40; chunk++ {
+			addrs := make([]uint64, warpSize)
+			for t := 0; t < warpSize; t++ {
+				addrs[t] = TableBase + uint64(chunk*warpSize+t)*4
+			}
+			wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.Load, Addrs: addrs, Active: active})
+		}
+
+		// Plaintext loads, as in the global-memory kernel.
+		for word := 0; word < 4; word++ {
+			addrs := make([]uint64, warpSize)
+			for t := 0; t < warpSize; t++ {
+				line := lo + t
+				if line >= len(lines) {
+					line = lo
+				}
+				addrs[t] = PlainBase + uint64(line)*LineBytes + uint64(word)*4
+			}
+			wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.Load, Addrs: addrs, Active: active})
+		}
+		wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.ALU})
+
+		// Rounds: lookups hit shared memory at the table's scratchpad
+		// offset; entry index i of table T sits at T*1024 + i*4, so
+		// bank = (T*256 + i) mod 32 = (i + T*256) mod 32.
+		for r := 1; r <= rounds; r++ {
+			wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.RoundMark, Round: r})
+			for j := 0; j < 16; j++ {
+				addrs := make([]uint64, warpSize)
+				for t := 0; t < warpSize; t++ {
+					if t < nActive {
+						lk := traces[t][r-1][j]
+						addrs[t] = uint64(lk.Table)*uint64(aes.TableBytes) + uint64(lk.Index)*aes.EntryBytes
+					}
+				}
+				wp.Instrs = append(wp.Instrs, gpusim.Instr{
+					Kind: gpusim.SharedLoad, Addrs: addrs, Active: active, Round: r,
+				})
+				if j%4 == 3 {
+					wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.ALU, Round: r})
+				}
+			}
+		}
+		wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.RoundMark, Round: 0})
+
+		for word := 0; word < 4; word++ {
+			addrs := make([]uint64, warpSize)
+			for t := 0; t < warpSize; t++ {
+				line := lo + t
+				if line >= len(lines) {
+					line = lo
+				}
+				addrs[t] = CipherBase + uint64(line)*LineBytes + uint64(word)*4
+			}
+			wp.Instrs = append(wp.Instrs, gpusim.Instr{Kind: gpusim.Store, Addrs: addrs, Active: active})
+		}
+
+		kernel.Warps = append(kernel.Warps, wp)
+	}
+	return kernel, cts, nil
+}

@@ -1,0 +1,133 @@
+// Package rng provides the deterministic random-number generation used
+// to model the hardware randomness in the RCoal coalescing unit.
+//
+// The RSS and RTS defense mechanisms rely on per-kernel-launch random
+// choices (subwarp sizes, thread-to-subwarp mapping) that the attacker
+// cannot observe or replay. A fast, splittable xoshiro256** generator
+// models that hardware RNG: the victim GPU and the attacker's
+// simulation of the defense each derive independent streams, which is
+// exactly the information asymmetry the defense exploits. Determinism
+// (explicit seeds) keeps every experiment in the repository
+// reproducible.
+package rng
+
+import "math"
+
+// splitmix64 is the recommended seeding generator for xoshiro: it
+// diffuses an arbitrary 64-bit seed into well-distributed state words.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** pseudo-random generator. The zero value is
+// not valid; construct with New or Split.
+type Source struct {
+	s [4]uint64
+
+	// cached spare normal deviate for NormFloat64 (Box-Muller pairs).
+	haveSpare bool
+	spare     float64
+}
+
+// New returns a Source seeded from a single 64-bit value.
+func New(seed uint64) *Source {
+	var src Source
+	x := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&x)
+	}
+	// xoshiro requires a nonzero state; splitmix64 of any seed yields
+	// one with overwhelming probability, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Split derives an independent child generator labeled by id. Victim
+// hardware and attacker simulations split from different labels so
+// their streams never coincide.
+func (r *Source) Split(id uint64) *Source {
+	x := r.Uint64() ^ (id * 0xd1342543de82ef95)
+	return New(splitmix64(&x))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Bias is removed by rejection sampling on the top of the range.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	// Lemire-style rejection: reject the final partial block.
+	threshold := -bound % bound // (2^64 - bound) mod bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of
+// precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal deviate via the Box-Muller
+// transform.
+func (r *Source) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.spare = mag * math.Sin(2*math.Pi*v)
+	r.haveSpare = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// Perm returns a uniform random permutation of [0, n) via Fisher-
+// Yates. This is the RTS thread-to-subwarp shuffle primitive.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place, uniformly at random.
+func (r *Source) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

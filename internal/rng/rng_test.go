@@ -1,0 +1,261 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split(1)
+	b := root.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams collided %d/1000 times", same)
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ≈%v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	for i := 0; i < 20000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 20000; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(17)
+	const n, draws = 4, 40000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Perm first elem %d: %d, want ≈%v", i, c, want)
+		}
+	}
+}
+
+func TestCompositionInvariants(t *testing.T) {
+	r := New(23)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		k := int(kRaw)%n + 1
+		parts := r.Composition(n, k)
+		if len(parts) != k {
+			return false
+		}
+		sum := 0
+		for _, p := range parts {
+			if p < 1 {
+				return false
+			}
+			sum += p
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositionUniformOverAllCompositions(t *testing.T) {
+	// For n=5, k=2 there are C(4,1)=4 compositions: (1,4),(2,3),(3,2),(4,1).
+	r := New(31)
+	counts := map[[2]int]int{}
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		p := r.Composition(5, 2)
+		counts[[2]int{p[0], p[1]}]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("saw %d distinct compositions, want 4: %v", len(counts), counts)
+	}
+	want := float64(draws) / 4
+	for comp, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("composition %v: %d draws, want ≈%v", comp, c, want)
+		}
+	}
+}
+
+func TestCompositionSkewness(t *testing.T) {
+	// The marginal of a uniform composition of 32 into 4 parts is
+	// right-skewed: size 1 must be the most frequent single size,
+	// more frequent than the FSS mean size 8 (Figure 9's point).
+	r := New(37)
+	counts := make([]int, 33)
+	for i := 0; i < 20000; i++ {
+		for _, p := range r.Composition(32, 4) {
+			counts[p]++
+		}
+	}
+	if counts[1] <= counts[8] {
+		t.Errorf("skewed marginal: P(size=1)=%d should exceed P(size=8)=%d", counts[1], counts[8])
+	}
+	for s := 2; s <= 29; s++ {
+		if counts[s] > counts[1] {
+			t.Errorf("size %d more frequent (%d) than size 1 (%d)", s, counts[s], counts[1])
+		}
+	}
+}
+
+func TestCompositionEdge(t *testing.T) {
+	r := New(41)
+	if p := r.Composition(32, 1); len(p) != 1 || p[0] != 32 {
+		t.Errorf("Composition(32,1) = %v", p)
+	}
+	p := r.Composition(4, 4)
+	for _, v := range p {
+		if v != 1 {
+			t.Errorf("Composition(4,4) = %v, want all ones", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Composition(2,3) did not panic")
+		}
+	}()
+	r.Composition(2, 3)
+}
+
+func TestNormalCompositionInvariants(t *testing.T) {
+	r := New(43)
+	for i := 0; i < 2000; i++ {
+		parts := r.NormalComposition(32, 4, 2.0)
+		sum := 0
+		for _, p := range parts {
+			if p < 1 {
+				t.Fatalf("empty subwarp in %v", parts)
+			}
+			sum += p
+		}
+		if sum != 32 {
+			t.Fatalf("NormalComposition sums to %d: %v", sum, parts)
+		}
+	}
+}
+
+func TestNormalCompositionCentersOnFSSMean(t *testing.T) {
+	// Figure 9: the normal distribution's mode is near 32/M.
+	r := New(47)
+	counts := make([]int, 33)
+	for i := 0; i < 20000; i++ {
+		for _, p := range r.NormalComposition(32, 4, 1.5) {
+			counts[p]++
+		}
+	}
+	best := 1
+	for s := 2; s <= 32; s++ {
+		if counts[s] > counts[best] {
+			best = s
+		}
+	}
+	if best < 7 || best > 9 {
+		t.Errorf("normal-sized mode at %d, want ≈8", best)
+	}
+}

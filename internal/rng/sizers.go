@@ -1,0 +1,87 @@
+package rng
+
+import "fmt"
+
+// Composition draws a uniform random composition of n into k positive
+// parts: every ordered size combination is equally likely and no part
+// is empty, exactly the "skewed" subwarp-size distribution of RSS
+// (Section IV-B, formalized in Section V-B3).
+//
+// Sampling is by stars and bars: choose k-1 distinct cut points among
+// the n-1 gaps between n unit "stars"; the gaps between consecutive
+// cuts are the parts. The marginal distribution of any single part is
+// right-skewed (most parts small, occasionally one large part), which
+// is what Figure 9 plots.
+func (r *Source) Composition(n, k int) []int {
+	if k <= 0 || n < k {
+		panic(fmt.Sprintf("rng: Composition(%d,%d) infeasible", n, k))
+	}
+	if k == 1 {
+		return []int{n}
+	}
+	// Floyd's algorithm samples k-1 distinct values from [1, n-1]
+	// without building the full gap array.
+	cuts := make(map[int]struct{}, k-1)
+	for j := n - 1 - (k - 1) + 1; j <= n-1; j++ {
+		v := 1 + r.Intn(j) // uniform in [1, j]
+		if _, dup := cuts[v]; dup {
+			v = j
+		}
+		cuts[v] = struct{}{}
+	}
+	marks := make([]bool, n) // marks[i] true if a cut sits after star i
+	for c := range cuts {
+		marks[c] = true
+	}
+	parts := make([]int, 0, k)
+	prev := 0
+	for i := 1; i < n; i++ {
+		if marks[i] {
+			parts = append(parts, i-prev)
+			prev = i
+		}
+	}
+	parts = append(parts, n-prev)
+	return parts
+}
+
+// NormalComposition draws subwarp sizes from a discretized normal
+// distribution centered on n/k (the FSS size) with the given standard
+// deviation, then repairs the vector so that all parts are >= 1 and
+// sum to n. This reproduces the "normal" size distribution the paper
+// compares against in Figure 9; its security and performance are close
+// to FSS, which is why skewed sampling (Composition) is the RSS
+// default.
+func (r *Source) NormalComposition(n, k int, sigma float64) []int {
+	if k <= 0 || n < k {
+		panic(fmt.Sprintf("rng: NormalComposition(%d,%d) infeasible", n, k))
+	}
+	mean := float64(n) / float64(k)
+	parts := make([]int, k)
+	total := 0
+	for i := range parts {
+		v := int(mean + sigma*r.NormFloat64() + 0.5)
+		if v < 1 {
+			v = 1
+		}
+		if v > n-k+1 {
+			v = n - k + 1
+		}
+		parts[i] = v
+		total += v
+	}
+	// Repair to the exact sum by incrementing/decrementing random
+	// parts, keeping every part >= 1.
+	for total < n {
+		parts[r.Intn(k)]++
+		total++
+	}
+	for total > n {
+		i := r.Intn(k)
+		if parts[i] > 1 {
+			parts[i]--
+			total--
+		}
+	}
+	return parts
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fisher z-transform machinery: confidence intervals for sample
+// correlations and the expected noise floor of the attack's guess
+// ranking. The evaluation uses these to say when a measured
+// correlation is signal and when it is indistinguishable from the
+// noise among 255 wrong guesses.
+
+// FisherZ maps a correlation to Fisher's z (atanh); its sampling
+// distribution is ≈ normal with variance 1/(n-3).
+func FisherZ(r float64) float64 {
+	if r <= -1 || r >= 1 {
+		panic(fmt.Sprintf("stats: FisherZ of |r| >= 1 (%v)", r))
+	}
+	return math.Atanh(r)
+}
+
+// FisherCI returns the confidence interval of a Pearson correlation
+// estimated from n samples, at the given confidence level (e.g. 0.95).
+// It requires n > 3.
+func FisherCI(r float64, n int, confidence float64) (lo, hi float64) {
+	if n <= 3 {
+		panic(fmt.Sprintf("stats: FisherCI needs n > 3, have %d", n))
+	}
+	if !(confidence > 0 && confidence < 1) {
+		panic(fmt.Sprintf("stats: confidence %v outside (0,1)", confidence))
+	}
+	z := FisherZ(r)
+	se := 1 / math.Sqrt(float64(n-3))
+	q := NormalQuantile(0.5 + confidence/2)
+	return math.Tanh(z - q*se), math.Tanh(z + q*se)
+}
+
+// NoiseFloor returns the expected maximum |correlation| among
+// `guesses` independent wrong guesses, each an empirical correlation
+// over n samples of actually-uncorrelated series: the bar a correct
+// guess must clear to win the attack's ranking. It uses the normal
+// approximation corr ≈ N(0, 1/√n) and the expected-maximum quantile
+// Φ⁻¹(1 - 1/(guesses+1)) of the half-normal.
+func NoiseFloor(n, guesses int) float64 {
+	if n <= 3 || guesses < 1 {
+		panic(fmt.Sprintf("stats: NoiseFloor needs n > 3 (%d) and guesses >= 1 (%d)", n, guesses))
+	}
+	// Two-sided: |corr| of each wrong guess is half-normal; the max of
+	// g draws sits near the 1-1/(g+1) quantile.
+	p := 1 - 1/(2*float64(guesses)+2)
+	return NormalQuantile(p) / math.Sqrt(float64(n))
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFisherZ(t *testing.T) {
+	if FisherZ(0) != 0 {
+		t.Error("FisherZ(0) != 0")
+	}
+	if !almostEqual(FisherZ(0.5), 0.5493061443340548, 1e-12) {
+		t.Errorf("FisherZ(0.5) = %v", FisherZ(0.5))
+	}
+	// Antisymmetric.
+	if FisherZ(0.3) != -FisherZ(-0.3) {
+		t.Error("FisherZ not antisymmetric")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FisherZ(1) did not panic")
+		}
+	}()
+	FisherZ(1)
+}
+
+func TestFisherCIProperties(t *testing.T) {
+	lo, hi := FisherCI(0.4, 100, 0.95)
+	if !(lo < 0.4 && 0.4 < hi) {
+		t.Errorf("CI [%v, %v] does not bracket the estimate", lo, hi)
+	}
+	// More samples shrink the interval.
+	lo2, hi2 := FisherCI(0.4, 1000, 0.95)
+	if hi2-lo2 >= hi-lo {
+		t.Error("CI did not shrink with more samples")
+	}
+	// Higher confidence widens it.
+	lo3, hi3 := FisherCI(0.4, 100, 0.99)
+	if hi3-lo3 <= hi-lo {
+		t.Error("99% CI not wider than 95%")
+	}
+	// Known value: r=0.5, n=103 -> se = 0.1, z = 0.5493,
+	// 95% CI in z-space 0.5493 ± 1.96*0.1.
+	lo4, hi4 := FisherCI(0.5, 103, 0.95)
+	if !almostEqual(lo4, math.Tanh(0.5493061443340548-1.959963984540054*0.1), 1e-9) {
+		t.Errorf("lo = %v", lo4)
+	}
+	if !almostEqual(hi4, math.Tanh(0.5493061443340548+1.959963984540054*0.1), 1e-9) {
+		t.Errorf("hi = %v", hi4)
+	}
+}
+
+func TestFisherCIPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"small n":        func() { FisherCI(0.1, 3, 0.95) },
+		"bad confidence": func() { FisherCI(0.1, 100, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNoiseFloorScales(t *testing.T) {
+	// The attack's wrong-guess bar: about 0.25-0.33 at n=100 over 255
+	// guesses, shrinking like 1/sqrt(n).
+	f100 := NoiseFloor(100, 255)
+	if f100 < 0.2 || f100 > 0.4 {
+		t.Errorf("NoiseFloor(100,255) = %v, want ≈0.3", f100)
+	}
+	f400 := NoiseFloor(400, 255)
+	if !almostEqual(f400, f100/2, 0.01) {
+		t.Errorf("floor not ~1/sqrt(n): %v vs %v/2", f400, f100)
+	}
+	// More guesses raise the bar.
+	if NoiseFloor(100, 1000) <= NoiseFloor(100, 10) {
+		t.Error("floor not increasing in guesses")
+	}
+}
+
+func TestNoiseFloorMatchesSimulation(t *testing.T) {
+	// Empirical check against the observed wrong-guess maxima in the
+	// experiments: at n=100 samples the best wrong guess lands around
+	// 0.27-0.31 (see fig6 disabled run: 0.274). The analytic floor
+	// should be in that band.
+	f := NoiseFloor(100, 255)
+	if f < 0.25 || f > 0.35 {
+		t.Errorf("NoiseFloor(100,255) = %v, observed wrong-guess maxima ≈0.27-0.31", f)
+	}
+}

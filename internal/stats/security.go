@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// SamplesForAttack implements Equation 4 of the paper: the expected
+// number of timing samples S an attacker needs to distinguish the
+// correct key guess at success rate alpha, given the correlation rho
+// between the measurement vector T and the estimation vector Û:
+//
+//	S = 3 + 8 · (Z_α / ln((1+ρ)/(1-ρ)))²
+//
+// |rho| >= 1 returns the degenerate minimum (3: the estimator is
+// exact), rho == 0 returns +Inf (the attack never succeeds, e.g.
+// num-subwarp = 32 where the access count is constant).
+func SamplesForAttack(rho, alpha float64) float64 {
+	if !(alpha > 0 && alpha < 1) {
+		panic(fmt.Sprintf("stats: SamplesForAttack alpha=%v outside (0,1)", alpha))
+	}
+	rho = math.Abs(rho)
+	if rho == 0 {
+		return math.Inf(1)
+	}
+	if rho >= 1 {
+		return 3
+	}
+	z := NormalQuantile(alpha)
+	l := math.Log((1 + rho) / (1 - rho))
+	return 3 + 8*(z/l)*(z/l)
+}
+
+// SamplesForAttackApprox implements the small-ρ approximation of
+// Equation 4: S ≈ 2·Z_α²/ρ². With α = 0.99, 2·Z_α² ≈ 11 as the paper
+// notes.
+func SamplesForAttackApprox(rho, alpha float64) float64 {
+	if !(alpha > 0 && alpha < 1) {
+		panic(fmt.Sprintf("stats: SamplesForAttackApprox alpha=%v outside (0,1)", alpha))
+	}
+	rho = math.Abs(rho)
+	if rho == 0 {
+		return math.Inf(1)
+	}
+	z := NormalQuantile(alpha)
+	return 2 * z * z / (rho * rho)
+}
+
+// NormalizedSamples returns S normalized to the baseline case ρ = 1
+// (FSS with M = 1 in Table II): S_norm = 1/ρ². Zero correlation maps
+// to +Inf.
+func NormalizedSamples(rho float64) float64 {
+	rho = math.Abs(rho)
+	if rho == 0 {
+		return math.Inf(1)
+	}
+	return 1 / (rho * rho)
+}
+
+// RCoalScore implements Equation 7, the tunable security/performance
+// trade-off metric:
+//
+//	RCoal_Score = S^a / execution_time^b
+//
+// where S is the squared inverse of the average attack correlation
+// (SecurityS) and executionTime is typically normalized to the
+// num-subwarp = 1 baseline. Exponents a and b weight security versus
+// performance: the paper evaluates (a=1, b=1) for a security-oriented
+// system and (a=1, b=20) for a performance-oriented one.
+func RCoalScore(s, executionTime, a, b float64) float64 {
+	if executionTime <= 0 {
+		panic(fmt.Sprintf("stats: RCoalScore executionTime=%v must be positive", executionTime))
+	}
+	return math.Pow(s, a) / math.Pow(executionTime, b)
+}
+
+// SecurityS converts an average attack correlation into the paper's S
+// value used by RCoalScore: the square of the inverse of the average
+// correlation. Zero correlation maps to +Inf (perfect security).
+func SecurityS(avgCorrelation float64) float64 {
+	return NormalizedSamples(avgCorrelation)
+}

@@ -1,0 +1,100 @@
+package theory
+
+import (
+	"testing"
+
+	"rcoal/internal/core"
+	"rcoal/internal/rng"
+	"rcoal/internal/stats"
+)
+
+// empiricalRho estimates ρ(U, Û) by Monte Carlo: per sample, draw N
+// uniform block accesses; the defense draws its own plan (hardware
+// stream) to produce U, the attacker draws an independent plan from
+// the same policy to produce Û. This is exactly the quantity the
+// Section V model computes, so it must match Table II.
+func empiricalRho(t *testing.T, policy core.Config, nBlocks, samples int, seed uint64) float64 {
+	t.Helper()
+	hw := rng.New(seed).Split(1)
+	atk := rng.New(seed).Split(2)
+	data := rng.New(seed).Split(3)
+	u := make([]float64, samples)
+	uhat := make([]float64, samples)
+	blocks := make([]int, core.DefaultWarpSize)
+	for n := 0; n < samples; n++ {
+		for i := range blocks {
+			blocks[i] = data.Intn(nBlocks)
+		}
+		u[n] = float64(policy.NewPlan(hw).CountSmallBlocks(blocks))
+		uhat[n] = float64(policy.NewPlan(atk).CountSmallBlocks(blocks))
+	}
+	r, err := stats.Pearson(u, uhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTable2AgainstMonteCarlo(t *testing.T) {
+	// Empirically confirm the analytical ρ of Table II with the real
+	// mechanism implementations: the defense and the attack use
+	// independent random streams, exactly the corresponding-attack
+	// setting. 30k samples give ±0.012 (2σ) accuracy.
+	const samples = 30000
+	md, _ := NewModel(32, 16)
+	cases := []struct {
+		policy core.Config
+		want   float64
+	}{
+		{core.FSSRTS(2), md.RhoFSSRTS(2)},
+		{core.FSSRTS(4), md.RhoFSSRTS(4)},
+		{core.FSSRTS(8), md.RhoFSSRTS(8)},
+		{core.FSSRTS(16), md.RhoFSSRTS(16)},
+		{core.RSSRTS(2), md.RhoRSSRTS(2)},
+		{core.RSSRTS(4), md.RhoRSSRTS(4)},
+		{core.RSSRTS(8), md.RhoRSSRTS(8)},
+		{core.RSSRTS(16), md.RhoRSSRTS(16)},
+	}
+	for _, c := range cases {
+		got := empiricalRho(t, c.policy, 16, samples, 0xE2E)
+		if !almost(got, c.want, 0.02) {
+			t.Errorf("%s: empirical rho %.4f vs analytical %.4f", c.policy.Name(), got, c.want)
+		}
+	}
+}
+
+func TestFSSAttackDeterministicallyMatches(t *testing.T) {
+	// FSS without RTS is deterministic: attacker and hardware plans
+	// coincide, so U == Û exactly, sample by sample (the paper's
+	// Figure 8 conclusion).
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		policy := core.FSS(m)
+		if rho := empiricalRho(t, policy, 16, 2000, 0xF55A); !almost(rho, 1, 1e-9) {
+			t.Errorf("FSS(%d): rho = %v, want exactly 1", m, rho)
+		}
+	}
+}
+
+func TestM32ConstantCount(t *testing.T) {
+	// M = 32: the count is constant, the correlation degenerates to 0.
+	if rho := empiricalRho(t, core.FSSRTS(32), 16, 500, 0x32); rho != 0 {
+		t.Errorf("M=32: rho = %v, want 0 (constant series)", rho)
+	}
+}
+
+func TestRSSWithoutRTSEmpirical(t *testing.T) {
+	// The model skips plain RSS (Section V notes the enumeration is
+	// infeasible analytically), but empirically its ρ must sit between
+	// the deterministic FSS (1.0) and the doubly-randomized RSS+RTS.
+	md, _ := NewModel(32, 16)
+	for _, m := range []int{2, 4, 8} {
+		rss := empiricalRho(t, core.RSS(m), 16, 30000, 0x4A)
+		rssrts := md.RhoRSSRTS(m)
+		if rss <= rssrts-0.02 {
+			t.Errorf("RSS(%d): rho %.4f below RSS+RTS analytical %.4f", m, rss, rssrts)
+		}
+		if rss >= 0.9 {
+			t.Errorf("RSS(%d): rho %.4f too close to deterministic", m, rss)
+		}
+	}
+}

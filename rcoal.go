@@ -1,0 +1,227 @@
+// Package rcoal is a from-scratch reproduction of "RCoal: Mitigating
+// GPU Timing Attack via Subwarp-Based Randomized Coalescing
+// Techniques" (Kadam, Zhang, Jog — HPCA 2018).
+//
+// It provides, as one coherent library:
+//
+//   - the randomized coalescing mechanisms themselves (FSS, RSS, RTS
+//     and their combinations) and the subwarp-plan abstraction the
+//     modified coalescing unit executes;
+//   - a cycle-level GPU timing simulator configured like the paper's
+//     Table I (SIMT cores, crossbar interconnect, GDDR5 partitions
+//     with FR-FCFS scheduling) that runs AES-128 encryption kernels;
+//   - the correlation timing attack of Jiang et al. and the paper's
+//     "corresponding attacks" against each defense;
+//   - the Section V analytical security model that regenerates
+//     Table II; and
+//   - experiment drivers reproducing every figure and table of the
+//     paper's evaluation.
+//
+// This file is the public facade: type aliases and constructors over
+// the internal packages, so downstream users interact with one stable
+// surface. The examples/ directory shows typical usage; the cmd/
+// directory ships CLI tools built on the same API.
+package rcoal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/aesgpu"
+	"rcoal/internal/attack"
+	"rcoal/internal/core"
+	"rcoal/internal/experiments"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/kernels"
+	"rcoal/internal/rng"
+	"rcoal/internal/stats"
+	"rcoal/internal/theory"
+)
+
+// --- Coalescing mechanisms (the paper's contribution) -----------------------
+
+// CoalescingConfig is a coalescing policy: mechanism family plus
+// num-subwarp. Build one with Baseline/FSS/RSS/... or ParseMechanism.
+type CoalescingConfig = core.Config
+
+// SubwarpPlan is one realized thread→subwarp mapping (drawn per kernel
+// launch).
+type SubwarpPlan = core.Plan
+
+// Baseline returns the undefended whole-warp coalescing policy.
+func Baseline() CoalescingConfig { return core.Baseline() }
+
+// FSS returns fixed-sized subwarps with m subwarps per warp.
+func FSS(m int) CoalescingConfig { return core.FSS(m) }
+
+// FSSRTS returns FSS with random thread allocation.
+func FSSRTS(m int) CoalescingConfig { return core.FSSRTS(m) }
+
+// RSS returns random-sized (skewed) subwarps.
+func RSS(m int) CoalescingConfig { return core.RSS(m) }
+
+// RSSRTS returns RSS with random thread allocation.
+func RSSRTS(m int) CoalescingConfig { return core.RSSRTS(m) }
+
+// RSSNormal returns the normal-sized RSS variant of Figure 9.
+func RSSNormal(m int, sigma float64) CoalescingConfig { return core.RSSNormal(m, sigma) }
+
+// ParseMechanism parses a "mechanism:subwarps" spec such as
+// "baseline", "fss:4", "fss+rts:8", "rss:2", or "rss+rts:16".
+func ParseMechanism(spec string) (CoalescingConfig, error) {
+	name, mStr, found := strings.Cut(strings.ToLower(strings.TrimSpace(spec)), ":")
+	m := 1
+	if found {
+		var err error
+		if m, err = strconv.Atoi(mStr); err != nil {
+			return CoalescingConfig{}, fmt.Errorf("rcoal: bad subwarp count %q in %q", mStr, spec)
+		}
+	}
+	var cfg CoalescingConfig
+	switch name {
+	case "baseline":
+		cfg = core.Baseline()
+	case "fss":
+		cfg = core.FSS(m)
+	case "fss+rts", "fssrts":
+		cfg = core.FSSRTS(m)
+	case "rss":
+		cfg = core.RSS(m)
+	case "rss+rts", "rssrts":
+		cfg = core.RSSRTS(m)
+	case "rss-normal", "rssnormal":
+		cfg = core.RSSNormal(m, 0)
+	default:
+		return CoalescingConfig{}, fmt.Errorf("rcoal: unknown mechanism %q (want baseline|fss|fss+rts|rss|rss+rts[:M])", spec)
+	}
+	if err := cfg.Validate(); err != nil {
+		return CoalescingConfig{}, err
+	}
+	return cfg, nil
+}
+
+// --- Simulated GPU and encryption service -----------------------------------
+
+// GPUConfig is the simulated GPU configuration (Table I defaults via
+// DefaultGPUConfig).
+type GPUConfig = gpusim.Config
+
+// DefaultGPUConfig returns the paper's Table I configuration.
+func DefaultGPUConfig() GPUConfig { return gpusim.DefaultConfig() }
+
+// Server is a GPU AES encryption service (the remote victim of the
+// threat model).
+type Server = aesgpu.Server
+
+// Dataset is a collection of timing samples gathered from a Server.
+type Dataset = aesgpu.Dataset
+
+// Sample is one encryption request's observable outcome.
+type Sample = aesgpu.Sample
+
+// Line is one 16-byte plaintext/ciphertext block.
+type Line = kernels.Line
+
+// NewServer builds an encryption server simulating cfg with the given
+// AES key.
+func NewServer(cfg GPUConfig, key []byte) (*Server, error) {
+	return aesgpu.NewServer(cfg, key)
+}
+
+// RandomPlaintext draws n random plaintext lines from the seed.
+func RandomPlaintext(seed uint64, n int) []Line {
+	return kernels.RandomPlaintext(rng.New(seed), n)
+}
+
+// InvertAES128Schedule recovers the original AES-128 key from a
+// recovered last round key — the property that makes the last round
+// the attack target.
+func InvertAES128Schedule(lastRoundKey [16]byte) [16]byte {
+	return aes.InvertSchedule128(lastRoundKey)
+}
+
+// EnergyModel estimates per-launch energy (GPUWattch-style constants);
+// see the gpusim package for the event accounting.
+type EnergyModel = gpusim.EnergyModel
+
+// DefaultEnergyModel returns the order-of-magnitude per-event energies.
+func DefaultEnergyModel() EnergyModel { return gpusim.DefaultEnergyModel() }
+
+// --- Attacks -----------------------------------------------------------------
+
+// Attacker mounts correlation timing attacks under an assumed defense
+// policy.
+type Attacker = attack.Attacker
+
+// KeyResult is a full 16-byte last-round key recovery outcome.
+type KeyResult = attack.KeyResult
+
+// ByteResult is a single key byte's attack outcome.
+type ByteResult = attack.ByteResult
+
+// NewAttacker builds a "corresponding attack" for the given assumed
+// policy; the seed drives the attacker's own defense simulation.
+func NewAttacker(policy CoalescingConfig, seed uint64) (*Attacker, error) {
+	return attack.New(policy, seed)
+}
+
+// BaselineAttacker returns the original attack of Jiang et al.
+// (whole-warp coalescing assumed).
+func BaselineAttacker(seed uint64) *Attacker { return attack.Baseline(seed) }
+
+// NewDecryptAttacker builds a corresponding attack against a GPU
+// *decryption* service: the observed lines are recovered plaintexts
+// and the recovered bytes form round key 0 — the original AES key.
+func NewDecryptAttacker(policy CoalescingConfig, seed uint64) (*Attacker, error) {
+	return attack.NewDecrypt(policy, seed)
+}
+
+// CTRSample is a CTR-mode encryption response (ciphertexts plus the
+// keystream blocks the attacker can reconstruct from known plaintext).
+type CTRSample = aesgpu.CTRSample
+
+// BankConflictAttacker mounts the shared-memory bank-conflict attack
+// (the channel RCoal does not cover; see the ext-sharedmem
+// experiment).
+type BankConflictAttacker = attack.BankConflictAttacker
+
+// --- Analytical model and metrics ---------------------------------------------
+
+// SecurityModel is the Section V analytical model.
+type SecurityModel = theory.Model
+
+// NewSecurityModel builds the model for n threads per warp and r
+// memory blocks per table (the paper uses 32 and 16).
+func NewSecurityModel(n, r int) (*SecurityModel, error) { return theory.NewModel(n, r) }
+
+// SamplesForAttack is Equation 4: the samples needed for a successful
+// attack at correlation rho and success rate alpha.
+func SamplesForAttack(rho, alpha float64) float64 { return stats.SamplesForAttack(rho, alpha) }
+
+// RCoalScore is Equation 7: the security/performance trade-off metric.
+func RCoalScore(s, executionTime, a, b float64) float64 {
+	return stats.RCoalScore(s, executionTime, a, b)
+}
+
+// --- Experiments ---------------------------------------------------------------
+
+// ExperimentOptions parameterizes a paper-reproduction experiment.
+type ExperimentOptions = experiments.Options
+
+// DefaultExperimentOptions mirrors the paper's evaluation setup.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// ExperimentIDs lists the reproducible paper artifacts ("fig6",
+// "table2", ...).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment reproduces one paper artifact and returns its report.
+func RunExperiment(id string, o ExperimentOptions) (string, error) {
+	res, err := experiments.Run(id, o)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
