@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench experiments examples fuzz clean
+.PHONY: all build test test-race cover bench ci experiments examples fuzz clean
 
 all: build test
+
+# Mirror of .github/workflows/ci.yml: everything the gate runs.
+ci: build test
+	$(GO) test -race -short ./internal/runner ./internal/experiments ./internal/attack
 
 build:
 	$(GO) build ./...
@@ -38,6 +42,7 @@ examples:
 fuzz:
 	$(GO) test -fuzz FuzzEncryptMatchesStdlib -fuzztime 30s ./internal/aes/
 	$(GO) test -fuzz FuzzParseMechanism -fuzztime 15s .
+	$(GO) test -fuzz FuzzRunnerSeedSplit -fuzztime 15s .
 
 clean:
 	$(GO) clean -testcache

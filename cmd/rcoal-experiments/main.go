@@ -30,6 +30,8 @@ func main() {
 		key     = flag.String("key", "RCoal eval key 1", "AES key (16/24/32 bytes)")
 		csvDir  = flag.String("csv", "", "directory to write <id>.csv data files into (optional)")
 		par     = flag.Int("parallel", 1, "experiments to run concurrently (they are independent and deterministic)")
+		workers = flag.Int("workers", 0, "cells evaluated concurrently inside each experiment; 0 = GOMAXPROCS, 1 = serial (results are identical at any setting)")
+		prog    = flag.Bool("progress", false, "report per-experiment cell progress on stderr")
 	)
 	flag.Parse()
 
@@ -49,6 +51,7 @@ func main() {
 	opts.Lines = *lines
 	opts.Seed = *seed
 	opts.Key = []byte(*key)
+	opts.Workers = *workers
 
 	ids := []string{*run}
 	if *run == "all" {
@@ -70,7 +73,13 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			res, err := experiments.Run(id, opts)
+			o := opts
+			if *prog {
+				o.Progress = func(done, total int) {
+					fmt.Fprintf(os.Stderr, "%s: %d/%d cells\n", id, done, total)
+				}
+			}
+			res, err := experiments.Run(id, o)
 			if err != nil {
 				results[i] = outcome{err: err}
 				return

@@ -95,6 +95,30 @@ func Baseline(seed uint64) *Attacker {
 // Name describes the attack, e.g. "attack[RSS+RTS(8)]".
 func (a *Attacker) Name() string { return "attack[" + a.policy.Name() + "]" }
 
+// Warm precomputes the plan cache for n samples. Warming before
+// Clone lets sibling workers share the derivation cost: clones copy
+// the warmed cache and never recompute those plans.
+func (a *Attacker) Warm(n int) {
+	if n > 0 {
+		a.plan(n - 1)
+	}
+}
+
+// Clone returns an independent attacker with the same assumed policy,
+// seed, and index function, plus a copy of the plan cache derived so
+// far. Because plans are a pure function of (seed, sample index),
+// a clone's estimates are byte-identical to its parent's — but each
+// clone owns its cache growth, so clones may run on sibling
+// goroutines while the parent and other clones stay untouched.
+func (a *Attacker) Clone() *Attacker {
+	return &Attacker{
+		policy:    a.policy,
+		seed:      a.seed,
+		indexFn:   a.indexFn,
+		planCache: append([]core.Plan(nil), a.planCache...),
+	}
+}
+
 func (a *Attacker) plan(n int) core.Plan {
 	for len(a.planCache) <= n {
 		r := rng.New(a.seed).Split(uint64(len(a.planCache)) + 1)

@@ -1,0 +1,89 @@
+package attack
+
+import (
+	"sync"
+	"testing"
+
+	"rcoal/internal/core"
+	"rcoal/internal/kernels"
+)
+
+// TestCloneMatchesParent: clones derive exactly the plans and
+// estimates the parent would, warmed or cold.
+func TestCloneMatchesParent(t *testing.T) {
+	cts := make([][]kernels.Line, 20)
+	for n := range cts {
+		cts[n] = randomLines(uint64(n+1), 32)
+	}
+	for _, warm := range []int{0, 5, 20} {
+		parent, err := New(core.RSSRTS(8), 0xC10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent.Warm(warm)
+		clone := parent.Clone()
+
+		// Reference from a fresh attacker with the same seed.
+		ref, err := New(core.RSSRTS(8), 0xC10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < KeyBytes; j += 3 {
+			want := ref.EstimationVector(cts, j, byte(j*7))
+			got := clone.EstimationVector(cts, j, byte(j*7))
+			for n := range want {
+				if got[n] != want[n] {
+					t.Fatalf("warm=%d j=%d: clone estimate[%d] = %v, want %v", warm, j, n, got[n], want[n])
+				}
+			}
+		}
+		// The clone's cache growth must not have leaked into the parent.
+		if len(parent.planCache) != warm {
+			t.Errorf("warm=%d: parent cache grew to %d", warm, len(parent.planCache))
+		}
+	}
+}
+
+// TestCloneRaceRegression is the -race regression for the plan-cache
+// hazard: two attackers (clones of one warmed parent) run estimation
+// loops on sibling goroutines, including past the warmed range so both
+// exercise concurrent cache growth on their own copies. Run with
+// `go test -race ./internal/attack`.
+func TestCloneRaceRegression(t *testing.T) {
+	cts := make([][]kernels.Line, 30)
+	for n := range cts {
+		cts[n] = randomLines(uint64(n+1), 32)
+	}
+	parent, err := New(core.RSSRTS(4), 0xACE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.Warm(10) // warm only a prefix: clones must grow independently
+
+	serial := make([][]float64, KeyBytes)
+	for j := range serial {
+		serial[j] = parent.Clone().EstimationVector(cts, j, byte(j))
+	}
+
+	var wg sync.WaitGroup
+	parallel := make([][]float64, KeyBytes)
+	for w := 0; w < 2; w++ { // two sibling workers, split by parity
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			atk := parent.Clone()
+			for j := w; j < KeyBytes; j += 2 {
+				parallel[j] = atk.EstimationVector(cts, j, byte(j))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for j := range serial {
+		for n := range serial[j] {
+			if parallel[j][n] != serial[j][n] {
+				t.Fatalf("j=%d sample %d: parallel %v != serial %v", j, n, parallel[j][n], serial[j][n])
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,6 +20,7 @@ import (
 	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/runner"
 	"rcoal/internal/stats"
 )
 
@@ -37,6 +39,21 @@ type Options struct {
 	Key []byte
 	// Width is the render width for bar charts.
 	Width int
+	// Workers bounds how many evaluation cells an experiment runs
+	// concurrently: 0 means GOMAXPROCS, 1 forces serial execution.
+	// The worker count never changes results — every cell derives its
+	// randomness from explicit seeds and owns its simulator and
+	// attacker, so output is byte-identical at any setting.
+	Workers int
+	// Progress, when non-nil, is called after each completed cell of
+	// the cell-parallel experiments (sweeps, scatter figures, the case
+	// study). Calls are serialized.
+	Progress func(done, total int)
+}
+
+// pool returns the worker pool experiments fan their cells out over.
+func (o Options) pool() runner.Pool {
+	return runner.Pool{Workers: o.Workers, OnProgress: o.Progress}
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.
@@ -59,6 +76,9 @@ func (o Options) validate() error {
 	}
 	if len(o.Key) != 16 && len(o.Key) != 24 && len(o.Key) != 32 {
 		return fmt.Errorf("experiments: key length %d invalid", len(o.Key))
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: negative worker count %d", o.Workers)
 	}
 	return nil
 }
@@ -145,14 +165,29 @@ func ciphertexts(ds *aesgpu.Dataset) [][]kernels.Line {
 // for the *correct* byte value and the measurement vector — the metric
 // of Figures 7b, 15, and 18a. It avoids the 256-guess sweep that the
 // full recovery performs.
-func avgCorrectCorrelation(a *attack.Attacker, cts [][]kernels.Line, meas []float64, trueKey [16]byte) (float64, error) {
+//
+// The per-byte estimations fan out over up to `workers` clones of the
+// attacker (each clone owns its plan cache; the shared cache is warmed
+// first). The correlations are summed in byte order, so the result is
+// bit-identical to the serial loop at any worker count.
+func avgCorrectCorrelation(a *attack.Attacker, cts [][]kernels.Line, meas []float64, trueKey [16]byte, workers int) (float64, error) {
+	a.Warm(len(cts))
+	var rs [attack.KeyBytes]float64
+	err := (runner.Pool{Workers: workers}).MapN(context.Background(), attack.KeyBytes,
+		func(_ context.Context, j int) error {
+			u := a.Clone().EstimationVector(cts, j, trueKey[j])
+			r, err := stats.Pearson(u, meas)
+			if err != nil {
+				return err
+			}
+			rs[j] = r
+			return nil
+		})
+	if err != nil {
+		return 0, err
+	}
 	sum := 0.0
-	for j := 0; j < attack.KeyBytes; j++ {
-		u := a.EstimationVector(cts, j, trueKey[j])
-		r, err := stats.Pearson(u, meas)
-		if err != nil {
-			return 0, err
-		}
+	for _, r := range rs {
 		sum += r
 	}
 	return sum / attack.KeyBytes, nil
@@ -165,12 +200,24 @@ func avgCorrectCorrelation(a *attack.Attacker, cts [][]kernels.Line, meas []floa
 // observed access counts; randomization drives it down. It is the
 // cleanest single number for "can the access count be predicted at
 // all".
-func fullKeyEstimateCorrelation(a *attack.Attacker, cts [][]kernels.Line, meas []float64, trueKey [16]byte) (float64, error) {
+// Like avgCorrectCorrelation, the per-byte estimations fan out over
+// attacker clones and are accumulated in byte order, keeping the
+// result identical at any worker count.
+func fullKeyEstimateCorrelation(a *attack.Attacker, cts [][]kernels.Line, meas []float64, trueKey [16]byte, workers int) (float64, error) {
+	a.Warm(len(cts))
+	var us [attack.KeyBytes][]float64
+	err := (runner.Pool{Workers: workers}).MapN(context.Background(), attack.KeyBytes,
+		func(_ context.Context, j int) error {
+			us[j] = a.Clone().EstimationVector(cts, j, trueKey[j])
+			return nil
+		})
+	if err != nil {
+		return 0, err
+	}
 	total := make([]float64, len(cts))
 	for j := 0; j < attack.KeyBytes; j++ {
-		u := a.EstimationVector(cts, j, trueKey[j])
-		for n := range u {
-			total[n] += u[n]
+		for n, v := range us[j] {
+			total[n] += v
 		}
 	}
 	return stats.Pearson(total, meas)

@@ -107,7 +107,7 @@ func ExtSelective(o Options) (*ExtSelectiveResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		corr, err := fullKeyEstimateCorrelation(atk, ciphertexts(ds), ds.ObservedLastRoundTx(), srv.LastRoundKey())
+		corr, err := fullKeyEstimateCorrelation(atk, ciphertexts(ds), ds.ObservedLastRoundTx(), srv.LastRoundKey(), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -496,7 +496,7 @@ func ExtRSSDist(o Options) (*ExtRSSDistResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		row.FullKeyCorr, err = fullKeyEstimateCorrelation(atk, ciphertexts(ds), ds.ObservedLastRoundTx(), srv.LastRoundKey())
+		row.FullKeyCorr, err = fullKeyEstimateCorrelation(atk, ciphertexts(ds), ds.ObservedLastRoundTx(), srv.LastRoundKey(), o.Workers)
 		if err != nil {
 			return nil, err
 		}

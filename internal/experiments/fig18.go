@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 
 	"rcoal/internal/attack"
 	"rcoal/internal/report"
+	"rcoal/internal/runner"
 )
 
 func init() { Registry["fig18"] = func(o Options) (Result, error) { return Fig18(o) } }
@@ -39,51 +41,82 @@ type Fig18Result struct {
 
 // Fig18 runs the 1024-line case study. Options.Lines is overridden to
 // 1024 (the point of the experiment); Options.Samples is respected.
+//
+// The baseline and the mechanism × num-subwarp grid — the heaviest
+// simulation load in the repository — fan out over Options.Workers;
+// output is byte-identical at any worker count.
 func Fig18(o Options) (*Fig18Result, error) {
 	o.Lines = 1024
 	res := &Fig18Result{Lines: o.Lines, Samples: o.Samples}
 
-	_, base, err := collect(o, MechFSS.Policy(1), false)
-	if err != nil {
-		return nil, err
+	type job struct {
+		mech     Mechanism
+		m        int
+		baseline bool
 	}
-	baseCycles := 0.0
-	for _, s := range base.Samples {
-		baseCycles += float64(s.TotalCycles)
-	}
-	baseCycles /= float64(len(base.Samples))
-
+	jobs := []job{{baseline: true}}
 	for _, mech := range AllMechanisms {
 		for _, m := range Fig18Subwarps {
-			srv, ds, err := collect(o, mech.Policy(m), false)
-			if err != nil {
-				return nil, err
+			jobs = append(jobs, job{mech: mech, m: m})
+		}
+	}
+
+	type out struct {
+		cell       Fig18Cell
+		baseCycles float64
+		meanCycles float64
+	}
+	outs, err := runner.MapWith(context.Background(), o.pool(), jobs,
+		func(_ context.Context, _ int, jb job) (out, error) {
+			if jb.baseline {
+				_, base, err := collect(o, MechFSS.Policy(1), false)
+				if err != nil {
+					return out{}, err
+				}
+				baseCycles := 0.0
+				for _, s := range base.Samples {
+					baseCycles += float64(s.TotalCycles)
+				}
+				return out{baseCycles: baseCycles / float64(len(base.Samples))}, nil
 			}
-			cell := Fig18Cell{Mechanism: mech, M: m}
+			srv, ds, err := collect(o, jb.mech.Policy(jb.m), false)
+			if err != nil {
+				return out{}, err
+			}
+			cell := Fig18Cell{Mechanism: jb.mech, M: jb.m}
 			mean := 0.0
 			for _, s := range ds.Samples {
 				mean += float64(s.TotalCycles)
 			}
-			cell.NormCycles = mean / float64(len(ds.Samples)) / baseCycles
 
-			atk, err := attack.New(mech.Policy(m), o.Seed^0x1024)
+			atk, err := attack.New(jb.mech.Policy(jb.m), o.Seed^0x1024)
 			if err != nil {
-				return nil, err
+				return out{}, err
 			}
 			// Correlate against observed last-round accesses, not time,
-			// per Section VI-D.
+			// per Section VI-D. The grid saturates the pool, so the
+			// per-key-byte loops stay serial.
 			cts := ciphertexts(ds)
 			obs := ds.ObservedLastRoundTx()
-			cell.AvgCorrectCorr, err = avgCorrectCorrelation(atk, cts, obs, srv.LastRoundKey())
+			cell.AvgCorrectCorr, err = avgCorrectCorrelation(atk, cts, obs, srv.LastRoundKey(), 1)
 			if err != nil {
-				return nil, err
+				return out{}, err
 			}
-			cell.FullKeyCorr, err = fullKeyEstimateCorrelation(atk, cts, obs, srv.LastRoundKey())
+			cell.FullKeyCorr, err = fullKeyEstimateCorrelation(atk, cts, obs, srv.LastRoundKey(), 1)
 			if err != nil {
-				return nil, err
+				return out{}, err
 			}
-			res.Cells = append(res.Cells, cell)
-		}
+			return out{cell: cell, meanCycles: mean / float64(len(ds.Samples))}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	baseCycles := outs[0].baseCycles
+	for _, ot := range outs[1:] {
+		cell := ot.cell
+		cell.NormCycles = ot.meanCycles / baseCycles
+		res.Cells = append(res.Cells, cell)
 	}
 	return res, nil
 }

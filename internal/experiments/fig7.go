@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"rcoal/internal/attack"
 	"rcoal/internal/core"
 	"rcoal/internal/report"
+	"rcoal/internal/runner"
 )
 
 func init() { Registry["fig7"] = func(o Options) (Result, error) { return Fig7(o) } }
@@ -32,30 +34,36 @@ type Fig7Result struct {
 // Fig7Subwarps are the num-subwarp values of the FSS sweep.
 var Fig7Subwarps = []int{1, 2, 4, 8, 16, 32}
 
-// Fig7 sweeps FSS over num-subwarp under the baseline attack.
+// Fig7 sweeps FSS over num-subwarp under the baseline attack. The
+// num-subwarp rows fan out over Options.Workers; output is
+// byte-identical at any worker count.
 func Fig7(o Options) (*Fig7Result, error) {
-	res := &Fig7Result{}
-	for _, m := range Fig7Subwarps {
-		srv, ds, err := collect(o, core.FSS(m), false)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig7Row{M: m}
-		for _, s := range ds.Samples {
-			row.MeanCycles += float64(s.TotalCycles)
-			row.MeanAccesses += float64(s.TotalTx)
-		}
-		row.MeanCycles /= float64(len(ds.Samples))
-		row.MeanAccesses /= float64(len(ds.Samples))
+	rows, err := runner.MapWith(context.Background(), o.pool(), Fig7Subwarps,
+		func(_ context.Context, _ int, m int) (Fig7Row, error) {
+			srv, ds, err := collect(o, core.FSS(m), false)
+			if err != nil {
+				return Fig7Row{}, err
+			}
+			row := Fig7Row{M: m}
+			for _, s := range ds.Samples {
+				row.MeanCycles += float64(s.TotalCycles)
+				row.MeanAccesses += float64(s.TotalTx)
+			}
+			row.MeanCycles /= float64(len(ds.Samples))
+			row.MeanAccesses /= float64(len(ds.Samples))
 
-		atk := attack.Baseline(o.Seed ^ 0xF55)
-		row.BaselineAttackCorr, err = avgCorrectCorrelation(atk, ciphertexts(ds), ds.LastRoundTimes(), srv.LastRoundKey())
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+			atk := attack.Baseline(o.Seed ^ 0xF55)
+			row.BaselineAttackCorr, err = avgCorrectCorrelation(
+				atk, ciphertexts(ds), ds.LastRoundTimes(), srv.LastRoundKey(), 1)
+			if err != nil {
+				return Fig7Row{}, err
+			}
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig7Result{Rows: rows}, nil
 }
 
 // Render implements Result.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"rcoal/internal/attack"
 	"rcoal/internal/report"
+	"rcoal/internal/runner"
 	"rcoal/internal/stats"
 )
 
@@ -52,43 +54,51 @@ type ScatterResult struct {
 }
 
 // ScatterExperiment runs mechanism mech against its corresponding
-// attack across the standard num-subwarp panels.
+// attack across the standard num-subwarp panels. The panels — and,
+// within each panel, the 16-key-byte correlation loop — fan out over
+// Options.Workers with per-panel servers and attackers; output is
+// byte-identical at any worker count.
 func ScatterExperiment(o Options, mech Mechanism, id string) (*ScatterResult, error) {
-	res := &ScatterResult{ID: id, Mechanism: mech,
-		NoiseFloor: stats.NoiseFloor(o.Samples, 255)}
-	for _, m := range ScatterSubwarps {
-		srv, ds, err := collect(o, mech.Policy(m), false)
-		if err != nil {
-			return nil, err
-		}
-		// The corresponding attack assumes the same mechanism and M but
-		// runs on its own random stream.
-		atk, err := attack.New(mech.Policy(m), o.Seed^0xDEFEA7ED)
-		if err != nil {
-			return nil, err
-		}
-		cts := ciphertexts(ds)
-		times := ds.LastRoundTimes()
-		lrk := srv.LastRoundKey()
+	panels, err := runner.MapWith(context.Background(), o.pool(), ScatterSubwarps,
+		func(_ context.Context, _ int, m int) (ScatterPanel, error) {
+			srv, ds, err := collect(o, mech.Policy(m), false)
+			if err != nil {
+				return ScatterPanel{}, err
+			}
+			// The corresponding attack assumes the same mechanism and M
+			// but runs on its own random stream.
+			atk, err := attack.New(mech.Policy(m), o.Seed^0xDEFEA7ED)
+			if err != nil {
+				return ScatterPanel{}, err
+			}
+			cts := ciphertexts(ds)
+			times := ds.LastRoundTimes()
+			lrk := srv.LastRoundKey()
 
-		br, err := atk.RecoverByte(cts, times, 0)
-		if err != nil {
-			return nil, err
-		}
-		avg, err := avgCorrectCorrelation(atk, cts, times, lrk)
-		if err != nil {
-			return nil, err
-		}
-		res.Panels = append(res.Panels, ScatterPanel{
-			M:              m,
-			Byte0:          br,
-			TrueByte:       lrk[0],
-			Recovered:      br.Best == lrk[0],
-			Rank:           br.Rank(lrk[0]),
-			AvgCorrectCorr: avg,
+			br, err := atk.RecoverByte(cts, times, 0)
+			if err != nil {
+				return ScatterPanel{}, err
+			}
+			// Few panels, so spare workers go to the per-key-byte loop.
+			avg, err := avgCorrectCorrelation(atk, cts, times, lrk, o.Workers)
+			if err != nil {
+				return ScatterPanel{}, err
+			}
+			return ScatterPanel{
+				M:              m,
+				Byte0:          br,
+				TrueByte:       lrk[0],
+				Recovered:      br.Best == lrk[0],
+				Rank:           br.Rank(lrk[0]),
+				AvgCorrectCorr: avg,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ScatterResult{ID: id, Mechanism: mech,
+		NoiseFloor: stats.NoiseFloor(o.Samples, 255),
+		Panels:     panels}, nil
 }
 
 // RecoveredCount returns how many panels recovered byte 0.

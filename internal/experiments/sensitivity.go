@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"rcoal/internal/report"
+	"rcoal/internal/runner"
 	"rcoal/internal/theory"
 )
 
@@ -28,30 +30,41 @@ type ExtSensitivityResult struct {
 	Rows []ExtSensitivityRow
 }
 
-// ExtSensitivity evaluates the model across parameter variants.
+// ExtSensitivity evaluates the model across parameter variants. Each
+// variant's combinatorics build independently on the worker pool; rows
+// are flattened in variant order, identical at any worker count.
 func ExtSensitivity(o Options) (*ExtSensitivityResult, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	res := &ExtSensitivityResult{}
 	variants := []struct{ n, r int }{
 		{32, 8},  // 128-byte lines: 8 blocks per table
 		{32, 16}, // the paper's configuration
 		{32, 32}, // 32-byte sectors: 32 blocks per table
 		{64, 16}, // 64-wide wavefronts (AMD-style)
 	}
-	for _, v := range variants {
-		md, err := theory.NewModel(v.n, v.r)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range []int{2, 4, 8} {
-			res.Rows = append(res.Rows, ExtSensitivityRow{
-				N: v.n, R: v.r, M: m,
-				RhoFSSRTS: md.RhoFSSRTS(m),
-				RhoRSSRTS: md.RhoRSSRTS(m),
-			})
-		}
+	rows, err := runner.MapWith(context.Background(), o.pool(), variants,
+		func(_ context.Context, _ int, v struct{ n, r int }) ([]ExtSensitivityRow, error) {
+			md, err := theory.NewModel(v.n, v.r)
+			if err != nil {
+				return nil, err
+			}
+			var out []ExtSensitivityRow
+			for _, m := range []int{2, 4, 8} {
+				out = append(out, ExtSensitivityRow{
+					N: v.n, R: v.r, M: m,
+					RhoFSSRTS: md.RhoFSSRTS(m),
+					RhoRSSRTS: md.RhoRSSRTS(m),
+				})
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtSensitivityResult{}
+	for _, rs := range rows {
+		res.Rows = append(res.Rows, rs...)
 	}
 	return res, nil
 }

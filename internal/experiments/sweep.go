@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"rcoal/internal/attack"
+	"rcoal/internal/runner"
 )
 
 // SweepCell is one (mechanism, num-subwarp) evaluation point shared by
@@ -44,48 +47,84 @@ func (s *SweepResult) Cell(mech Mechanism, m int) *SweepCell {
 
 // Sweep evaluates every mechanism at every num-subwarp value in ms.
 // The baseline reference is measured separately at num-subwarp = 1.
+//
+// The baseline and every (mechanism, num-subwarp) cell fan out over
+// Options.Workers; each cell owns its simulated server and attacker
+// and draws all randomness from seeds fixed by (o.Seed, mechanism, M),
+// so the result is byte-identical at any worker count.
 func Sweep(o Options, ms []int) (*SweepResult, error) {
-	res := &SweepResult{Ms: ms}
-
-	// Baseline reference for normalization.
-	_, base, err := collect(o, MechFSS.Policy(1), false)
-	if err != nil {
+	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	for _, s := range base.Samples {
-		res.BaselineCycles += float64(s.TotalCycles)
-		res.BaselineTx += float64(s.TotalTx)
+	type job struct {
+		mech     Mechanism
+		m        int
+		baseline bool
 	}
-	res.BaselineCycles /= float64(len(base.Samples))
-	res.BaselineTx /= float64(len(base.Samples))
-
+	jobs := make([]job, 0, len(AllMechanisms)*len(ms)+1)
+	jobs = append(jobs, job{baseline: true})
 	for _, mech := range AllMechanisms {
 		for _, m := range ms {
-			srv, ds, err := collect(o, mech.Policy(m), false)
-			if err != nil {
-				return nil, err
+			jobs = append(jobs, job{mech: mech, m: m})
+		}
+	}
+
+	type out struct {
+		cell               SweepCell
+		baseCycles, baseTx float64
+	}
+	outs, err := runner.MapWith(context.Background(), o.pool(), jobs,
+		func(_ context.Context, _ int, jb job) (out, error) {
+			if jb.baseline {
+				_, base, err := collect(o, MechFSS.Policy(1), false)
+				if err != nil {
+					return out{}, err
+				}
+				var ot out
+				for _, s := range base.Samples {
+					ot.baseCycles += float64(s.TotalCycles)
+					ot.baseTx += float64(s.TotalTx)
+				}
+				ot.baseCycles /= float64(len(base.Samples))
+				ot.baseTx /= float64(len(base.Samples))
+				return ot, nil
 			}
-			cell := SweepCell{Mechanism: mech, M: m}
+			srv, ds, err := collect(o, jb.mech.Policy(jb.m), false)
+			if err != nil {
+				return out{}, err
+			}
+			cell := SweepCell{Mechanism: jb.mech, M: jb.m}
 			for _, s := range ds.Samples {
 				cell.MeanCycles += float64(s.TotalCycles)
 				cell.MeanTx += float64(s.TotalTx)
 			}
 			cell.MeanCycles /= float64(len(ds.Samples))
 			cell.MeanTx /= float64(len(ds.Samples))
-			cell.NormCycles = cell.MeanCycles / res.BaselineCycles
-			cell.NormTx = cell.MeanTx / res.BaselineTx
 
-			atk, err := attack.New(mech.Policy(m), o.Seed^0x5EC)
+			atk, err := attack.New(jb.mech.Policy(jb.m), o.Seed^0x5EC)
 			if err != nil {
-				return nil, err
+				return out{}, err
 			}
+			// The grid saturates the pool, so the per-key-byte loop
+			// inside each cell stays serial (workers = 1).
 			cell.AvgCorrectCorr, err = avgCorrectCorrelation(
-				atk, ciphertexts(ds), ds.LastRoundTimes(), srv.LastRoundKey())
+				atk, ciphertexts(ds), ds.LastRoundTimes(), srv.LastRoundKey(), 1)
 			if err != nil {
-				return nil, err
+				return out{}, err
 			}
-			res.Cells = append(res.Cells, cell)
-		}
+			return out{cell: cell}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{Ms: ms,
+		BaselineCycles: outs[0].baseCycles, BaselineTx: outs[0].baseTx}
+	for _, ot := range outs[1:] {
+		cell := ot.cell
+		cell.NormCycles = cell.MeanCycles / res.BaselineCycles
+		cell.NormTx = cell.MeanTx / res.BaselineTx
+		res.Cells = append(res.Cells, cell)
 	}
 	return res, nil
 }

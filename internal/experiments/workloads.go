@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
 	"rcoal/internal/report"
+	"rcoal/internal/runner"
 )
 
 func init() {
@@ -33,52 +35,78 @@ type ExtWorkloadsResult struct {
 	Cells []ExtWorkloadsCell
 }
 
-// ExtWorkloads measures each mechanism on each synthetic pattern.
+// ExtWorkloads measures each mechanism on each synthetic pattern. The
+// (pattern, mechanism) cells fan out over Options.Workers; each cell
+// owns its simulator, and per-rep seeds derive via runner.CellSeed so
+// the kernel stream is shared by every mechanism within a pattern (the
+// normalization compares like against like) while the hardware stream
+// stays distinct from it — the old ad-hoc xor derivation aliased both
+// streams at rep 0.
 func ExtWorkloads(o Options) (*ExtWorkloadsResult, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
 	const warps, loads = 4, 64
 	policies := []core.Config{core.Baseline(), core.FSS(8), core.RSS(8), core.RSSRTS(8), core.FSS(32)}
-	res := &ExtWorkloadsResult{}
 	reps := o.Samples / 10
 	if reps < 3 {
 		reps = 3
 	}
+
+	type job struct {
+		pattern kernels.Pattern
+		policy  core.Config
+	}
+	jobs := make([]job, 0, len(kernels.AllPatterns)*len(policies))
 	for _, p := range kernels.AllPatterns {
-		var baseCycles, baseTx float64
 		for _, policy := range policies {
+			jobs = append(jobs, job{pattern: p, policy: policy})
+		}
+	}
+	type raw struct{ cycles, tx float64 }
+	raws, err := runner.MapWith(context.Background(), o.pool(), jobs,
+		func(_ context.Context, _ int, jb job) (raw, error) {
 			cfg := gpusim.DefaultConfig()
-			cfg.Coalescing = policy
+			cfg.Coalescing = jb.policy
 			g, err := gpusim.New(cfg)
 			if err != nil {
-				return nil, err
+				return raw{}, err
 			}
-			var cycles, tx float64
+			var r raw
 			for rep := 0; rep < reps; rep++ {
-				kern, err := kernels.BuildSynthetic(p, warps, loads, o.Seed^uint64(rep))
+				kern, err := kernels.BuildSynthetic(jb.pattern, warps, loads,
+					runner.CellSeed(o.Seed, "ext-workloads/kernel", jb.pattern.String(), rep))
 				if err != nil {
-					return nil, err
+					return raw{}, err
 				}
-				r, err := g.Run(kern, o.Seed^uint64(rep)*31)
+				rr, err := g.Run(kern,
+					runner.CellSeed(o.Seed, "ext-workloads/hw", jb.pattern.String(), jb.policy.Name(), rep))
 				if err != nil {
-					return nil, err
+					return raw{}, err
 				}
-				cycles += float64(r.Cycles)
-				tx += float64(r.TotalTx)
+				r.cycles += float64(rr.Cycles)
+				r.tx += float64(rr.TotalTx)
 			}
-			cycles /= float64(reps)
-			tx /= float64(reps)
-			if policy.NumSubwarps == 1 {
-				baseCycles, baseTx = cycles, tx
-			}
-			res.Cells = append(res.Cells, ExtWorkloadsCell{
-				Pattern:    p.String(),
-				Mechanism:  policy.Name(),
-				NormCycles: cycles / baseCycles,
-				NormTx:     tx / baseTx,
-			})
+			r.cycles /= float64(reps)
+			r.tx /= float64(reps)
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ExtWorkloadsResult{}
+	var baseCycles, baseTx float64
+	for i, jb := range jobs {
+		if jb.policy.NumSubwarps == 1 {
+			baseCycles, baseTx = raws[i].cycles, raws[i].tx
 		}
+		res.Cells = append(res.Cells, ExtWorkloadsCell{
+			Pattern:    jb.pattern.String(),
+			Mechanism:  jb.policy.Name(),
+			NormCycles: raws[i].cycles / baseCycles,
+			NormTx:     raws[i].tx / baseTx,
+		})
 	}
 	return res, nil
 }
