@@ -2,13 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench ci experiments examples fuzz clean
+.PHONY: all build test test-race cover bench bench-json ci experiments examples fuzz clean
 
 all: build test
 
 # Mirror of .github/workflows/ci.yml: everything the gate runs.
 ci: build test
 	$(GO) test -race -short ./internal/runner ./internal/experiments ./internal/attack
+	$(GO) test -run TestFastForward ./internal/gpusim
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
 
 build:
 	$(GO) build ./...
@@ -25,6 +27,17 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark report. Set BENCH_BASELINE to a previous
+# raw `go test -bench` log to record before/after speedups alongside
+# the fresh numbers.
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime=$(BENCHTIME) -benchmem -count=1 . > bench_raw.txt
+	$(GO) run ./cmd/rcoal-benchjson $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
+		-out BENCH_gpusim.json bench_raw.txt
+	@rm -f bench_raw.txt
+	@echo wrote BENCH_gpusim.json
 
 # Reproduce every paper figure/table (plus extensions) at the paper's
 # sample count, writing CSV data files under data/.

@@ -1,0 +1,206 @@
+// Command rcoal-benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, optionally joined against a baseline
+// run so before/after speedups live next to the raw numbers.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . > bench.txt
+//	rcoal-benchjson -out BENCH_gpusim.json -baseline old_bench.txt bench.txt
+//
+// Input files (or stdin when none are given) are raw benchmark logs;
+// every line of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   10 allocs/op   11 cycles/s
+//
+// becomes one report entry. The CPU-count suffix is stripped so runs
+// from different machines join by name. Unknown units (custom
+// b.ReportMetric values) are preserved under "metrics".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result, with optional baseline
+// numbers joined by name.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op (>1 is
+	// faster); AllocRatio is current allocs/op divided by baseline
+	// (<1 is leaner).
+	Speedup    float64 `json:"speedup,omitempty"`
+	AllocRatio float64 `json:"alloc_ratio,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Tool       string       `json:"tool"`
+	Baseline   string       `json:"baseline,omitempty"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "-", "output path, - for stdout")
+	baseline := flag.String("baseline", "", "optional baseline bench log to join before/after numbers")
+	flag.Parse()
+
+	var cur []*Benchmark
+	if flag.NArg() == 0 {
+		var err error
+		if cur, err = parse(os.Stdin); err != nil {
+			fatal(err)
+		}
+	}
+	for _, path := range flag.Args() {
+		bs, err := parseFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		cur = append(cur, bs...)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	rep := &Report{Tool: "rcoal-benchjson", Benchmarks: cur}
+	if *baseline != "" {
+		base, err := parseFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		join(cur, base)
+		rep.Baseline = *baseline
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func parseFile(path string) ([]*Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	bs, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return bs, nil
+}
+
+func parse(r io.Reader) ([]*Benchmark, error) {
+	var out []*Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := &Benchmark{Name: stripCPUSuffix(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", b.Name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// stripCPUSuffix drops the trailing -N GOMAXPROCS marker so results
+// from machines with different core counts join by name.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func join(cur, base []*Benchmark) {
+	byName := make(map[string]*Benchmark, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		c.BaselineNsPerOp = b.NsPerOp
+		c.BaselineAllocsPerOp = b.AllocsPerOp
+		if c.NsPerOp > 0 {
+			c.Speedup = round2(b.NsPerOp / c.NsPerOp)
+		}
+		if b.AllocsPerOp > 0 {
+			c.AllocRatio = round2(c.AllocsPerOp / b.AllocsPerOp)
+		}
+	}
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcoal-benchjson:", err)
+	os.Exit(1)
+}

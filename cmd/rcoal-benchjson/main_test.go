@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `
+goos: linux
+goarch: amd64
+pkg: rcoal
+BenchmarkSimulatorEncrypt32Lines-8   	     100	   1302810 ns/op	  160374 B/op	     255 allocs/op
+BenchmarkGPUCycleThroughput-8        	     100	   1233655 ns/op	   9301727 cycles/s	   62307 B/op	      39 allocs/op
+BenchmarkNoMem                       	    5000	       123.4 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	bs, err := parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(bs))
+	}
+	enc := bs[0]
+	if enc.Name != "BenchmarkSimulatorEncrypt32Lines" {
+		t.Errorf("cpu suffix not stripped: %q", enc.Name)
+	}
+	if enc.NsPerOp != 1302810 || enc.BytesPerOp != 160374 || enc.AllocsPerOp != 255 {
+		t.Errorf("bad std units: %+v", enc)
+	}
+	if got := bs[1].Metrics["cycles/s"]; got != 9301727 {
+		t.Errorf("custom metric cycles/s = %v, want 9301727", got)
+	}
+	if bs[2].NsPerOp != 123.4 || bs[2].Iterations != 5000 {
+		t.Errorf("bad no-benchmem line: %+v", bs[2])
+	}
+}
+
+func TestJoin(t *testing.T) {
+	cur, err := parse(strings.NewReader(
+		"BenchmarkX-8  10  500 ns/op  100 B/op  5 allocs/op\nBenchmarkOnlyNew  10  1 ns/op  0 B/op  0 allocs/op"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := parse(strings.NewReader("BenchmarkX-4  10  2000 ns/op  400 B/op  50 allocs/op"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	join(cur, base)
+	x := cur[0]
+	if x.Speedup != 4 {
+		t.Errorf("speedup = %v, want 4", x.Speedup)
+	}
+	if x.AllocRatio != 0.1 {
+		t.Errorf("alloc ratio = %v, want 0.1", x.AllocRatio)
+	}
+	if x.BaselineNsPerOp != 2000 {
+		t.Errorf("baseline ns/op = %v, want 2000", x.BaselineNsPerOp)
+	}
+	if cur[1].Speedup != 0 || cur[1].BaselineNsPerOp != 0 {
+		t.Errorf("benchmark without baseline must stay unjoined: %+v", cur[1])
+	}
+}

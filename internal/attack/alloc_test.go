@@ -1,0 +1,51 @@
+package attack
+
+import (
+	"testing"
+
+	"rcoal/internal/kernels"
+)
+
+// Steady-state allocation guards for the attack inner loop: once an
+// attacker has warmed its plan cache, nibble table, and scoring
+// scratch, a full key-byte scoring pass (256 guesses × N samples) must
+// allocate exactly one value — the ByteResult that escapes — and
+// num-subwarp inference must allocate nothing.
+
+func attackFixture(samples, lines int) ([][]kernels.Line, []float64) {
+	cts := make([][]kernels.Line, samples)
+	measurements := make([]float64, samples)
+	for s := range cts {
+		cts[s] = randomLines(uint64(s+1), lines)
+		measurements[s] = float64(100 + s%7)
+	}
+	return cts, measurements
+}
+
+func TestRecoverByteSteadyStateAllocations(t *testing.T) {
+	cts, measurements := attackFixture(30, 32)
+	atk := Baseline(1)
+	if _, err := atk.RecoverByte(cts, measurements, 0); err != nil {
+		t.Fatal(err)
+	}
+	j := 0
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := atk.RecoverByte(cts, measurements, j); err != nil {
+			t.Fatal(err)
+		}
+		j = (j + 1) % KeyBytes
+	})
+	if avg > 1 {
+		t.Errorf("warm RecoverByte allocates %.1f times per pass, pinned at 1 (the ByteResult)", avg)
+	}
+}
+
+func TestInferZeroAllocations(t *testing.T) {
+	cal := Calibration{1: 100, 2: 180, 4: 310, 8: 540, 16: 900, 32: 1500}
+	avg := testing.AllocsPerRun(100, func() {
+		cal.Infer(333)
+	})
+	if avg != 0 {
+		t.Errorf("Infer allocates %.1f times per call, want 0", avg)
+	}
+}

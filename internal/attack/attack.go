@@ -51,6 +51,18 @@ type Attacker struct {
 	// plan per sample, shared across byte positions and guesses, just
 	// as the hardware fixes one plan per launch.
 	planCache []core.Plan
+
+	// nibTab[m][c] = indexFn(c, m) >> 4, the memory-block nibble of
+	// the final-round table index for ciphertext byte c under guess m.
+	// Built lazily on the first RecoverByte and immutable afterwards,
+	// so clones share it.
+	nibTab *[256][256]uint8
+
+	// estBuf and dyBuf are per-attacker scratch for RecoverByte
+	// (estimation vector and centered measurements), reused across
+	// byte positions so a full key recovery does not allocate per
+	// guess. Never shared between clones.
+	estBuf, dyBuf []float64
 }
 
 // New builds an attacker that assumes the GPU runs the given
@@ -109,14 +121,33 @@ func (a *Attacker) Warm(n int) {
 // far. Because plans are a pure function of (seed, sample index),
 // a clone's estimates are byte-identical to its parent's — but each
 // clone owns its cache growth, so clones may run on sibling
-// goroutines while the parent and other clones stay untouched.
+// goroutines while the parent and other clones stay untouched. The
+// nibble table is shared when already built (it is immutable);
+// scoring scratch buffers are never shared.
 func (a *Attacker) Clone() *Attacker {
 	return &Attacker{
 		policy:    a.policy,
 		seed:      a.seed,
 		indexFn:   a.indexFn,
 		planCache: append([]core.Plan(nil), a.planCache...),
+		nibTab:    a.nibTab,
 	}
+}
+
+// nibbleTable returns the lazily built 64 KiB lookup table
+// nibTab[m][c] = indexFn(c, m) >> 4. Tabulating the index derivation
+// once turns the scoring inner loop into two array reads and an OR.
+func (a *Attacker) nibbleTable() *[256][256]uint8 {
+	if a.nibTab == nil {
+		t := new([256][256]uint8)
+		for m := 0; m < 256; m++ {
+			for c := 0; c < 256; c++ {
+				t[m][c] = a.indexFn(byte(c), byte(m)) >> 4
+			}
+		}
+		a.nibTab = t
+	}
+	return a.nibTab
 }
 
 func (a *Attacker) plan(n int) core.Plan {
@@ -169,6 +200,36 @@ func EstimateSampleWith(plan core.Plan, lines []kernels.Line, j int, m byte, fn 
 	return total
 }
 
+// estimateSampleRow is the hot core of EstimateSampleWith with the
+// per-guess index derivation pre-tabulated: row[c] = fn(c, m) >> 4.
+// The arithmetic is otherwise identical, so its result matches
+// EstimateSampleWith (and therefore Algorithm 1) exactly.
+func estimateSampleRow(plan core.Plan, lines []kernels.Line, j int, row *[256]uint8) int {
+	warpSize := plan.WarpSize()
+	nsw := plan.NumSubwarps()
+	var masks [core.DefaultWarpSize]uint16
+	if nsw > len(masks) {
+		panic(fmt.Sprintf("attack: plan has %d subwarps, estimator supports %d", nsw, len(masks)))
+	}
+	total := 0
+	for base := 0; base < len(lines); base += warpSize {
+		hi := base + warpSize
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		for s := 0; s < nsw; s++ {
+			masks[s] = 0
+		}
+		for t := base; t < hi; t++ {
+			masks[plan.SID[t-base]] |= 1 << row[lines[t][j]]
+		}
+		for s := 0; s < nsw; s++ {
+			total += bits.OnesCount16(masks[s])
+		}
+	}
+	return total
+}
+
 // EstimationVector returns Û_{k_j^m}: the predicted access counts for
 // guess m of byte j across all samples.
 func (a *Attacker) EstimationVector(cts [][]kernels.Line, j int, m byte) []float64 {
@@ -206,6 +267,10 @@ func (b *ByteResult) Rank(v byte) int {
 
 // RecoverByte attacks key byte j: it builds the 256×N access matrix
 // (Figure 4b) and correlates each row with the measurement vector.
+// The scoring loop runs over reused scratch with the index derivation
+// tabulated and the measurement centering hoisted out of the 256-guess
+// loop; every accumulation keeps the order of stats.Pearson, so the
+// correlations are bit-identical to scoring each guess independently.
 func (a *Attacker) RecoverByte(cts [][]kernels.Line, measurements []float64, j int) (*ByteResult, error) {
 	if len(cts) != len(measurements) {
 		return nil, fmt.Errorf("attack: %d ciphertext samples vs %d measurements", len(cts), len(measurements))
@@ -213,10 +278,25 @@ func (a *Attacker) RecoverByte(cts [][]kernels.Line, measurements []float64, j i
 	if len(cts) < 2 {
 		return nil, fmt.Errorf("attack: need at least 2 samples, have %d", len(cts))
 	}
+	if j < 0 || j >= KeyBytes {
+		panic(fmt.Sprintf("attack: key byte index %d out of range", j))
+	}
+	n := len(cts)
+	a.plan(n - 1) // materialize the plan cache before the hot loop
+	tab := a.nibbleTable()
+	if cap(a.dyBuf) < n {
+		a.dyBuf = make([]float64, n)
+		a.estBuf = make([]float64, n)
+	}
+	dy, u := a.dyBuf[:n], a.estBuf[:n]
+	syy := stats.Center(dy, measurements)
 	res := &ByteResult{BestCorr: -2}
 	for m := 0; m < 256; m++ {
-		u := a.EstimationVector(cts, j, byte(m))
-		r, err := stats.Pearson(u, measurements)
+		row := &tab[m]
+		for s, lines := range cts {
+			u[s] = float64(estimateSampleRow(a.planCache[s], lines, j, row))
+		}
+		r, err := stats.PearsonCentered(u, dy, syy)
 		if err != nil {
 			return nil, err
 		}

@@ -22,17 +22,29 @@ func TestNewRejectsInvalidPolicy(t *testing.T) {
 }
 
 func TestEstimateSampleMatchesAlgorithm1(t *testing.T) {
-	// The generic estimator with an FSS plan must agree with the
-	// paper's literal Algorithm 1 on single-warp inputs.
-	lines := randomLines(1, 32)
-	for _, m := range []int{1, 2, 4, 8, 16, 32} {
-		plan := core.FSS(m).NewPlan(rng.New(1))
-		for j := 0; j < 16; j += 5 {
-			for guess := 0; guess < 256; guess += 17 {
-				a := EstimateSample(plan, lines, j, byte(guess))
-				b := Algorithm1(lines, j, byte(guess), m)
-				if a != b {
-					t.Fatalf("M=%d j=%d guess=%d: EstimateSample %d != Algorithm1 %d", m, j, guess, a, b)
+	// The generic bitmask estimator with an FSS plan must agree with
+	// the paper's literal Algorithm 1 on single-warp inputs, for every
+	// (num-subwarp, guess) pair, every key-byte position, and random
+	// ciphertext. The tabulated row estimator behind RecoverByte must
+	// agree with both.
+	baseline := Baseline(0)
+	tab := baseline.nibbleTable()
+	for _, seed := range []uint64{1, 7} {
+		lines := randomLines(seed, 32)
+		for _, m := range []int{1, 2, 4, 8, 16, 32} {
+			plan := core.FSS(m).NewPlan(rng.New(1))
+			for j := 0; j < KeyBytes; j++ {
+				for guess := 0; guess < 256; guess++ {
+					a := EstimateSample(plan, lines, j, byte(guess))
+					b := Algorithm1(lines, j, byte(guess), m)
+					if a != b {
+						t.Fatalf("seed=%d M=%d j=%d guess=%d: EstimateSample %d != Algorithm1 %d",
+							seed, m, j, guess, a, b)
+					}
+					if c := estimateSampleRow(plan, lines, j, &tab[guess]); c != b {
+						t.Fatalf("seed=%d M=%d j=%d guess=%d: estimateSampleRow %d != Algorithm1 %d",
+							seed, m, j, guess, c, b)
+					}
 				}
 			}
 		}

@@ -72,28 +72,30 @@ func (c Calibration) Infer(observedMeanCycles float64) (m int, margin float64) {
 	if len(c) == 0 {
 		panic("attack: Infer on empty calibration")
 	}
-	type cand struct {
-		m    int
-		dist float64
-	}
-	cands := make([]cand, 0, len(c))
+	// Allocation-free two-minima scan. Candidates are ordered
+	// lexicographically by (distance, M) — the same total order the
+	// ranking previously sorted by — so the result is independent of
+	// the map's iteration order.
+	bestM, nextM := 0, 0
+	bestD, nextD := math.Inf(1), math.Inf(1)
+	haveBest, haveNext := false, false
 	for mm, t := range c {
-		cands = append(cands, cand{m: mm, dist: math.Abs(t - observedMeanCycles)})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist < cands[j].dist
+		d := math.Abs(t - observedMeanCycles)
+		switch {
+		case !haveBest || d < bestD || (d == bestD && mm < bestM):
+			nextM, nextD, haveNext = bestM, bestD, haveBest
+			bestM, bestD, haveBest = mm, d, true
+		case !haveNext || d < nextD || (d == nextD && mm < nextM):
+			nextM, nextD, haveNext = mm, d, true
 		}
-		return cands[i].m < cands[j].m
-	})
-	if len(cands) == 1 {
-		return cands[0].m, math.Inf(1)
 	}
-	best, next := cands[0], cands[1]
+	if !haveNext {
+		return bestM, math.Inf(1)
+	}
 	if observedMeanCycles != 0 {
-		return best.m, (next.dist - best.dist) / observedMeanCycles
+		return bestM, (nextD - bestD) / observedMeanCycles
 	}
-	return best.m, 0
+	return bestM, 0
 }
 
 // ObserveMeanTime is the attacker's victim-side measurement: the mean

@@ -141,6 +141,24 @@ func (c *Cache) Access(block uint64) (hit bool, victim uint64, evicted bool) {
 	return false, victim, evicted
 }
 
+// Reset invalidates every line and clears the LRU clock and
+// statistics, re-keying the randomized index with hashKey (ignored
+// unless the cache was configured with RandomizeIndex). It keeps the
+// set storage, so one cache can serve many launches without
+// reallocating.
+func (c *Cache) Reset(hashKey uint64) {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.clock = 0
+	c.Stats = Stats{}
+	if c.cfg.RandomizeIndex {
+		c.key = hashKey | 1
+	}
+}
+
 // Contains reports whether the block is resident, without touching
 // LRU state or statistics.
 func (c *Cache) Contains(block uint64) bool {

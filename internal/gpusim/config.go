@@ -71,6 +71,13 @@ type Config struct {
 	// per coalescing unit per cycle; we inject one transaction per
 	// cycle).
 	MCURate int
+	// FastForwardDisabled forces pure cycle-by-cycle stepping,
+	// disabling the event-driven fast-forward that jumps over cycles
+	// in which no subsystem can make progress. Results are
+	// byte-identical either way (the determinism contract, enforced by
+	// a differential test); the flag exists for that test and for
+	// debugging, not for tuning.
+	FastForwardDisabled bool
 
 	// --- Optional subsystems beyond the paper's baseline ------------
 	//

@@ -15,6 +15,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 
 	"rcoal/internal/gpusim/mem"
 )
@@ -138,7 +139,13 @@ func (c *Controller) Push(r *mem.Request) {
 	if !c.CanAccept() {
 		panic("dram: push into full queue")
 	}
-	c.queue = append(c.queue, queued{req: r, loc: c.addrMap.Decode(r.Addr)})
+	// Requests arrive pre-decoded (Loc is set at creation); fall back
+	// to decoding here for callers that push raw requests in tests.
+	loc := r.Loc
+	if loc == (mem.Location{}) && r.Addr != 0 {
+		loc = c.addrMap.Decode(r.Addr)
+	}
+	c.queue = append(c.queue, queued{req: r, loc: loc})
 	if len(c.queue) > c.Stats.MaxQueue {
 		c.Stats.MaxQueue = len(c.queue)
 	}
@@ -243,6 +250,37 @@ func (c *Controller) collect(now int64) []*mem.Request {
 
 // Idle reports whether the controller has no queued or in-flight work.
 func (c *Controller) Idle() bool { return len(c.queue) == 0 && len(c.pending) == 0 }
+
+// NextEvent returns the earliest cycle strictly after now at which the
+// controller can make progress, or math.MaxInt64 when idle. While
+// requests await scheduling the controller schedules one per cycle, so
+// its horizon is now+1; with only in-flight requests the next event is
+// the earliest data return. Fast-forwarding to the returned cycle is
+// safe: Tick is a no-op at every cycle in between.
+func (c *Controller) NextEvent(now int64) int64 {
+	if len(c.queue) > 0 {
+		return now + 1
+	}
+	if len(c.pending) == 0 {
+		return math.MaxInt64
+	}
+	return c.minDone
+}
+
+// Reset clears all bank, queue, and statistics state, keeping the
+// backing buffers, so one controller can serve many launches without
+// reallocating.
+func (c *Controller) Reset() {
+	for i := range c.banks {
+		c.banks[i] = bankState{openRow: -1}
+	}
+	c.queue = c.queue[:0]
+	c.pending = c.pending[:0]
+	c.busFree = 0
+	c.lastAct = -int64(c.timing.RRD) - 1
+	c.minDone = 0
+	c.Stats = Stats{}
+}
 
 func maxi64(vs ...int64) int64 {
 	m := vs[0]

@@ -2,23 +2,27 @@ package gpusim
 
 import (
 	"fmt"
+	"math"
 
 	"rcoal/internal/core"
 	"rcoal/internal/gpusim/cache"
 	"rcoal/internal/gpusim/dram"
 	"rcoal/internal/gpusim/icnt"
 	"rcoal/internal/gpusim/mem"
+	"rcoal/internal/ringbuf"
 	"rcoal/internal/rng"
 )
 
 // maxSimCycles aborts runaway simulations (deadlock guard).
 const maxSimCycles = 1 << 28
 
-// GPU is a configured simulator instance. It is stateless between
-// runs; Run builds fresh runtime state per launch, so a GPU can be
-// shared sequentially across experiments. It is not safe for
-// concurrent use (Run reuses scratch buffers) — create one GPU per
-// goroutine.
+// GPU is a configured simulator instance. Run rebuilds the launch's
+// logical state per call, but the heavy runtime structures (SM state,
+// crossbars, DRAM controllers, caches, the request arena) are retained
+// and reset between runs, so steady-state re-invocation on the same
+// GPU allocates only the returned Result and the launch plan. A GPU
+// can be shared sequentially across experiments; it is not safe for
+// concurrent use — create one GPU per goroutine.
 type GPU struct {
 	cfg    Config
 	timing dram.Timing // scaled into core-clock domain
@@ -27,6 +31,16 @@ type GPU struct {
 	// sequential, so sharing them across instructions is safe.
 	blockScratch []uint64
 	txScratch    []uint64
+
+	// rt is the reusable runtime state; valid when the previous launch
+	// had the same warp count.
+	rt    *runState
+	arena reqArena
+
+	// SkippedCycles counts the cycles elided by event-driven
+	// fast-forward over the GPU's lifetime (diagnostic; it never
+	// influences results).
+	SkippedCycles int64
 }
 
 // New validates the configuration and returns a simulator.
@@ -43,6 +57,34 @@ func New(cfg Config) (*GPU, error) {
 // Config returns the configuration the GPU was built with.
 func (g *GPU) Config() Config { return g.cfg }
 
+// reqChunk is the request-arena chunk size.
+const reqChunk = 512
+
+// reqArena hands out mem.Request values from chunked storage that is
+// reset (not freed) between launches: requests only live within one
+// Run, so steady-state runs allocate no request memory at all.
+type reqArena struct {
+	chunks [][]mem.Request
+	ci     int // current chunk
+	used   int // slots used in the current chunk
+}
+
+func (a *reqArena) get() *mem.Request {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]mem.Request, reqChunk))
+	}
+	r := &a.chunks[a.ci][a.used]
+	*r = mem.Request{}
+	a.used++
+	if a.used == reqChunk {
+		a.ci++
+		a.used = 0
+	}
+	return r
+}
+
+func (a *reqArena) reset() { a.ci, a.used = 0, 0 }
+
 // warpRun is the runtime state of one warp.
 type warpRun struct {
 	prog     *WarpProgram
@@ -54,6 +96,15 @@ type warpRun struct {
 	done     bool
 	plan     core.Plan // this warp's subwarp plan
 	stats    WarpStats
+}
+
+// reset prepares the warp state for a new launch.
+func (w *warpRun) reset(prog *WarpProgram, plan core.Plan) {
+	*w = warpRun{prog: prog, plan: plan}
+	for r := 0; r <= MaxRounds; r++ {
+		w.stats.RoundStart[r] = -1
+		w.stats.RoundEnd[r] = -1
+	}
 }
 
 // localReply is an L1 hit completing after the hit latency.
@@ -70,7 +121,7 @@ type smState struct {
 	warps    []*warpRun
 	sched    [][]*warpRun // per-scheduler warp subsets
 	schedPtr []int
-	injectQ  []*mem.Request
+	injectQ  ringbuf.Ring[*mem.Request]
 	l1       *cache.Cache
 	replies  []localReply
 	// mshr maps an outstanding block to the warp ids piggybacked on
@@ -104,7 +155,9 @@ type runState struct {
 // Run executes the kernel to completion and returns its statistics.
 // The seed drives the launch's hardware randomness: the subwarp plans
 // for RSS/RTS policies and the cache index keys when randomized.
-// Identical (kernel, seed) pairs produce identical results.
+// Identical (kernel, seed) pairs produce identical results, whether
+// fast-forward is enabled or not (the determinism contract checked by
+// TestFastForwardByteIdenticalResults).
 func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 	if err := k.Validate(g.cfg.WarpSize); err != nil {
 		return nil, err
@@ -113,16 +166,33 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	fastForward := !g.cfg.FastForwardDisabled
 
 	for now := int64(0); ; now++ {
 		if now > maxSimCycles {
 			return nil, fmt.Errorf("gpusim: kernel %q exceeded %d cycles (deadlock?)", k.Label, maxSimCycles)
 		}
-		g.stepSMs(st, now)
-		g.stepMemory(st, now)
+		smBusy := g.stepSMs(st, now)
+		memBusy := g.stepMemory(st, now)
 		if st.remaining == 0 && st.toMem.Idle() && st.toSM.Idle() && st.idleMemory() && st.idleSMs() {
 			st.res.Cycles = now
 			break
+		}
+		if fastForward && !smBusy && !memBusy {
+			// Event-driven fast-forward: when no subsystem can make
+			// progress before some future cycle, jump straight to it.
+			// Every skipped cycle is one where stepSMs and stepMemory
+			// would have been no-ops, so results are byte-identical to
+			// pure cycle-stepping. The busy flags are a fast path: a
+			// non-empty inject or DRAM queue pins the horizon to now+1,
+			// so the full scan below would find nothing to skip.
+			if next := g.nextEvent(st, now); next > now+1 {
+				if next > maxSimCycles {
+					next = maxSimCycles + 1 // surface the deadlock guard
+				}
+				g.SkippedCycles += next - now - 1
+				now = next - 1
+			}
 		}
 	}
 
@@ -140,8 +210,69 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 	return st.res, nil
 }
 
+// nextEvent returns the earliest cycle strictly after now at which any
+// subsystem can act, or math.MaxInt64 when nothing is in flight. The
+// horizon of each subsystem is conservative: it may be earlier than
+// the subsystem's next true state change (in which case the simulator
+// simply steps a few idle cycles), but it is never later.
+func (g *GPU) nextEvent(st *runState, now int64) int64 {
+	next := int64(math.MaxInt64)
+	for smID, sm := range st.sms {
+		if len(sm.warps) == 0 {
+			continue // never receives traffic, never issues
+		}
+		// A queued transaction drains next cycle.
+		if sm.injectQ.Len() > 0 {
+			return now + 1
+		}
+		for i := range sm.replies {
+			if t := sm.replies[i].at; t < next {
+				next = t
+			}
+		}
+		if t := st.toSM.NextDeliverable(smID); t < next {
+			next = t
+		}
+		for _, w := range sm.warps {
+			if w.done || w.blocked {
+				continue // woken by a reply, covered above
+			}
+			if w.readyAt <= now {
+				// Ready but not issued this cycle (scheduler bandwidth):
+				// the SM is active next cycle.
+				return now + 1
+			}
+			if w.readyAt < next {
+				next = w.readyAt
+			}
+		}
+	}
+	for pid, p := range st.parts {
+		t := p.ctrl.NextEvent(now)
+		if t == now+1 {
+			return now + 1
+		}
+		if t < next {
+			next = t
+		}
+		for _, r := range p.replies {
+			if r.Done < next {
+				next = r.Done
+			}
+		}
+		// The controller queue is empty here (NextEvent would have
+		// returned now+1), so it can always accept a delivery.
+		if t := st.toMem.NextDeliverable(pid); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
 // setup builds the launch state: warps on SMs, plans, interconnect,
-// caches, and memory partitions.
+// caches, and memory partitions. Structural state is reused from the
+// previous launch when the warp count matches; per-launch state (the
+// Result, the plans) is always fresh because it escapes to the caller.
 func (g *GPU) setup(k *Kernel, seed uint64) (*runState, error) {
 	// The subwarp-id mapping is set by the hardware logic at the
 	// beginning of the execution and stays fixed for the launch
@@ -149,10 +280,27 @@ func (g *GPU) setup(k *Kernel, seed uint64) (*runState, error) {
 	// unless PlanPerWarp asks for per-warp randomization.
 	hwRNG := rng.New(seed).Split(0xC0A1) // hardware stream; attackers never see it
 	launchPlan := g.cfg.Coalescing.NewPlan(hwRNG)
+	cacheRNG := rng.New(seed).Split(0xCAC8E)
 
-	st := &runState{
-		res: &Result{Plan: launchPlan, Warps: make([]WarpStats, len(k.Warps))},
+	st := g.rt
+	if st == nil || len(st.runs) != len(k.Warps) {
+		var err error
+		if st, err = g.build(len(k.Warps)); err != nil {
+			return nil, err
+		}
+		g.rt = st
 	}
+	// Reset also serves the fresh build: it draws the launch's cache
+	// hash keys from cacheRNG in a fixed order, so rebuilt and reused
+	// runtimes see identical key sequences.
+	g.resetRuntime(st, cacheRNG)
+	g.arena.reset()
+
+	st.res = &Result{Plan: launchPlan, Warps: make([]WarpStats, len(k.Warps))}
+	st.reqID = 0
+	st.remaining = len(st.runs)
+	st.roundMask = [MaxRounds + 1]bool{}
+	st.basePlan = core.Plan{}
 	st.selective = len(g.cfg.VulnerableRounds) > 0
 	if st.selective {
 		wholeWarp := core.Baseline()
@@ -162,15 +310,30 @@ func (g *GPU) setup(k *Kernel, seed uint64) (*runState, error) {
 			st.roundMask[r] = true
 		}
 	}
+	for i, wp := range k.Warps {
+		plan := launchPlan
+		if g.cfg.PlanPerWarp {
+			plan = g.cfg.Coalescing.NewPlan(hwRNG)
+		}
+		st.runs[i].reset(wp, plan)
+	}
+	return st, nil
+}
 
+// build constructs the structural runtime state for a launch of
+// nWarps warps: SM states with caches, warp slots distributed over SMs
+// and schedulers, crossbars, and memory partitions. Cache hash keys
+// are not drawn here — setup keys every cache through resetRuntime so
+// rebuilt and reused runtimes are indistinguishable.
+func (g *GPU) build(nWarps int) (*runState, error) {
+	st := &runState{}
 	st.sms = make([]*smState, g.cfg.NumSMs)
-	cacheRNG := rng.New(seed).Split(0xCAC8E)
 	for i := range st.sms {
 		sm := &smState{schedPtr: make([]int, g.cfg.SchedulersPerSM)}
 		if g.cfg.L1Enabled {
 			cfg := g.cfg.L1
 			cfg.RandomizeIndex = cfg.RandomizeIndex || g.cfg.CacheRandomized
-			l1, err := cache.New(cfg, cacheRNG.Uint64())
+			l1, err := cache.New(cfg, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -182,17 +345,11 @@ func (g *GPU) setup(k *Kernel, seed uint64) (*runState, error) {
 		st.sms[i] = sm
 	}
 
-	for i, wp := range k.Warps {
-		w := &warpRun{prog: wp, plan: launchPlan}
-		if g.cfg.PlanPerWarp {
-			w.plan = g.cfg.Coalescing.NewPlan(hwRNG)
-		}
-		for r := 0; r <= MaxRounds; r++ {
-			w.stats.RoundStart[r] = -1
-			w.stats.RoundEnd[r] = -1
-		}
+	st.runs = make([]*warpRun, nWarps)
+	for i := range st.runs {
+		w := &warpRun{}
+		st.runs[i] = w
 		st.sms[i%len(st.sms)].warps = append(st.sms[i%len(st.sms)].warps, w)
-		st.runs = append(st.runs, w)
 	}
 	for _, sm := range st.sms {
 		sm.sched = make([][]*warpRun, g.cfg.SchedulersPerSM)
@@ -221,21 +378,55 @@ func (g *GPU) setup(k *Kernel, seed uint64) (*runState, error) {
 		if g.cfg.L2Enabled {
 			cfg := g.cfg.L2
 			cfg.RandomizeIndex = cfg.RandomizeIndex || g.cfg.CacheRandomized
-			p.l2, err = cache.New(cfg, cacheRNG.Uint64())
+			p.l2, err = cache.New(cfg, 0)
 			if err != nil {
 				return nil, err
 			}
 		}
 		st.parts[i] = p
 	}
-	st.remaining = len(st.runs)
 	return st, nil
+}
+
+// resetRuntime restores the structural state to launch-start
+// conditions, drawing fresh cache hash keys from cacheRNG in the same
+// order build-time construction would (one per enabled L1 in SM order,
+// then one per enabled L2 in partition order).
+func (g *GPU) resetRuntime(st *runState, cacheRNG *rng.Source) {
+	for _, sm := range st.sms {
+		sm.injectQ.Reset()
+		sm.replies = sm.replies[:0]
+		for i := range sm.schedPtr {
+			sm.schedPtr[i] = 0
+		}
+		if sm.l1 != nil {
+			sm.l1.Reset(cacheRNG.Uint64())
+		}
+		if sm.mshr != nil {
+			clear(sm.mshr)
+		}
+	}
+	for _, p := range st.parts {
+		p.ctrl.Reset()
+		p.replies = p.replies[:0]
+		if p.l2 != nil {
+			p.l2.Reset(cacheRNG.Uint64())
+		}
+	}
+	st.toMem.Reset()
+	st.toSM.Reset()
 }
 
 // stepSMs advances every SM by one cycle: deliver replies, drain the
 // LD/ST injection queues, and let the schedulers issue.
-func (g *GPU) stepSMs(st *runState, now int64) {
+// stepSMs advances every SM one cycle. The returned flag reports
+// whether some SM still holds queued transactions, which pins the
+// event horizon to now+1 (see nextEvent).
+func (g *GPU) stepSMs(st *runState, now int64) (busy bool) {
 	for smID, sm := range st.sms {
+		if len(sm.warps) == 0 {
+			continue // no resident warps: nothing ever happens here
+		}
 		// 1a. L1-hit replies maturing this cycle.
 		if len(sm.replies) > 0 {
 			kept := sm.replies[:0]
@@ -268,18 +459,22 @@ func (g *GPU) stepSMs(st *runState, now int64) {
 		}
 
 		// 2. Drain the LD/ST injection queue into the interconnect.
-		for n := 0; n < g.cfg.MCURate && len(sm.injectQ) > 0; n++ {
-			req := sm.injectQ[0]
-			sm.injectQ = sm.injectQ[1:]
+		for n := 0; n < g.cfg.MCURate && sm.injectQ.Len() > 0; n++ {
+			req := sm.injectQ.Pop()
 			req.Issued = now
-			st.toMem.Push(g.cfg.AddressMap.Decode(req.Addr).Partition, req, now)
+			st.toMem.Push(req.Loc.Partition, req, now)
 		}
 
 		// 3. Warp schedulers issue.
 		for s := 0; s < g.cfg.SchedulersPerSM; s++ {
 			g.issueOne(st, sm, smID, s, now)
 		}
+
+		if sm.injectQ.Len() > 0 {
+			busy = true
+		}
 	}
+	return busy
 }
 
 // settle delivers one memory reply to a warp, retiring the warp if it
@@ -312,9 +507,16 @@ func (g *GPU) retire(st *runState, w *warpRun, now int64) {
 
 // stepMemory advances every partition: accept a request from the
 // interconnect (through the L2 when enabled), tick the DRAM
-// controller, and send replies back.
-func (g *GPU) stepMemory(st *runState, now int64) {
+// controller, and send replies back. The returned flag reports
+// whether some controller still queues unscheduled requests, which
+// pins the event horizon to now+1 (see nextEvent).
+func (g *GPU) stepMemory(st *runState, now int64) (busy bool) {
 	for pid, p := range st.parts {
+		// A partition with no queued, in-flight, or deliverable work is
+		// a strict no-op this cycle; skip its whole body.
+		if len(p.replies) == 0 && p.ctrl.Idle() && st.toMem.Pending(pid) == 0 {
+			continue
+		}
 		// L2-hit replies maturing this cycle.
 		if len(p.replies) > 0 {
 			kept := p.replies[:0]
@@ -345,7 +547,11 @@ func (g *GPU) stepMemory(st *runState, now int64) {
 			done.Done = now
 			st.toSM.Push(done.SM, done, now)
 		}
+		if p.ctrl.QueueLen() > 0 {
+			busy = true
+		}
 	}
+	return busy
 }
 
 func (st *runState) idleMemory() bool {
@@ -359,7 +565,7 @@ func (st *runState) idleMemory() bool {
 
 func (st *runState) idleSMs() bool {
 	for _, sm := range st.sms {
-		if len(sm.injectQ) > 0 || len(sm.replies) > 0 {
+		if sm.injectQ.Len() > 0 || len(sm.replies) > 0 {
 			return false
 		}
 	}
@@ -594,7 +800,7 @@ func (g *GPU) issueMemory(st *runState, sm *smState, smID int, w *warpRun, ins *
 					st.res.MSHRMerges++
 					continue
 				}
-				sm.mshr[b] = []int{} // primary in flight
+				sm.mshr[b] = nil // primary in flight
 			}
 		}
 
@@ -602,14 +808,18 @@ func (g *GPU) issueMemory(st *runState, sm *smState, smID int, w *warpRun, ins *
 			g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvMemTx, SM: smID, Warp: w.prog.ID, Addr: b * mem.BlockBytes, Round: round})
 		}
 		st.reqID++
-		sm.injectQ = append(sm.injectQ, &mem.Request{
+		req := g.arena.get()
+		addr := b * mem.BlockBytes
+		*req = mem.Request{
 			ID:    st.reqID,
-			Addr:  b * mem.BlockBytes,
+			Addr:  addr,
 			Kind:  kindOf(ins.Kind),
 			SM:    smID,
 			Warp:  w.prog.ID,
 			Round: round,
-		})
+			Loc:   g.cfg.AddressMap.Decode(addr),
+		}
+		sm.injectQ.Push(req)
 	}
 	g.txScratch = txBlocks[:0]
 	if issued > 0 {

@@ -8,8 +8,10 @@ package icnt
 
 import (
 	"fmt"
+	"math"
 
 	"rcoal/internal/gpusim/mem"
+	"rcoal/internal/ringbuf"
 )
 
 // packet wraps a request with its earliest possible delivery cycle.
@@ -24,7 +26,7 @@ type packet struct {
 type Crossbar struct {
 	latency   int64
 	occupancy int64
-	ports     [][]packet
+	ports     []ringbuf.Ring[packet]
 	// nextSlot[p] is the next cycle at which port p may deliver,
 	// enforcing the per-packet port occupancy.
 	nextSlot []int64
@@ -51,7 +53,7 @@ func NewCrossbar(ports int, latency, occupancy int) (*Crossbar, error) {
 	return &Crossbar{
 		latency:   int64(latency),
 		occupancy: int64(occupancy),
-		ports:     make([][]packet, ports),
+		ports:     make([]ringbuf.Ring[packet], ports),
 		nextSlot:  make([]int64, ports),
 	}, nil
 }
@@ -61,8 +63,8 @@ func (x *Crossbar) Push(dst int, r *mem.Request, now int64) {
 	if dst < 0 || dst >= len(x.ports) {
 		panic(fmt.Sprintf("icnt: push to port %d of %d", dst, len(x.ports)))
 	}
-	x.ports[dst] = append(x.ports[dst], packet{req: r, readyAt: now + x.latency})
-	if n := len(x.ports[dst]); n > x.MaxQueue {
+	x.ports[dst].Push(packet{req: r, readyAt: now + x.latency})
+	if n := x.ports[dst].Len(); n > x.MaxQueue {
 		x.MaxQueue = n
 	}
 }
@@ -71,15 +73,14 @@ func (x *Crossbar) Push(dst int, r *mem.Request, now int64) {
 // now, honoring in-order delivery, pipeline latency, and port
 // bandwidth. It returns nil when nothing is deliverable.
 func (x *Crossbar) Pop(dst int, now int64) *mem.Request {
-	q := x.ports[dst]
-	if len(q) == 0 {
+	q := &x.ports[dst]
+	if q.Len() == 0 {
 		return nil
 	}
-	head := q[0]
-	if head.readyAt > now || x.nextSlot[dst] > now {
+	if q.Peek().readyAt > now || x.nextSlot[dst] > now {
 		return nil
 	}
-	x.ports[dst] = q[1:]
+	head := q.Pop()
 	x.nextSlot[dst] = now + x.occupancy
 	x.Delivered++
 	return head.req
@@ -88,17 +89,35 @@ func (x *Crossbar) Pop(dst int, now int64) *mem.Request {
 // Peek reports whether port dst could deliver at cycle now without
 // consuming the packet (used for back-pressure checks).
 func (x *Crossbar) Peek(dst int, now int64) bool {
-	q := x.ports[dst]
-	return len(q) > 0 && q[0].readyAt <= now && x.nextSlot[dst] <= now
+	q := &x.ports[dst]
+	return q.Len() > 0 && q.Peek().readyAt <= now && x.nextSlot[dst] <= now
+}
+
+// NextDeliverable returns the earliest cycle at which port dst could
+// deliver its head packet, or math.MaxInt64 when the port is empty.
+// Packets are queued in injection order, so the head carries the
+// minimum readyAt; the port's bandwidth slot can only push delivery
+// later. This is the port's event horizon for fast-forwarding: no
+// cycle strictly before the returned value can observe a delivery.
+func (x *Crossbar) NextDeliverable(dst int) int64 {
+	q := &x.ports[dst]
+	if q.Len() == 0 {
+		return math.MaxInt64
+	}
+	t := q.Peek().readyAt
+	if s := x.nextSlot[dst]; s > t {
+		t = s
+	}
+	return t
 }
 
 // Pending returns the number of packets queued for port dst.
-func (x *Crossbar) Pending(dst int) int { return len(x.ports[dst]) }
+func (x *Crossbar) Pending(dst int) int { return x.ports[dst].Len() }
 
 // Idle reports whether no packets are queued on any port.
 func (x *Crossbar) Idle() bool {
-	for _, q := range x.ports {
-		if len(q) > 0 {
+	for i := range x.ports {
+		if x.ports[i].Len() > 0 {
 			return false
 		}
 	}
@@ -107,3 +126,15 @@ func (x *Crossbar) Idle() bool {
 
 // Ports returns the number of output ports.
 func (x *Crossbar) Ports() int { return len(x.ports) }
+
+// Reset drops all queued packets and bandwidth state, keeping the port
+// buffers for reuse, so one crossbar can serve many launches without
+// reallocating.
+func (x *Crossbar) Reset() {
+	for i := range x.ports {
+		x.ports[i].Reset()
+		x.nextSlot[i] = 0
+	}
+	x.Delivered = 0
+	x.MaxQueue = 0
+}

@@ -126,4 +126,8 @@ type Request struct {
 	// Done is the core cycle the reply reached the SM (set on
 	// completion).
 	Done int64
+	// Loc is the pre-decoded physical location of Addr, computed once
+	// when the LD/ST unit creates the request so neither the
+	// interconnect router nor the DRAM controller re-derives it.
+	Loc Location
 }

@@ -102,3 +102,46 @@ func MustPearson(xs, ys []float64) float64 {
 	}
 	return r
 }
+
+// Center writes ys - mean(ys) into dst (which must have the same
+// length as ys) and returns Σ dst[i]², the centered sum of squares.
+// Together with PearsonCentered it lets a caller correlate one fixed
+// series against many candidates — the attack's 256-guess scoring
+// loop — paying the centering cost once instead of per candidate.
+func Center(dst, ys []float64) (sumSquares float64) {
+	if len(dst) != len(ys) {
+		panic(ErrLengthMismatch)
+	}
+	m := Mean(ys)
+	for i, y := range ys {
+		d := y - m
+		dst[i] = d
+		sumSquares += d * d
+	}
+	return sumSquares
+}
+
+// PearsonCentered returns the Pearson correlation of xs against a
+// series supplied in centered form: dy[i] = ys[i] - mean(ys) and
+// syy = Σ dy[i]², as produced by Center. Every accumulation runs in
+// the same index order over the same values as Pearson, so the result
+// is bit-identical to Pearson(xs, ys).
+func PearsonCentered(xs, dy []float64, syy float64) (float64, error) {
+	if len(xs) != len(dy) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrShortSeries
+	}
+	mx := Mean(xs)
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * dy[i]
+		sxx += dx * dx
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
