@@ -8,7 +8,8 @@ all: build test
 
 # Mirror of .github/workflows/ci.yml: everything the gate runs.
 ci: build test
-	$(GO) test -race -short ./internal/runner ./internal/experiments ./internal/attack
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
 	$(GO) test -run TestFastForward ./internal/gpusim
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
 

@@ -28,6 +28,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"rcoal/internal/atomicio"
 )
 
 // Benchmark is one parsed benchmark result, with optional baseline
@@ -101,7 +103,7 @@ func main() {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := atomicio.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
 }

@@ -7,6 +7,8 @@
 //	rcoal-experiments -list
 //	rcoal-experiments -run fig6
 //	rcoal-experiments -run all -samples 100 -seed 7
+//	rcoal-experiments -run all -journal ckpt          # checkpoint finished cells
+//	rcoal-experiments -run all -journal ckpt -resume  # skip journaled cells
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"rcoal/internal/atomicio"
 	"rcoal/internal/experiments"
 )
 
@@ -32,8 +35,17 @@ func main() {
 		par     = flag.Int("parallel", 1, "experiments to run concurrently (they are independent and deterministic)")
 		workers = flag.Int("workers", 0, "cells evaluated concurrently inside each experiment; 0 = GOMAXPROCS, 1 = serial (results are identical at any setting)")
 		prog    = flag.Bool("progress", false, "report per-experiment cell progress on stderr")
+		jdir    = flag.String("journal", "", "directory for per-experiment checkpoint journals (<id>.journal); completed cells survive crashes")
+		resume  = flag.Bool("resume", false, "resume from existing journals, skipping journaled cells (requires -journal)")
+		cellTO  = flag.Duration("cell-timeout", 0, "per-cell time budget; 0 = unlimited")
+		retries = flag.Int("retries", 0, "extra attempts for cells failing with a retryable fault")
 	)
 	flag.Parse()
+
+	if *resume && *jdir == "" {
+		fmt.Fprintln(os.Stderr, "rcoal-experiments: -resume requires -journal")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -52,6 +64,8 @@ func main() {
 	opts.Seed = *seed
 	opts.Key = []byte(*key)
 	opts.Workers = *workers
+	opts.CellTimeout = *cellTO
+	opts.Retries = *retries
 
 	ids := []string{*run}
 	if *run == "all" {
@@ -79,6 +93,19 @@ func main() {
 					fmt.Fprintf(os.Stderr, "%s: %d/%d cells\n", id, done, total)
 				}
 			}
+			if *jdir != "" {
+				j, jerr := experiments.OpenJournal(filepath.Join(*jdir, id+".journal"), id, o, *resume)
+				if jerr != nil {
+					results[i] = outcome{err: jerr}
+					return
+				}
+				defer j.Close()
+				if *resume && j.Len() > 0 {
+					fmt.Fprintf(os.Stderr, "%s: resuming with %d journaled cells (%d discarded)\n",
+						id, j.Len(), j.Discarded)
+				}
+				o.Journal = j
+			}
 			res, err := experiments.Run(id, o)
 			if err != nil {
 				results[i] = outcome{err: err}
@@ -88,7 +115,7 @@ func main() {
 			if *csvDir != "" {
 				if c, ok := res.(experiments.CSVer); ok {
 					path := filepath.Join(*csvDir, id+".csv")
-					if werr := os.WriteFile(path, []byte(c.CSV()), 0o644); werr != nil {
+					if werr := atomicio.WriteFile(path, []byte(c.CSV()), 0o644); werr != nil {
 						results[i] = outcome{err: werr}
 						return
 					}

@@ -1,0 +1,52 @@
+// Package atomicio provides crash-safe file writes. A plain
+// os.WriteFile that dies mid-call leaves a truncated file behind; for
+// experiment CSVs that a later analysis step parses, a half-written
+// file is worse than no file. WriteFile stages the content in a
+// temporary file in the destination's directory (same filesystem, so
+// the final rename cannot degrade into a copy) and renames it into
+// place — readers see either the old bytes or the new bytes, never a
+// prefix.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically: the bytes are written and
+// synced to a temporary file in path's directory, which is then
+// renamed over path. On any error the temporary file is removed and
+// path is left untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: staging %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on must not leave the temp file behind.
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("atomicio: writing %s: %w", path, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("atomicio: syncing %s: %w", path, err))
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(fmt.Errorf("atomicio: chmod %s: %w", path, err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: publishing %s: %w", path, err)
+	}
+	return nil
+}

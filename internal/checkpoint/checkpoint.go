@@ -1,0 +1,258 @@
+// Package checkpoint persists per-cell experiment results to an
+// append-only JSONL journal so an interrupted sweep can resume without
+// re-running finished cells. The format is built for crash-time
+// realities:
+//
+//   - one line per completed cell, appended with a single write and
+//     fsynced, so a crash can at worst truncate the final line;
+//   - every line carries a CRC-32 of its payload; on resume, lines
+//     that fail the checksum (torn writes, disk corruption) are
+//     discarded and their cells simply re-run;
+//   - the first line fingerprints the experiment configuration; a
+//     journal written under different options refuses to resume rather
+//     than silently splicing incompatible results.
+//
+// Values are stored as raw JSON produced by the caller. Results must
+// round-trip exactly (encoding/json renders float64s with the minimal
+// digits that re-parse to the same bit pattern), preserving the
+// repo-wide determinism contract: a resumed sweep's output is
+// byte-identical to an uninterrupted run's.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// line is the JSONL wire format for one journaled cell.
+type line struct {
+	// K is the caller's cell key, unique within the journal.
+	K string `json:"k"`
+	// C is the CRC-32 (IEEE) of V, hex-encoded.
+	C string `json:"c"`
+	// V is the cell's result, verbatim caller JSON.
+	V json.RawMessage `json:"v"`
+}
+
+// metaLine is the first journal line, fingerprinting the run.
+type metaLine struct {
+	Meta json.RawMessage `json:"meta"`
+	C    string          `json:"c"`
+}
+
+func checksum(v []byte) string {
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(v))
+}
+
+// Journal is an open checkpoint file. Record is safe for concurrent
+// use by the runner pool's workers.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[string]json.RawMessage
+
+	// Discarded counts journal lines dropped on resume because they
+	// were malformed or failed their checksum. The corresponding cells
+	// re-run, so a nonzero count is survivable — but worth reporting.
+	Discarded int
+}
+
+// Create starts a fresh journal at path, truncating any previous one,
+// and writes the meta fingerprint line. meta must marshal to stable
+// JSON (marshal the same struct to compare later).
+func Create(path string, meta any) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", path, err)
+	}
+	j := &Journal{f: f, seen: make(map[string]json.RawMessage)}
+	if err := j.writeMeta(meta); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Resume opens the journal at path, creating it if missing. It
+// verifies the meta fingerprint against meta — a mismatch means the
+// journal belongs to a differently-configured run and resuming would
+// splice incompatible results, so it is an error. Lines that are
+// malformed or fail their checksum are discarded (counted in
+// Discarded); their cells are simply absent from Lookup and re-run.
+func Resume(path string, meta any) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening %s: %w", path, err)
+	}
+	j := &Journal{f: f, seen: make(map[string]json.RawMessage)}
+
+	wantMeta, err := json.Marshal(meta)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: marshaling meta: %w", err)
+	}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	first := true
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var m metaLine
+			if err := json.Unmarshal(raw, &m); err != nil || m.Meta == nil || checksum(m.Meta) != m.C {
+				f.Close()
+				return nil, fmt.Errorf("checkpoint: %s: unreadable meta line", path)
+			}
+			if !bytes.Equal(compactJSON(m.Meta), compactJSON(wantMeta)) {
+				f.Close()
+				return nil, fmt.Errorf("checkpoint: %s was written by a different experiment configuration; delete it or drop -resume (journal meta %s, current %s)",
+					path, m.Meta, wantMeta)
+			}
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil || l.K == "" || checksum(l.V) != l.C {
+			j.Discarded++
+			continue
+		}
+		// Last occurrence wins: a key re-recorded after a discarded
+		// predecessor reflects the most recent completed run.
+		j.seen[l.K] = l.V
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
+	}
+
+	if first {
+		// Empty (likely just created) journal: write the meta line.
+		if err := j.writeMeta(meta); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	// Position for appends. O_APPEND is not used so that the scanner
+	// above and the writes below share one descriptor simply; all
+	// writes happen under j.mu at the offset we set here.
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: seeking %s: %w", path, err)
+	}
+	// A crash mid-append can leave a torn final line with no newline.
+	// Terminate it so the next Record starts on a fresh line instead of
+	// concatenating onto the fragment (which would corrupt it too); the
+	// fragment itself already fails its checksum and stays discarded.
+	if end > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, end-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("checkpoint: terminating torn line in %s: %w", path, err)
+			}
+		}
+	}
+	return j, nil
+}
+
+func (j *Journal) writeMeta(meta any) error {
+	m, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshaling meta: %w", err)
+	}
+	out, err := json.Marshal(metaLine{Meta: m, C: checksum(m)})
+	if err != nil {
+		return err
+	}
+	return j.append(out)
+}
+
+// compactJSON normalizes whitespace so fingerprint comparison is
+// content-based.
+func compactJSON(raw []byte) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return raw
+	}
+	return buf.Bytes()
+}
+
+// Lookup returns the journaled result for key, if any.
+func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.seen[key]
+	return v, ok
+}
+
+// Len reports how many journaled cells are available to Lookup.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Record journals value (marshaled to JSON) under key and syncs it to
+// disk before returning, so a cell reported complete stays complete
+// across a crash. Safe for concurrent use.
+func (j *Journal) Record(key string, value any) error {
+	if key == "" {
+		return fmt.Errorf("checkpoint: empty cell key")
+	}
+	v, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshaling cell %q: %w", key, err)
+	}
+	out, err := json.Marshal(line{K: key, C: checksum(v), V: v})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLocked(out); err != nil {
+		return err
+	}
+	j.seen[key] = v
+	return nil
+}
+
+func (j *Journal) append(out []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(out)
+}
+
+func (j *Journal) appendLocked(out []byte) error {
+	// One Write call per line keeps a crash from interleaving partial
+	// lines; the checksum catches the torn tail line either way.
+	if _, err := j.f.Write(append(out, '\n')); err != nil {
+		return fmt.Errorf("checkpoint: appending: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file. The journal is already durable —
+// every Record synced — so Close only fails if the descriptor does.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,266 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"rcoal/internal/faultinject"
+)
+
+type testMeta struct {
+	Experiment string `json:"experiment"`
+	Samples    int    `json:"samples"`
+	Seed       int64  `json:"seed"`
+}
+
+type testCell struct {
+	Cell   int     `json:"cell"`
+	Cycles float64 `json:"cycles"`
+}
+
+func TestCreateRecordResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	meta := testMeta{Experiment: "sweep", Samples: 30, Seed: 1}
+
+	j, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Record(fmt.Sprintf("cell/%d", i), testCell{Cell: i, Cycles: 1.5 * float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 3 || r.Discarded != 0 {
+		t.Fatalf("resumed len=%d discarded=%d, want 3/0", r.Len(), r.Discarded)
+	}
+	raw, ok := r.Lookup("cell/2")
+	if !ok {
+		t.Fatal("cell/2 missing after resume")
+	}
+	var c testCell
+	if err := json.Unmarshal(raw, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cell != 2 || c.Cycles != 3.0 {
+		t.Errorf("cell/2 = %+v", c)
+	}
+	if _, ok := r.Lookup("cell/9"); ok {
+		t.Error("phantom cell found")
+	}
+	// Appending after resume works.
+	if err := r.Record("cell/3", testCell{Cell: 3}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 4 {
+		t.Errorf("after append+resume len = %d, want 4", r2.Len())
+	}
+}
+
+func TestResumeCreatesMissingJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.journal")
+	meta := testMeta{Experiment: "x"}
+	j, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Errorf("fresh journal len = %d", j.Len())
+	}
+	if err := j.Record("a", testCell{}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// The meta line written on creation must satisfy a later resume.
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 1 {
+		t.Errorf("len = %d, want 1", r.Len())
+	}
+}
+
+func TestResumeRejectsMetaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := Create(path, testMeta{Experiment: "sweep", Samples: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, err = Resume(path, testMeta{Experiment: "sweep", Samples: 50})
+	if err == nil {
+		t.Fatal("resume with mismatched meta succeeded")
+	}
+	if !strings.Contains(err.Error(), "different experiment configuration") {
+		t.Errorf("undiagnostic error: %v", err)
+	}
+}
+
+func TestCorruptLinesDiscardedNotFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	meta := testMeta{Experiment: "sweep"}
+	j, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Record(fmt.Sprintf("cell/%d", i), testCell{Cell: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Corrupt the line for cell/1 (line 2: line 0 is meta).
+	if err := faultinject.CorruptJournalLine(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Discarded != 1 {
+		t.Errorf("Discarded = %d, want 1", r.Discarded)
+	}
+	if _, ok := r.Lookup("cell/1"); ok {
+		t.Error("corrupted cell still resolvable")
+	}
+	for _, k := range []string{"cell/0", "cell/2", "cell/3"} {
+		if _, ok := r.Lookup(k); !ok {
+			t.Errorf("healthy cell %s lost", k)
+		}
+	}
+}
+
+func TestTruncatedTailLineDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	meta := testMeta{Experiment: "sweep"}
+	j, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("cell/0", testCell{Cell: 0})
+	j.Record("cell/1", testCell{Cell: 1})
+	j.Close()
+
+	// Simulate a crash mid-append: chop bytes off the final line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Lookup("cell/1"); ok {
+		t.Error("truncated cell still resolvable")
+	}
+	if _, ok := r.Lookup("cell/0"); !ok {
+		t.Error("intact cell lost")
+	}
+	if r.Discarded != 1 {
+		t.Errorf("Discarded = %d, want 1", r.Discarded)
+	}
+	// Re-recording the lost cell and resuming again must heal fully.
+	if err := r.Record("cell/1", testCell{Cell: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	healed, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healed.Close()
+	if healed.Len() != 2 || healed.Discarded != 1 {
+		t.Errorf("healed len=%d discarded=%d, want 2/1", healed.Len(), healed.Discarded)
+	}
+}
+
+func TestLastOccurrenceWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	meta := testMeta{Experiment: "sweep"}
+	j, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("cell/0", testCell{Cell: 0, Cycles: 1})
+	j.Record("cell/0", testCell{Cell: 0, Cycles: 2})
+	j.Close()
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	raw, _ := r.Lookup("cell/0")
+	var c testCell
+	json.Unmarshal(raw, &c)
+	if c.Cycles != 2 {
+		t.Errorf("cycles = %v, want the later record (2)", c.Cycles)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	meta := testMeta{Experiment: "sweep"}
+	j, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Record(fmt.Sprintf("cell/%d", i), testCell{Cell: i}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 16 || r.Discarded != 0 {
+		t.Errorf("len=%d discarded=%d, want 16/0 (interleaved writes?)", r.Len(), r.Discarded)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	j, err := Create(filepath.Join(t.TempDir(), "j"), testMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record("", testCell{}); err == nil {
+		t.Error("empty key accepted")
+	}
+}

@@ -14,9 +14,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"rcoal/internal/aesgpu"
 	"rcoal/internal/attack"
+	"rcoal/internal/checkpoint"
 	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
@@ -49,11 +51,32 @@ type Options struct {
 	// the cell-parallel experiments (sweeps, scatter figures, the case
 	// study). Calls are serialized.
 	Progress func(done, total int)
+	// Journal, when non-nil, checkpoints each completed cell of the
+	// cell-parallel experiments and restores journaled cells instead of
+	// re-running them — an interrupted sweep resumes where it stopped
+	// with byte-identical output (see OpenJournal).
+	Journal *checkpoint.Journal
+	// CellTimeout, when positive, bounds each evaluation cell's run
+	// (runner.Pool.CellTimeout).
+	CellTimeout time.Duration
+	// Retries re-runs a failed cell up to this many extra times when
+	// its error is retryable (runner.MarkRetryable); same-seed retries
+	// cannot change results.
+	Retries int
+	// faultHook, when non-nil, runs before each freshly evaluated cell
+	// with the cell's index. Test-only: the crash-safety tests use it
+	// to panic or fail inside a chosen cell (see internal/faultinject).
+	faultHook func(cell int) error
 }
 
 // pool returns the worker pool experiments fan their cells out over.
 func (o Options) pool() runner.Pool {
-	return runner.Pool{Workers: o.Workers, OnProgress: o.Progress}
+	return runner.Pool{
+		Workers:     o.Workers,
+		OnProgress:  o.Progress,
+		CellTimeout: o.CellTimeout,
+		Retries:     o.Retries,
+	}
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.

@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"strings"
 
 	"rcoal/internal/attack"
 	"rcoal/internal/report"
-	"rcoal/internal/runner"
 )
 
 func init() { Registry["fig18"] = func(o Options) (Result, error) { return Fig18(o) } }
@@ -61,12 +61,20 @@ func Fig18(o Options) (*Fig18Result, error) {
 		}
 	}
 
+	// Exported fields: cells round-trip through the checkpoint journal
+	// as JSON when Options.Journal is attached.
 	type out struct {
-		cell       Fig18Cell
-		baseCycles float64
-		meanCycles float64
+		Cell       Fig18Cell
+		BaseCycles float64
+		MeanCycles float64
 	}
-	outs, err := runner.MapWith(context.Background(), o.pool(), jobs,
+	outs, err := runCells(o, jobs,
+		func(_ int, jb job) string {
+			if jb.baseline {
+				return "baseline"
+			}
+			return fmt.Sprintf("%s/%d", jb.mech, jb.m)
+		},
 		func(_ context.Context, _ int, jb job) (out, error) {
 			if jb.baseline {
 				_, base, err := collect(o, MechFSS.Policy(1), false)
@@ -77,7 +85,7 @@ func Fig18(o Options) (*Fig18Result, error) {
 				for _, s := range base.Samples {
 					baseCycles += float64(s.TotalCycles)
 				}
-				return out{baseCycles: baseCycles / float64(len(base.Samples))}, nil
+				return out{BaseCycles: baseCycles / float64(len(base.Samples))}, nil
 			}
 			srv, ds, err := collect(o, jb.mech.Policy(jb.m), false)
 			if err != nil {
@@ -106,16 +114,16 @@ func Fig18(o Options) (*Fig18Result, error) {
 			if err != nil {
 				return out{}, err
 			}
-			return out{cell: cell, meanCycles: mean / float64(len(ds.Samples))}, nil
+			return out{Cell: cell, MeanCycles: mean / float64(len(ds.Samples))}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
 
-	baseCycles := outs[0].baseCycles
+	baseCycles := outs[0].BaseCycles
 	for _, ot := range outs[1:] {
-		cell := ot.cell
-		cell.NormCycles = ot.meanCycles / baseCycles
+		cell := ot.Cell
+		cell.NormCycles = ot.MeanCycles / baseCycles
 		res.Cells = append(res.Cells, cell)
 	}
 	return res, nil

@@ -8,7 +8,6 @@ import (
 	"rcoal/internal/attack"
 	"rcoal/internal/core"
 	"rcoal/internal/report"
-	"rcoal/internal/runner"
 )
 
 func init() { Registry["fig7"] = func(o Options) (Result, error) { return Fig7(o) } }
@@ -38,7 +37,8 @@ var Fig7Subwarps = []int{1, 2, 4, 8, 16, 32}
 // num-subwarp rows fan out over Options.Workers; output is
 // byte-identical at any worker count.
 func Fig7(o Options) (*Fig7Result, error) {
-	rows, err := runner.MapWith(context.Background(), o.pool(), Fig7Subwarps,
+	rows, err := runCells(o, Fig7Subwarps,
+		func(_ int, m int) string { return fmt.Sprintf("fss/%d", m) },
 		func(_ context.Context, _ int, m int) (Fig7Row, error) {
 			srv, ds, err := collect(o, core.FSS(m), false)
 			if err != nil {

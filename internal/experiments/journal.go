@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"rcoal/internal/checkpoint"
+)
+
+// journalMeta fingerprints the options that determine an experiment's
+// cell results. Resuming a journal whose fingerprint differs from the
+// current run would splice together results from incompatible
+// configurations, so checkpoint.Resume rejects the mismatch.
+type journalMeta struct {
+	Experiment string `json:"experiment"`
+	Samples    int    `json:"samples"`
+	Lines      int    `json:"lines"`
+	Seed       uint64 `json:"seed"`
+	// KeyHash fingerprints the AES key without writing it to disk.
+	KeyHash string `json:"keyHash"`
+}
+
+// OpenJournal opens (resume) or creates the checkpoint journal for
+// experiment id at path, fingerprinted with the result-determining
+// options. Attach the returned journal to Options.Journal so the
+// experiment's cells are checkpointed as they complete and journaled
+// cells are restored instead of re-run.
+func OpenJournal(path, id string, o Options, resume bool) (*checkpoint.Journal, error) {
+	h := fnv.New64a()
+	h.Write(o.Key)
+	meta := journalMeta{
+		Experiment: id,
+		Samples:    o.Samples,
+		Lines:      o.Lines,
+		Seed:       o.Seed,
+		KeyHash:    fmt.Sprintf("%016x", h.Sum64()),
+	}
+	if resume {
+		return checkpoint.Resume(path, meta)
+	}
+	return checkpoint.Create(path, meta)
+}
+
+// runCells is the journaled evaluation loop every cell-parallel
+// experiment runs on. Each item is one cell, identified by a stable
+// key; with a journal attached, already-journaled cells are restored
+// by unmarshaling their recorded JSON (bypassing fn entirely) and each
+// freshly computed cell is recorded before the run moves on. Results
+// land in item order either way, and because recorded values
+// round-trip exactly through encoding/json, a resumed run's output is
+// byte-identical to an uninterrupted one.
+//
+// The remaining cells fan out over the pool with the pool's full
+// robustness envelope (panic recovery, per-cell timeout, retries).
+func runCells[T, R any](o Options, items []T,
+	key func(i int, item T) string,
+	fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+
+	out := make([]R, len(items))
+	todo := make([]int, 0, len(items))
+	for i, item := range items {
+		if o.Journal != nil {
+			if raw, ok := o.Journal.Lookup(key(i, item)); ok {
+				if err := json.Unmarshal(raw, &out[i]); err != nil {
+					return nil, fmt.Errorf("experiments: journaled cell %q: %w", key(i, item), err)
+				}
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	err := o.pool().MapN(context.Background(), len(todo), func(ctx context.Context, ti int) error {
+		i := todo[ti]
+		if o.faultHook != nil {
+			if err := o.faultHook(i); err != nil {
+				return err
+			}
+		}
+		r, err := fn(ctx, i, items[i])
+		if err != nil {
+			return err
+		}
+		if o.Journal != nil {
+			if err := o.Journal.Record(key(i, items[i]), r); err != nil {
+				return err
+			}
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

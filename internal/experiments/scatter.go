@@ -7,7 +7,6 @@ import (
 
 	"rcoal/internal/attack"
 	"rcoal/internal/report"
-	"rcoal/internal/runner"
 	"rcoal/internal/stats"
 )
 
@@ -59,7 +58,8 @@ type ScatterResult struct {
 // Options.Workers with per-panel servers and attackers; output is
 // byte-identical at any worker count.
 func ScatterExperiment(o Options, mech Mechanism, id string) (*ScatterResult, error) {
-	panels, err := runner.MapWith(context.Background(), o.pool(), ScatterSubwarps,
+	panels, err := runCells(o, ScatterSubwarps,
+		func(_ int, m int) string { return fmt.Sprintf("%s/%d", mech, m) },
 		func(_ context.Context, _ int, m int) (ScatterPanel, error) {
 			srv, ds, err := collect(o, mech.Policy(m), false)
 			if err != nil {

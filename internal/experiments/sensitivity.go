@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"rcoal/internal/report"
-	"rcoal/internal/runner"
 	"rcoal/internal/theory"
 )
 
@@ -43,7 +42,8 @@ func ExtSensitivity(o Options) (*ExtSensitivityResult, error) {
 		{32, 32}, // 32-byte sectors: 32 blocks per table
 		{64, 16}, // 64-wide wavefronts (AMD-style)
 	}
-	rows, err := runner.MapWith(context.Background(), o.pool(), variants,
+	rows, err := runCells(o, variants,
+		func(_ int, v struct{ n, r int }) string { return fmt.Sprintf("n%d-r%d", v.n, v.r) },
 		func(_ context.Context, _ int, v struct{ n, r int }) ([]ExtSensitivityRow, error) {
 			md, err := theory.NewModel(v.n, v.r)
 			if err != nil {

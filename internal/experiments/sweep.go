@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 
 	"rcoal/internal/attack"
-	"rcoal/internal/runner"
 )
 
 // SweepCell is one (mechanism, num-subwarp) evaluation point shared by
@@ -69,11 +69,19 @@ func Sweep(o Options, ms []int) (*SweepResult, error) {
 		}
 	}
 
+	// Exported fields: cells round-trip through the checkpoint journal
+	// as JSON when Options.Journal is attached.
 	type out struct {
-		cell               SweepCell
-		baseCycles, baseTx float64
+		Cell               SweepCell
+		BaseCycles, BaseTx float64
 	}
-	outs, err := runner.MapWith(context.Background(), o.pool(), jobs,
+	outs, err := runCells(o, jobs,
+		func(_ int, jb job) string {
+			if jb.baseline {
+				return "baseline"
+			}
+			return fmt.Sprintf("%s/%d", jb.mech, jb.m)
+		},
 		func(_ context.Context, _ int, jb job) (out, error) {
 			if jb.baseline {
 				_, base, err := collect(o, MechFSS.Policy(1), false)
@@ -82,11 +90,11 @@ func Sweep(o Options, ms []int) (*SweepResult, error) {
 				}
 				var ot out
 				for _, s := range base.Samples {
-					ot.baseCycles += float64(s.TotalCycles)
-					ot.baseTx += float64(s.TotalTx)
+					ot.BaseCycles += float64(s.TotalCycles)
+					ot.BaseTx += float64(s.TotalTx)
 				}
-				ot.baseCycles /= float64(len(base.Samples))
-				ot.baseTx /= float64(len(base.Samples))
+				ot.BaseCycles /= float64(len(base.Samples))
+				ot.BaseTx /= float64(len(base.Samples))
 				return ot, nil
 			}
 			srv, ds, err := collect(o, jb.mech.Policy(jb.m), false)
@@ -112,16 +120,16 @@ func Sweep(o Options, ms []int) (*SweepResult, error) {
 			if err != nil {
 				return out{}, err
 			}
-			return out{cell: cell}, nil
+			return out{Cell: cell}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
 
 	res := &SweepResult{Ms: ms,
-		BaselineCycles: outs[0].baseCycles, BaselineTx: outs[0].baseTx}
+		BaselineCycles: outs[0].BaseCycles, BaselineTx: outs[0].BaseTx}
 	for _, ot := range outs[1:] {
-		cell := ot.cell
+		cell := ot.Cell
 		cell.NormCycles = cell.MeanCycles / res.BaselineCycles
 		cell.NormTx = cell.MeanTx / res.BaselineTx
 		res.Cells = append(res.Cells, cell)

@@ -63,8 +63,11 @@ func ExtWorkloads(o Options) (*ExtWorkloadsResult, error) {
 			jobs = append(jobs, job{pattern: p, policy: policy})
 		}
 	}
-	type raw struct{ cycles, tx float64 }
-	raws, err := runner.MapWith(context.Background(), o.pool(), jobs,
+	// Exported fields: cells round-trip through the checkpoint journal
+	// as JSON when Options.Journal is attached.
+	type raw struct{ Cycles, Tx float64 }
+	raws, err := runCells(o, jobs,
+		func(_ int, jb job) string { return jb.pattern.String() + "/" + jb.policy.Name() },
 		func(_ context.Context, _ int, jb job) (raw, error) {
 			cfg := gpusim.DefaultConfig()
 			cfg.Coalescing = jb.policy
@@ -84,11 +87,11 @@ func ExtWorkloads(o Options) (*ExtWorkloadsResult, error) {
 				if err != nil {
 					return raw{}, err
 				}
-				r.cycles += float64(rr.Cycles)
-				r.tx += float64(rr.TotalTx)
+				r.Cycles += float64(rr.Cycles)
+				r.Tx += float64(rr.TotalTx)
 			}
-			r.cycles /= float64(reps)
-			r.tx /= float64(reps)
+			r.Cycles /= float64(reps)
+			r.Tx /= float64(reps)
 			return r, nil
 		})
 	if err != nil {
@@ -99,13 +102,13 @@ func ExtWorkloads(o Options) (*ExtWorkloadsResult, error) {
 	var baseCycles, baseTx float64
 	for i, jb := range jobs {
 		if jb.policy.NumSubwarps == 1 {
-			baseCycles, baseTx = raws[i].cycles, raws[i].tx
+			baseCycles, baseTx = raws[i].Cycles, raws[i].Tx
 		}
 		res.Cells = append(res.Cells, ExtWorkloadsCell{
 			Pattern:    jb.pattern.String(),
 			Mechanism:  jb.policy.Name(),
-			NormCycles: raws[i].cycles / baseCycles,
-			NormTx:     raws[i].tx / baseTx,
+			NormCycles: raws[i].Cycles / baseCycles,
+			NormTx:     raws[i].Tx / baseTx,
 		})
 	}
 	return res, nil

@@ -1,0 +1,74 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCellPanicFiresOnlyOnTarget(t *testing.T) {
+	hook := CellPanic(3)
+	for i := 0; i < 3; i++ {
+		if err := hook(i); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("target cell did not panic")
+		}
+	}()
+	hook(3)
+}
+
+func TestCellError(t *testing.T) {
+	boom := errors.New("boom")
+	hook := CellError(2, boom)
+	if err := hook(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := hook(2); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestCorruptJournalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	orig := "line zero\nline one\nline two\n"
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptJournalLine(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	if lines[0] != "line zero" || lines[2] != "line two" {
+		t.Errorf("neighbor lines damaged: %q", data)
+	}
+	if lines[1] == "line one" || len(lines[1]) != len("line one") {
+		t.Errorf("line 1 = %q, want same-length garbage", lines[1])
+	}
+
+	// Out-of-range lines are an error, not a silent no-op.
+	if err := CorruptJournalLine(path, 17); err == nil {
+		t.Error("corrupting a missing line succeeded")
+	}
+
+	// A last line without trailing newline is still reachable.
+	if err := os.WriteFile(path, []byte("a\nfinal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptJournalLine(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if string(data) != "a\n#####" {
+		t.Errorf("tail line corruption = %q", data)
+	}
+}

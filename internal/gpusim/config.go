@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"rcoal/internal/core"
+	"rcoal/internal/faultinject"
 	"rcoal/internal/gpusim/cache"
 	"rcoal/internal/gpusim/dram"
 	"rcoal/internal/gpusim/mem"
@@ -71,6 +72,24 @@ type Config struct {
 	// per coalescing unit per cycle; we inject one transaction per
 	// cycle).
 	MCURate int
+	// MaxCycles bounds a launch's simulated cycles; Run returns a
+	// *MaxCyclesError (wrapping ErrMaxCycles) with a diagnostic
+	// snapshot when a kernel exhausts it. 0 means DefaultMaxCycles,
+	// orders of magnitude above any legitimate Table I kernel.
+	MaxCycles int64
+	// WatchdogWindow is the forward-progress watchdog's patience: if no
+	// warp, PRT entry, inject queue, crossbar port, or DRAM controller
+	// changes state for this many consecutive simulation steps while
+	// warps remain unfinished, Run returns a *NoProgressError (wrapping
+	// ErrNoProgress) with a diagnostic snapshot instead of spinning.
+	// Steps equal cycles under pure stepping; event-driven fast-forward
+	// elides provably idle cycles, so legitimate idle stretches never
+	// age the watchdog. 0 means DefaultWatchdogWindow.
+	WatchdogWindow int64
+	// Faults wires deterministic, test-only hardware faults into the
+	// launch (see internal/faultinject). nil — the only production
+	// value — injects nothing.
+	Faults *faultinject.Plan
 	// FastForwardDisabled forces pure cycle-by-cycle stepping,
 	// disabling the event-driven fast-forward that jumps over cycles
 	// in which no subsystem can make progress. Results are
@@ -205,6 +224,23 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gpusim: SharedBanks %d must be >= 1", c.SharedBanks)
 	case c.SharedLatency < 1:
 		return fmt.Errorf("gpusim: SharedLatency %d must be >= 1", c.SharedLatency)
+	case c.MaxCycles < 0:
+		return fmt.Errorf("gpusim: MaxCycles %d must be >= 0 (0 = default %d)", c.MaxCycles, DefaultMaxCycles)
+	case c.WatchdogWindow < 0:
+		return fmt.Errorf("gpusim: WatchdogWindow %d must be >= 0 (0 = default %d)", c.WatchdogWindow, DefaultWatchdogWindow)
+	}
+	if f := c.Faults; f != nil {
+		if s := f.DRAMStall; s != nil && (s.Partition < -1 || s.Partition >= c.AddressMap.Partitions) {
+			return fmt.Errorf("gpusim: fault DRAMStall partition %d outside [-1,%d)", s.Partition, c.AddressMap.Partitions)
+		}
+		if d := f.DropReply; d != nil {
+			if d.Port < 0 || d.Port >= c.NumSMs {
+				return fmt.Errorf("gpusim: fault DropReply port %d outside [0,%d)", d.Port, c.NumSMs)
+			}
+			if d.Nth < 1 {
+				return fmt.Errorf("gpusim: fault DropReply nth %d must be >= 1", d.Nth)
+			}
+		}
 	}
 	if err := c.AddressMap.Validate(); err != nil {
 		return err

@@ -98,6 +98,12 @@ type Controller struct {
 	minDone  int64          // earliest completion among pending requests
 	doneBuf  []*mem.Request // reused by Tick; valid until the next Tick
 
+	// stallArmed/stallAfter are the fault-injection seam (see
+	// InjectStall): when armed, the scheduler freezes once Stats.Accesses
+	// reaches stallAfter.
+	stallArmed bool
+	stallAfter uint64
+
 	// Stats counts controller-level events.
 	Stats Stats
 }
@@ -168,8 +174,18 @@ func (c *Controller) Tick(now int64) []*mem.Request {
 	return c.collect(now)
 }
 
+// InjectStall arms the controller's test-only fault seam
+// (internal/faultinject): once the controller has scheduled `after`
+// requests it stops scheduling entirely, so queued requests wait
+// forever. Stats reset per launch (Reset), so the threshold counts the
+// current launch's accesses; the armed state itself survives Reset.
+func (c *Controller) InjectStall(after uint64) {
+	c.stallArmed = true
+	c.stallAfter = after
+}
+
 func (c *Controller) schedule(now int64) {
-	if len(c.queue) == 0 {
+	if len(c.queue) == 0 || (c.stallArmed && c.Stats.Accesses >= c.stallAfter) {
 		return
 	}
 	// First-ready: oldest request whose bank has the needed row open

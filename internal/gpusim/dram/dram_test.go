@@ -219,3 +219,34 @@ func TestNewControllerRejectsBadConfig(t *testing.T) {
 		t.Error("bad address map accepted")
 	}
 }
+
+// TestInjectStall: the fault seam freezes scheduling after the
+// threshold while keeping the queue (and NextEvent) alive, so the
+// upstream watchdog — not a hang — must resolve it.
+func TestInjectStall(t *testing.T) {
+	c := newTestController(t, 0)
+	c.InjectStall(1) // service exactly one request, then freeze
+	c.Push(&mem.Request{ID: 1, Addr: 0})
+	c.Push(&mem.Request{ID: 2, Addr: 1 << 20})
+	done, _ := drain(c, 0, 500)
+	if len(done) != 1 || done[0].ID != 1 {
+		t.Fatalf("serviced %d requests, want only the first", len(done))
+	}
+	if c.Idle() || c.QueueLen() != 1 {
+		t.Fatalf("stalled controller: idle=%v queue=%d, want live queue of 1", c.Idle(), c.QueueLen())
+	}
+	// A stalled-but-queued controller still claims next-cycle activity:
+	// the simulator keeps stepping and its watchdog sees no progress.
+	if got := c.NextEvent(1000); got != 1001 {
+		t.Errorf("NextEvent = %d, want 1001", got)
+	}
+
+	// Reset clears the launch's access count but keeps the armament:
+	// an immediately-stalled controller (threshold 0) never schedules.
+	c.Reset()
+	c.InjectStall(0)
+	c.Push(&mem.Request{ID: 3, Addr: 0})
+	if done, _ := drain(c, 0, 200); len(done) != 0 {
+		t.Fatalf("fully stalled controller serviced %d requests", len(done))
+	}
+}

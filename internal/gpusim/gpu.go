@@ -13,8 +13,18 @@ import (
 	"rcoal/internal/rng"
 )
 
-// maxSimCycles aborts runaway simulations (deadlock guard).
-const maxSimCycles = 1 << 28
+// DefaultMaxCycles is the cycle budget when Config.MaxCycles is 0 —
+// orders of magnitude above any legitimate Table I kernel (the 1024-
+// line case study finishes in ~10^6 cycles).
+const DefaultMaxCycles = 1 << 28
+
+// DefaultWatchdogWindow is the forward-progress watchdog's patience
+// when Config.WatchdogWindow is 0. Legitimate no-change stretches are
+// bounded by the largest subsystem latency (hundreds of cycles for
+// scaled GDDR5 timings); 2^20 steps leaves three orders of magnitude
+// of headroom while still tripping on a wedged launch in well under a
+// second.
+const DefaultWatchdogWindow = 1 << 20
 
 // GPU is a configured simulator instance. Run rebuilds the launch's
 // logical state per call, but the heavy runtime structures (SM state,
@@ -147,6 +157,11 @@ type runState struct {
 	res       *Result
 	reqID     uint64
 	remaining int
+	// progress counts observable state transitions (issues, queue
+	// movements, DRAM scheduling, replies, retirements). The forward-
+	// progress watchdog trips when it stops advancing while warps
+	// remain unfinished; it never influences simulation behavior.
+	progress uint64
 	basePlan  core.Plan // whole-warp plan for non-vulnerable rounds
 	roundMask [MaxRounds + 1]bool
 	selective bool
@@ -167,16 +182,36 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 		return nil, err
 	}
 	fastForward := !g.cfg.FastForwardDisabled
+	maxCycles := g.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	window := g.cfg.WatchdogWindow
+	if window == 0 {
+		window = DefaultWatchdogWindow
+	}
+	// Forward-progress watchdog state: lastProgress is st.progress at
+	// the most recent observable state change, stalled the consecutive
+	// steps without one. Fast-forward only elides cycles proven to be
+	// no-ops, so skipped cycles never age the watchdog.
+	var lastProgress uint64
+	var stalled int64
 
 	for now := int64(0); ; now++ {
-		if now > maxSimCycles {
-			return nil, fmt.Errorf("gpusim: kernel %q exceeded %d cycles (deadlock?)", k.Label, maxSimCycles)
+		if now > maxCycles {
+			return nil, &MaxCyclesError{Kernel: k.Label, MaxCycles: maxCycles, Snapshot: g.snapshot(st, now)}
 		}
 		smBusy := g.stepSMs(st, now)
 		memBusy := g.stepMemory(st, now)
 		if st.remaining == 0 && st.toMem.Idle() && st.toSM.Idle() && st.idleMemory() && st.idleSMs() {
 			st.res.Cycles = now
 			break
+		}
+		if st.progress != lastProgress {
+			lastProgress = st.progress
+			stalled = 0
+		} else if stalled++; stalled >= window {
+			return nil, &NoProgressError{Kernel: k.Label, Cycle: now, Window: window, Snapshot: g.snapshot(st, now)}
 		}
 		if fastForward && !smBusy && !memBusy {
 			// Event-driven fast-forward: when no subsystem can make
@@ -186,9 +221,16 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 			// pure cycle-stepping. The busy flags are a fast path: a
 			// non-empty inject or DRAM queue pins the horizon to now+1,
 			// so the full scan below would find nothing to skip.
-			if next := g.nextEvent(st, now); next > now+1 {
-				if next > maxSimCycles {
-					next = maxSimCycles + 1 // surface the deadlock guard
+			next := g.nextEvent(st, now)
+			if next == math.MaxInt64 {
+				// Warps remain unfinished yet nothing is in flight
+				// anywhere: no future step can change state. Report the
+				// wedge immediately instead of aging the watchdog.
+				return nil, &NoProgressError{Kernel: k.Label, Cycle: now, Snapshot: g.snapshot(st, now)}
+			}
+			if next > now+1 {
+				if next > maxCycles {
+					next = maxCycles + 1 // surface the cycle budget
 				}
 				g.SkippedCycles += next - now - 1
 				now = next - 1
@@ -385,6 +427,22 @@ func (g *GPU) build(nWarps int) (*runState, error) {
 		}
 		st.parts[i] = p
 	}
+
+	// Arm the configured test-only faults (internal/faultinject). The
+	// seams survive per-launch resets, so a reused runtime keeps its
+	// fault plan.
+	if f := g.cfg.Faults; f != nil {
+		if s := f.DRAMStall; s != nil {
+			for pid, p := range st.parts {
+				if s.Partition == -1 || s.Partition == pid {
+					p.ctrl.InjectStall(s.AfterAccesses)
+				}
+			}
+		}
+		if d := f.DropReply; d != nil {
+			st.toSM.InjectDrop(d.Port, d.Nth)
+		}
+	}
 	return st, nil
 }
 
@@ -463,6 +521,7 @@ func (g *GPU) stepSMs(st *runState, now int64) (busy bool) {
 			req := sm.injectQ.Pop()
 			req.Issued = now
 			st.toMem.Push(req.Loc.Partition, req, now)
+			st.progress++
 		}
 
 		// 3. Warp schedulers issue.
@@ -480,6 +539,7 @@ func (g *GPU) stepSMs(st *runState, now int64) (busy bool) {
 // settle delivers one memory reply to a warp, retiring the warp if it
 // has run off its program.
 func (g *GPU) settle(st *runState, w *warpRun, now int64) {
+	st.progress++
 	if g.cfg.Trace != nil {
 		g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvReply, Warp: w.prog.ID})
 	}
@@ -498,6 +558,7 @@ func (g *GPU) settle(st *runState, w *warpRun, now int64) {
 
 // retire finishes a warp and emits its trace event.
 func (g *GPU) retire(st *runState, w *warpRun, now int64) {
+	st.progress++
 	w.finish(now, &st.res.Warps[w.prog.ID])
 	st.remaining--
 	if g.cfg.Trace != nil {
@@ -523,6 +584,7 @@ func (g *GPU) stepMemory(st *runState, now int64) (busy bool) {
 			for _, r := range p.replies {
 				if r.Done <= now {
 					st.toSM.Push(r.SM, r, now)
+					st.progress++
 				} else {
 					kept = append(kept, r)
 				}
@@ -532,6 +594,7 @@ func (g *GPU) stepMemory(st *runState, now int64) (busy bool) {
 
 		if p.ctrl.CanAccept() {
 			if r := st.toMem.Pop(pid, now); r != nil {
+				st.progress++
 				if p.l2 != nil && r.Kind == mem.Load {
 					if hit, _, _ := p.l2.Access(mem.BlockOf(r.Addr)); hit {
 						r.Done = now + int64(p.l2.HitLatency())
@@ -543,9 +606,20 @@ func (g *GPU) stepMemory(st *runState, now int64) (busy bool) {
 			}
 		}
 	tick:
-		for _, done := range p.ctrl.Tick(now) {
-			done.Done = now
-			st.toSM.Push(done.SM, done, now)
+		{
+			// Scheduling moves a request queue→in-flight without
+			// completing anything; detect it by queue shrinkage so a
+			// frozen controller (fault injection, modeling bugs) reads
+			// as no progress rather than spinning forever.
+			qBefore := p.ctrl.QueueLen()
+			for _, done := range p.ctrl.Tick(now) {
+				done.Done = now
+				st.toSM.Push(done.SM, done, now)
+				st.progress++
+			}
+			if p.ctrl.QueueLen() != qBefore {
+				st.progress++
+			}
 		}
 		if p.ctrl.QueueLen() > 0 {
 			busy = true
@@ -630,6 +704,7 @@ func (g *GPU) tryIssue(st *runState, sm *smState, smID int, w *warpRun, now int6
 			g.retire(st, w, now)
 		} else {
 			w.blocked = true
+			st.progress++
 		}
 		return false
 	}
@@ -656,6 +731,7 @@ func (g *GPU) tryIssue(st *runState, sm *smState, smID int, w *warpRun, now int6
 		} else {
 			w.blocked = true
 		}
+		st.progress++
 		return true
 	}
 
@@ -682,6 +758,7 @@ func (g *GPU) tryIssue(st *runState, sm *smState, smID int, w *warpRun, now int6
 		g.issueShared(st, w, ins, now)
 		w.pc++
 	}
+	st.progress++
 	return true
 }
 

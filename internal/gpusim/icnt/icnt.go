@@ -31,6 +31,13 @@ type Crossbar struct {
 	// enforcing the per-packet port occupancy.
 	nextSlot []int64
 
+	// dropPort/dropNth/dropSeen are the fault-injection seam (see
+	// InjectDrop): when dropNth > 0, the dropNth-th push toward
+	// dropPort is silently swallowed.
+	dropPort int
+	dropNth  uint64
+	dropSeen uint64
+
 	// Stats
 	Delivered uint64
 	MaxQueue  int
@@ -58,10 +65,28 @@ func NewCrossbar(ports int, latency, occupancy int) (*Crossbar, error) {
 	}, nil
 }
 
+// InjectDrop arms the crossbar's test-only fault seam
+// (internal/faultinject): the nth push (1-based) toward output port
+// dst is silently swallowed — the packet never arrives and no error is
+// raised, modeling a lost reply. The push counter resets with the
+// crossbar (Reset), so nth counts the current launch's pushes; the
+// armed state itself survives Reset.
+func (x *Crossbar) InjectDrop(dst int, nth uint64) {
+	x.dropPort = dst
+	x.dropNth = nth
+	x.dropSeen = 0
+}
+
 // Push injects a request toward output port dst at cycle now.
 func (x *Crossbar) Push(dst int, r *mem.Request, now int64) {
 	if dst < 0 || dst >= len(x.ports) {
 		panic(fmt.Sprintf("icnt: push to port %d of %d", dst, len(x.ports)))
+	}
+	if x.dropNth > 0 && dst == x.dropPort {
+		x.dropSeen++
+		if x.dropSeen == x.dropNth {
+			return // fault injected: the packet vanishes
+		}
 	}
 	x.ports[dst].Push(packet{req: r, readyAt: now + x.latency})
 	if n := x.ports[dst].Len(); n > x.MaxQueue {
@@ -137,4 +162,5 @@ func (x *Crossbar) Reset() {
 	}
 	x.Delivered = 0
 	x.MaxQueue = 0
+	x.dropSeen = 0
 }

@@ -107,3 +107,35 @@ func TestPushBadPortPanics(t *testing.T) {
 	}()
 	x.Push(5, &mem.Request{}, 0)
 }
+
+// TestInjectDrop: the fault seam swallows exactly the nth push to the
+// armed port; other packets and ports are untouched, and Reset re-arms
+// the per-launch counter.
+func TestInjectDrop(t *testing.T) {
+	x, _ := NewCrossbar(2, 1, 1)
+	x.InjectDrop(0, 2)
+	for i := 0; i < 3; i++ {
+		x.Push(0, &mem.Request{ID: uint64(i + 1)}, 0)
+	}
+	x.Push(1, &mem.Request{ID: 9}, 0) // other port: never dropped
+	var got []uint64
+	for now := int64(1); now < 10; now++ {
+		if r := x.Pop(0, now); r != nil {
+			got = append(got, r.ID)
+		}
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("port 0 delivered %v, want [1 3] (2 swallowed)", got)
+	}
+	if r := x.Pop(1, 5); r == nil || r.ID != 9 {
+		t.Fatal("unarmed port lost its packet")
+	}
+
+	// Reset starts a fresh launch: the second push vanishes again.
+	x.Reset()
+	x.Push(0, &mem.Request{ID: 11}, 0)
+	x.Push(0, &mem.Request{ID: 12}, 0)
+	if n := x.Pending(0); n != 1 {
+		t.Fatalf("after reset, pending = %d, want 1 (re-armed drop)", n)
+	}
+}

@@ -14,15 +14,21 @@
 //     state (its gpusim server, its attack.Attacker);
 //   - the first error (lowest cell index among failures) cancels the
 //     remaining cells and is returned;
+//   - a panicking cell is recovered into a *PanicError and propagated
+//     exactly like an ordinary failure — no crashed process, no leaked
+//     goroutines;
 //   - cancellation of the caller's context stops the pool promptly and
 //     surfaces ctx.Err() without leaking goroutines.
 package runner
 
 import (
 	"context"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a worker-count request: n > 0 is honored as given;
@@ -44,6 +50,17 @@ type Pool struct {
 	// with the completion count so far and the total. Calls are
 	// serialized, so the callback needs no locking of its own.
 	OnProgress func(done, total int)
+	// CellTimeout, when positive, bounds each cell's run: the cell's
+	// context is canceled at the deadline, and an error the cell then
+	// returns is wrapped in a *TimeoutError. Cells must honor their
+	// context for the bound to bite — the pool never abandons a running
+	// goroutine (that would leak it).
+	CellTimeout time.Duration
+	// Retries re-runs a failed cell up to this many extra times when
+	// its error is marked retryable (MarkRetryable). A retried cell
+	// keeps its index and therefore its CellSeed-derived randomness, so
+	// an eventual success is byte-identical to a first-try success.
+	Retries int
 }
 
 // MapN runs fn(ctx, i) for every i in [0, n) on at most p.Workers
@@ -79,7 +96,15 @@ func (p Pool) MapN(ctx context.Context, n int, fn func(ctx context.Context, i in
 				if i >= n || cctx.Err() != nil {
 					return
 				}
-				if err := fn(cctx, i); err != nil {
+				if err := p.runCell(cctx, i, fn); err != nil {
+					if errors.Is(err, context.Canceled) && cctx.Err() != nil {
+						// Cancellation cascade: the pool is already
+						// shutting down (a sibling failed, or the caller
+						// canceled). A cell surfacing that cancellation
+						// is not a root failure — recording it would let
+						// a low-indexed canceled cell mask the culprit.
+						return
+					}
 					mu.Lock()
 					if firstIdx == -1 || i < firstIdx {
 						firstIdx, firstErr = i, err
@@ -105,6 +130,37 @@ func (p Pool) MapN(ctx context.Context, n int, fn func(ctx context.Context, i in
 		return err
 	}
 	return ctx.Err()
+}
+
+// runCell executes one cell with the robustness envelope: bounded
+// same-seed retries around attempts that recover panics and enforce
+// the per-cell timeout.
+func (p Pool) runCell(ctx context.Context, i int, fn func(ctx context.Context, i int) error) error {
+	for attempt := 0; ; attempt++ {
+		err := p.attemptCell(ctx, i, fn)
+		if err == nil || attempt >= p.Retries || !IsRetryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+}
+
+func (p Pool) attemptCell(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	cellCtx := ctx
+	if p.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cellCtx, cancel = context.WithTimeout(ctx, p.CellTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Cell: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	err = fn(cellCtx, i)
+	if err != nil && cellCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		err = &TimeoutError{Cell: i, Timeout: p.CellTimeout, Err: err}
+	}
+	return err
 }
 
 // Map fans fn out over items on at most workers goroutines (<= 0

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -231,5 +233,222 @@ func TestCellSeedDeterminismAndDistinctness(t *testing.T) {
 	}
 	if a, b := CellSeed(1, "x"), CellSeed(2, "x"); a == b {
 		t.Error("different masters produced the same stream")
+	}
+}
+
+// TestPanicRecoveredAsError: a panicking cell must surface as a
+// *PanicError carrying its index and stack, cancel in-flight siblings,
+// and leak no goroutines — not crash the process.
+func TestPanicRecoveredAsError(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	siblingCanceled := make(chan bool, 1)
+	err := Pool{Workers: 2}.MapN(context.Background(), 8, func(ctx context.Context, i int) error {
+		switch i {
+		case 0: // long-running sibling: must be canceled, not abandoned
+			select {
+			case <-ctx.Done():
+				siblingCanceled <- true
+			case <-time.After(5 * time.Second):
+				siblingCanceled <- false
+			}
+			return ctx.Err()
+		case 1:
+			time.Sleep(5 * time.Millisecond) // let the sibling start
+			panic("cell 1 exploded")
+		}
+		return nil
+	})
+
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Cell != 1 || pe.Value != "cell 1 exploded" {
+		t.Errorf("PanicError = cell %d value %v", pe.Cell, pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "runner_test.go") {
+		t.Errorf("panic stack does not point at the cell:\n%s", pe.Stack)
+	}
+	if !<-siblingCanceled {
+		t.Error("in-flight sibling was not canceled")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked after panic: %d before, %d after", before, after)
+	}
+}
+
+// TestLowestPanickingIndexWins mirrors the ordinary-error contract:
+// with two panics in flight, the lower cell index is reported even
+// when the higher one lands first.
+func TestLowestPanickingIndexWins(t *testing.T) {
+	started2 := make(chan struct{})
+	err := Pool{Workers: 8}.MapN(context.Background(), 8, func(_ context.Context, i int) error {
+		switch i {
+		case 2:
+			close(started2)
+			time.Sleep(10 * time.Millisecond)
+			panic("low")
+		case 6:
+			<-started2
+			panic("high")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Cell != 2 || pe.Value != "low" {
+		t.Errorf("reported cell %d (%v), want cell 2", pe.Cell, pe.Value)
+	}
+}
+
+// TestPanicAndErrorRace: a panic is an error like any other — when an
+// ordinary error holds the lower index, it wins over the panic.
+func TestPanicAndErrorRace(t *testing.T) {
+	boom := errors.New("boom")
+	started1 := make(chan struct{})
+	err := Pool{Workers: 4}.MapN(context.Background(), 4, func(_ context.Context, i int) error {
+		switch i {
+		case 1:
+			close(started1)
+			time.Sleep(10 * time.Millisecond)
+			return boom
+		case 3:
+			<-started1
+			panic("later cell")
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the lower-indexed plain error", err)
+	}
+}
+
+func TestCellTimeout(t *testing.T) {
+	var hit atomic.Int64
+	err := Pool{Workers: 2, CellTimeout: 20 * time.Millisecond}.MapN(
+		context.Background(), 4, func(ctx context.Context, i int) error {
+			if i == 1 { // one cell wedges (but honors its context)
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			hit.Add(1)
+			return nil
+		})
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if te.Cell != 1 || te.Timeout != 20*time.Millisecond {
+		t.Errorf("TimeoutError = %+v", te)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("timeout does not unwrap to context.DeadlineExceeded")
+	}
+
+	// Fast cells must be untouched by the budget.
+	if err := (Pool{Workers: 2, CellTimeout: time.Second}).MapN(
+		context.Background(), 8, func(_ context.Context, i int) error { return nil }); err != nil {
+		t.Fatalf("fast cells under timeout: %v", err)
+	}
+}
+
+// TestCallerCancelIsNotATimeout: cancellation of the parent context
+// surfaces as ctx.Err(), never dressed up as a per-cell timeout.
+func TestCallerCancelIsNotATimeout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() { <-started; cancel() }()
+	var once sync.Once
+	err := Pool{Workers: 2, CellTimeout: time.Minute}.MapN(ctx, 100, func(ctx context.Context, i int) error {
+		once.Do(func() { close(started) })
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	var te *TimeoutError
+	if errors.As(err, &te) {
+		t.Fatalf("caller cancel misreported as cell timeout: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetryableFaultsRetriedSameCell(t *testing.T) {
+	flaky := errors.New("transient")
+	var attempts atomic.Int64
+	err := Pool{Workers: 1, Retries: 2}.MapN(context.Background(), 3, func(_ context.Context, i int) error {
+		if i == 1 && attempts.Add(1) < 3 { // fails twice, succeeds third
+			return MarkRetryable(flaky)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retried cell still failed: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("cell 1 attempted %d times, want 3", got)
+	}
+
+	// Budget exhausted: the marked error surfaces and unwraps.
+	attempts.Store(0)
+	err = Pool{Workers: 1, Retries: 2}.MapN(context.Background(), 2, func(_ context.Context, i int) error {
+		if i == 0 {
+			attempts.Add(1)
+			return MarkRetryable(flaky)
+		}
+		return nil
+	})
+	if !errors.Is(err, flaky) {
+		t.Fatalf("err = %v, want wrapped transient", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempted %d times, want 1 + 2 retries", got)
+	}
+
+	// Unmarked errors never retry, whatever the budget.
+	attempts.Store(0)
+	err = Pool{Workers: 1, Retries: 5}.MapN(context.Background(), 1, func(_ context.Context, i int) error {
+		attempts.Add(1)
+		return flaky
+	})
+	if !errors.Is(err, flaky) || attempts.Load() != 1 {
+		t.Errorf("unmarked error: err=%v attempts=%d, want 1 attempt", err, attempts.Load())
+	}
+
+	// Panics never retry either.
+	attempts.Store(0)
+	err = Pool{Workers: 1, Retries: 5}.MapN(context.Background(), 1, func(_ context.Context, i int) error {
+		attempts.Add(1)
+		panic("not transient")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || attempts.Load() != 1 {
+		t.Errorf("panic retry: err=%v attempts=%d, want 1 attempt", err, attempts.Load())
+	}
+}
+
+func TestRetryableMarking(t *testing.T) {
+	if MarkRetryable(nil) != nil {
+		t.Error("MarkRetryable(nil) != nil")
+	}
+	base := errors.New("x")
+	marked := MarkRetryable(base)
+	if !IsRetryable(marked) || !errors.Is(marked, base) {
+		t.Error("marked error lost its mark or identity")
+	}
+	if IsRetryable(base) || IsRetryable(nil) {
+		t.Error("unmarked error reported retryable")
+	}
+	wrapped := fmt.Errorf("cell 3: %w", marked)
+	if !IsRetryable(wrapped) {
+		t.Error("mark not visible through wrapping")
 	}
 }
