@@ -11,6 +11,8 @@ ci: build test
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 	$(GO) test -run TestFastForward ./internal/gpusim
+	$(GO) test -run 'TestRunSteadyStateAllocations|TestRecoverByteSteadyStateAllocations' -count=1 ./internal/gpusim ./internal/attack
+	$(GO) test -run TestHotPathAllocsPerRun -count=1 ./internal/metrics
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
 
 build:
@@ -35,7 +37,7 @@ bench:
 BENCHTIME ?= 1s
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime=$(BENCHTIME) -benchmem -count=1 . > bench_raw.txt
-	$(GO) run ./cmd/rcoal-benchjson $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
+	$(GO) run ./cmd/rcoal-benchjson -gpu-metrics $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
 		-out BENCH_gpusim.json bench_raw.txt
 	@rm -f bench_raw.txt
 	@echo wrote BENCH_gpusim.json

@@ -244,3 +244,33 @@ func BenchmarkGPUCycleThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }
+
+func BenchmarkGPUCycleThroughputMetricsOn(b *testing.B) {
+	// Companion to BenchmarkGPUCycleThroughput with the metrics layer
+	// installed: the delta between the two is the observability
+	// overhead, which the PR budget caps at a few percent.
+	cfg := gpusim.DefaultConfig()
+	cfg.Metrics = gpusim.NewMetrics()
+	g, err := gpusim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := aes.NewCipher([]byte("benchmark key!!!"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	kern, _, err := kernels.Build(c, kernels.RandomPlaintext(rng.New(3), 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := g.Run(kern, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}

@@ -15,6 +15,15 @@
 // becomes one report entry. The CPU-count suffix is stripped so runs
 // from different machines join by name. Unknown units (custom
 // b.ReportMetric values) are preserved under "metrics".
+//
+// With -gpu-metrics the report additionally embeds simulator metrics
+// snapshots for the two Figure 6 configurations (baseline GPU with
+// coalescing enabled and disabled), so BENCH_gpusim.json records the
+// coalesced-transactions-per-instruction histograms alongside the
+// timing numbers:
+//
+//	go test -run '^$' -bench . -benchmem . > bench.txt
+//	rcoal-benchjson -gpu-metrics -out BENCH_gpusim.json bench.txt
 package main
 
 import (
@@ -29,7 +38,10 @@ import (
 	"strconv"
 	"strings"
 
+	"rcoal"
 	"rcoal/internal/atomicio"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/metrics"
 )
 
 // Benchmark is one parsed benchmark result, with optional baseline
@@ -53,14 +65,30 @@ type Benchmark struct {
 
 // Report is the top-level JSON document.
 type Report struct {
-	Tool       string       `json:"tool"`
-	Baseline   string       `json:"baseline,omitempty"`
-	Benchmarks []*Benchmark `json:"benchmarks"`
+	Tool       string             `json:"tool"`
+	Baseline   string             `json:"baseline,omitempty"`
+	Benchmarks []*Benchmark       `json:"benchmarks"`
+	GPUMetrics []*GPUMetricsEntry `json:"gpu_metrics,omitempty"`
+}
+
+// GPUMetricsEntry is one simulated launch's metrics snapshot, keyed by
+// the paper configuration it reproduces.
+type GPUMetricsEntry struct {
+	// Config identifies the configuration ("fig6a_coalescing_on",
+	// "fig6b_coalescing_off").
+	Config string `json:"config"`
+	// Lines and Seed pin the launch so the snapshot is reproducible.
+	Lines int    `json:"lines"`
+	Seed  uint64 `json:"seed"`
+	// Snapshot is the full metrics dump; mcu/tx_per_instr is the
+	// coalesced-accesses-per-load histogram Figure 6 turns on.
+	Snapshot *metrics.Snapshot `json:"snapshot"`
 }
 
 func main() {
 	out := flag.String("out", "-", "output path, - for stdout")
 	baseline := flag.String("baseline", "", "optional baseline bench log to join before/after numbers")
+	gpuMetrics := flag.Bool("gpu-metrics", false, "embed metrics snapshots of the Fig. 6 launches (baseline GPU, coalescing on/off)")
 	flag.Parse()
 
 	var cur []*Benchmark
@@ -77,11 +105,18 @@ func main() {
 		}
 		cur = append(cur, bs...)
 	}
-	if len(cur) == 0 {
+	if len(cur) == 0 && !*gpuMetrics {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
 
 	rep := &Report{Tool: "rcoal-benchjson", Benchmarks: cur}
+	if *gpuMetrics {
+		entries, err := collectGPUMetrics()
+		if err != nil {
+			fatal(err)
+		}
+		rep.GPUMetrics = entries
+	}
 	if *baseline != "" {
 		base, err := parseFile(*baseline)
 		if err != nil {
@@ -201,6 +236,38 @@ func join(cur, base []*Benchmark) {
 }
 
 func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// collectGPUMetrics runs the two Figure 6 launches (baseline GPU with
+// coalescing enabled and disabled) with a metrics bundle installed and
+// returns their snapshots. Fixed seed and line count keep the output
+// byte-for-byte reproducible.
+func collectGPUMetrics() ([]*GPUMetricsEntry, error) {
+	const lines, seed = 32, 1
+	var out []*GPUMetricsEntry
+	for _, c := range []struct {
+		name     string
+		disabled bool
+	}{
+		{"fig6a_coalescing_on", false},
+		{"fig6b_coalescing_off", true},
+	} {
+		cfg := rcoal.DefaultGPUConfig()
+		cfg.Coalescing = rcoal.Baseline()
+		cfg.CoalescingDisabled = c.disabled
+		cfg.Metrics = gpusim.NewMetrics()
+		srv, err := rcoal.NewServer(cfg, []byte("RCoal eval key 1"))
+		if err != nil {
+			return nil, fmt.Errorf("gpu metrics %s: %w", c.name, err)
+		}
+		sample, err := srv.Encrypt(rcoal.RandomPlaintext(seed, lines), seed)
+		if err != nil {
+			return nil, fmt.Errorf("gpu metrics %s: %w", c.name, err)
+		}
+		out = append(out, &GPUMetricsEntry{
+			Config: c.name, Lines: lines, Seed: seed, Snapshot: sample.Metrics})
+	}
+	return out, nil
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rcoal-benchjson:", err)

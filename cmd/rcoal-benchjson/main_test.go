@@ -63,3 +63,38 @@ func TestJoin(t *testing.T) {
 		t.Errorf("benchmark without baseline must stay unjoined: %+v", cur[1])
 	}
 }
+
+func TestCollectGPUMetrics(t *testing.T) {
+	entries, err := collectGPUMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (coalescing on/off)", len(entries))
+	}
+	byName := map[string]*GPUMetricsEntry{}
+	for _, e := range entries {
+		if e.Snapshot == nil {
+			t.Fatalf("%s: nil snapshot", e.Config)
+		}
+		byName[e.Config] = e
+	}
+	on, off := byName["fig6a_coalescing_on"], byName["fig6b_coalescing_off"]
+	if on == nil || off == nil {
+		t.Fatalf("missing configs: %v", entries)
+	}
+	// The coalesced-tx histogram is the point of the embed: with
+	// coalescing disabled every thread's access is its own transaction,
+	// so the per-instruction mean must be strictly larger.
+	hOn, okOn := on.Snapshot.Histograms["mcu/tx_per_instr"]
+	hOff, okOff := off.Snapshot.Histograms["mcu/tx_per_instr"]
+	if !okOn || !okOff {
+		t.Fatal("snapshots missing mcu/tx_per_instr histogram")
+	}
+	if hOn.Count == 0 || hOff.Count == 0 {
+		t.Fatalf("empty histograms: on=%d off=%d observations", hOn.Count, hOff.Count)
+	}
+	if hOff.Mean <= hOn.Mean {
+		t.Errorf("coalescing-off mean tx/instr %.2f not above coalescing-on %.2f", hOff.Mean, hOn.Mean)
+	}
+}

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -21,6 +23,8 @@ import (
 
 	"rcoal/internal/atomicio"
 	"rcoal/internal/experiments"
+	"rcoal/internal/gpusim/tracevis"
+	"rcoal/internal/runner"
 )
 
 func main() {
@@ -39,6 +43,9 @@ func main() {
 		resume  = flag.Bool("resume", false, "resume from existing journals, skipping journaled cells (requires -journal)")
 		cellTO  = flag.Duration("cell-timeout", 0, "per-cell time budget; 0 = unlimited")
 		retries = flag.Int("retries", 0, "extra attempts for cells failing with a retryable fault")
+		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of every simulated launch to this file (large; best with a single small experiment)")
+		hb       = flag.Duration("heartbeat", 0, "period of the live telemetry line on stderr (cells done, rate, eta, worker utilization); 0 = off")
+		maddr    = flag.String("metrics-addr", "", "serve live run telemetry over HTTP expvar at this address (e.g. localhost:6060/debug/vars)")
 	)
 	flag.Parse()
 
@@ -66,6 +73,28 @@ func main() {
 	opts.Workers = *workers
 	opts.CellTimeout = *cellTO
 	opts.Retries = *retries
+
+	var exporter *tracevis.Exporter
+	if *traceOut != "" {
+		exporter = tracevis.New()
+		opts.Trace = exporter
+	}
+	if *hb > 0 || *maddr != "" {
+		tel := runner.NewTelemetry()
+		opts.Telemetry = tel
+		if *hb > 0 {
+			stop := tel.Heartbeat(os.Stderr, *hb)
+			defer stop()
+		}
+		if *maddr != "" {
+			expvar.Publish("rcoal_telemetry", expvar.Func(func() any { return tel.Stats() }))
+			go func() {
+				if err := http.ListenAndServe(*maddr, nil); err != nil {
+					fmt.Fprintf(os.Stderr, "rcoal-experiments: metrics endpoint: %v\n", err)
+				}
+			}()
+		}
+	}
 
 	ids := []string{*run}
 	if *run == "all" {
@@ -126,6 +155,14 @@ func main() {
 		}(i, id)
 	}
 	wg.Wait()
+	if exporter != nil {
+		if err := exporter.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rcoal-experiments: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s (load at ui.perfetto.dev)\n",
+			exporter.Len(), *traceOut)
+	}
 	for i, id := range ids {
 		if results[i].err != nil {
 			fmt.Fprintf(os.Stderr, "rcoal-experiments: %s: %v\n", id, results[i].err)

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"rcoal"
 	"rcoal/internal/report"
@@ -28,6 +29,7 @@ func main() {
 		ms       = flag.String("m", "1,2,4,8,16,32", "comma-separated subwarp counts (M)")
 		alpha    = flag.Float64("alpha", 0.99, "attack success rate for absolute sample counts")
 		absolute = flag.Bool("absolute", false, "also print absolute samples via Equation 4")
+		progress = flag.Bool("progress", false, "report per-row compute time on stderr (the partition sums get slow at large N)")
 	)
 	flag.Parse()
 
@@ -51,7 +53,18 @@ func main() {
 		mvals = append(mvals, v)
 	}
 
-	rows := md.Table2(mvals)
+	// Rows are independent, so computing them one M at a time costs
+	// nothing and lets -progress time each (the Σ_F sum enumerates all
+	// partitions of N, which grows fast: 8349 at N=32, 1.7M at N=64).
+	var rows []rcoal.SecurityRow
+	for _, m := range mvals {
+		start := time.Now()
+		rows = append(rows, md.Table2([]int{m})...)
+		if *progress {
+			fmt.Fprintf(os.Stderr, "rcoal-theory: M=%d done in %v\n",
+				m, time.Since(start).Round(time.Millisecond))
+		}
+	}
 	t := &report.Table{
 		Title: fmt.Sprintf("Analytical security model, N=%d threads, R=%d blocks (S normalized to M=1)", *n, *r),
 		Headers: []string{"M", "rho FSS", "rho FSS+RTS", "rho RSS+RTS",

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,8 @@ import (
 
 	"rcoal"
 	"rcoal/internal/experiments"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/gpusim/tracevis"
 	"rcoal/internal/report"
 )
 
@@ -77,6 +80,8 @@ func cmdEncrypt(args []string) error {
 	key := fs.String("key", "RCoal eval key 1", "AES key (16/24/32 bytes)")
 	seed := fs.Uint64("seed", 1, "seed for plaintext and hardware randomness")
 	nocoal := fs.Bool("disable-coalescing", false, "disable coalescing entirely (Section III strawman)")
+	traceOut := fs.String("trace-out", "", "write a Chrome/Perfetto trace of the launch to this file")
+	metricsOut := fs.String("metrics-out", "", "write the launch's metrics snapshot (coalescing histograms, DRAM row stats, stalls) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +93,14 @@ func cmdEncrypt(args []string) error {
 	cfg := rcoal.DefaultGPUConfig()
 	cfg.Coalescing = policy
 	cfg.CoalescingDisabled = *nocoal
+	var exporter *tracevis.Exporter
+	if *traceOut != "" {
+		exporter = tracevis.New()
+		cfg.Trace = exporter
+	}
+	if *metricsOut != "" {
+		cfg.Metrics = gpusim.NewMetrics()
+	}
 	srv, err := rcoal.NewServer(cfg, []byte(*key))
 	if err != nil {
 		return err
@@ -106,6 +119,26 @@ func cmdEncrypt(args []string) error {
 	t.AddRow("subwarp sizes", fmt.Sprintf("%v", sample.Plan.Sizes))
 	t.AddRow("first ciphertext line", fmt.Sprintf("%x", sample.Ciphertexts[0]))
 	fmt.Print(t.String())
+	if exporter != nil {
+		if err := exporter.WriteFile(*traceOut); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("trace: %d events written to %s (load at ui.perfetto.dev)\n", exporter.Len(), *traceOut)
+	}
+	if *metricsOut != "" {
+		raw, err := json.MarshalIndent(sample.Metrics, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsOut, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		if h, ok := sample.Metrics.Histograms[gpusim.MetricTxPerInstr]; ok {
+			fmt.Println()
+			fmt.Print(report.MetricsHistogram("coalesced transactions per load instruction", h, 40))
+		}
+		fmt.Printf("metrics: snapshot written to %s\n", *metricsOut)
+	}
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/metrics"
 	"rcoal/internal/rng"
 )
 
@@ -77,6 +78,9 @@ type Sample struct {
 	L1Hits, L2Hits uint64
 	// MSHRMerges counts loads absorbed by MSHR request merging.
 	MSHRMerges uint64
+	// Metrics is the launch's metrics snapshot, present only when the
+	// server's GPU config installs a gpusim.Metrics bundle.
+	Metrics *metrics.Snapshot
 }
 
 // Encrypt runs one encryption request. The seed determines the

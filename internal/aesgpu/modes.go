@@ -95,6 +95,7 @@ func (s *Server) run(kernel *gpusim.Kernel, outputs []kernels.Line, seed uint64)
 		TotalTx:         res.TotalTx,
 		Plan:            res.Plan,
 		MSHRMerges:      res.MSHRMerges,
+		Metrics:         res.Metrics,
 	}
 	for _, d := range res.DRAM {
 		sample.DRAMAccesses += d.Accesses

@@ -97,6 +97,83 @@ func (p Plan) CoalesceBlocks(blocks []uint64, active []bool, out []uint64) []uin
 	return out
 }
 
+// CoalesceGroupSizes appends to out, for each transaction
+// CoalesceBlocks would produce (same count, same order), the number of
+// threads merged into it — the Algorithm-1 group sizes the MCU
+// instrumentation histograms. Allocation-free when out has capacity.
+func (p Plan) CoalesceGroupSizes(blocks []uint64, active []bool, out []int) []int {
+	if len(blocks) != len(p.SID) {
+		panic("core: CoalesceGroupSizes blocks length does not match warp size")
+	}
+	if active != nil && len(active) != len(p.SID) {
+		panic("core: CoalesceGroupSizes active length does not match warp size")
+	}
+	for s := 0; s < len(p.Sizes); s++ {
+		start := len(out)
+		var keyBuf [DefaultWarpSize]uint64
+		keys := keyBuf[:0]
+		for tid, sid := range p.SID {
+			if int(sid) != s || (active != nil && !active[tid]) {
+				continue
+			}
+			b := blocks[tid]
+			merged := false
+			for i, k := range keys {
+				if k == b {
+					out[start+i]++
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				keys = append(keys, b)
+				out = append(out, 1)
+			}
+		}
+	}
+	return out
+}
+
+// CoalesceBlocksSizes is the fused variant for the instrumented
+// simulator hot path: one scan appending both the block keys
+// CoalesceBlocks would produce and the group sizes CoalesceGroupSizes
+// would produce (same count, same order), so enabling metrics does not
+// re-run the coalescing pass. outBlocks and outSizes must enter with
+// equal lengths; they are appended in lockstep.
+func (p Plan) CoalesceBlocksSizes(blocks []uint64, active []bool, outBlocks []uint64, outSizes []int) ([]uint64, []int) {
+	if len(blocks) != len(p.SID) {
+		panic("core: CoalesceBlocksSizes blocks length does not match warp size")
+	}
+	if active != nil && len(active) != len(p.SID) {
+		panic("core: CoalesceBlocksSizes active length does not match warp size")
+	}
+	if len(outBlocks) != len(outSizes) {
+		panic("core: CoalesceBlocksSizes output slices out of lockstep")
+	}
+	for s := 0; s < len(p.Sizes); s++ {
+		start := len(outBlocks)
+		for tid, sid := range p.SID {
+			if int(sid) != s || (active != nil && !active[tid]) {
+				continue
+			}
+			b := blocks[tid]
+			merged := false
+			for i := start; i < len(outBlocks); i++ {
+				if outBlocks[i] == b {
+					outSizes[i]++
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				outBlocks = append(outBlocks, b)
+				outSizes = append(outSizes, 1)
+			}
+		}
+	}
+	return outBlocks, outSizes
+}
+
 // CountCoalesced returns only the number of transactions Coalesce
 // would produce, without materializing them.
 func (p Plan) CountCoalesced(blocks []uint64, active []bool) int {

@@ -120,6 +120,77 @@ func TestCountMatchesCoalesce(t *testing.T) {
 	}
 }
 
+func TestCoalesceGroupSizesMatchThreadLists(t *testing.T) {
+	planRNG := rng.New(11)
+	src := rng.New(12)
+	mechs := []Config{Baseline(), FSS(4), FSSRTS(8), RSS(4), RSSRTS(8)}
+	for trial := 0; trial < 200; trial++ {
+		plan := mechs[trial%len(mechs)].NewPlan(planRNG)
+		blocks := make([]uint64, 32)
+		active := make([]bool, 32)
+		for i := range blocks {
+			blocks[i] = uint64(src.Intn(8))
+			active[i] = src.Intn(4) != 0
+		}
+		var mask []bool
+		if trial%2 == 0 {
+			mask = active
+		}
+		txs := plan.Coalesce(blocks, mask)
+		sizes := plan.CoalesceGroupSizes(blocks, mask, nil)
+		if len(sizes) != len(txs) {
+			t.Fatalf("trial %d: %d sizes for %d transactions", trial, len(sizes), len(txs))
+		}
+		for i, tx := range txs {
+			if sizes[i] != len(tx.Threads) {
+				t.Fatalf("trial %d tx %d: size %d, want %d threads", trial, i, sizes[i], len(tx.Threads))
+			}
+		}
+		// Reuse a scratch slice: appending after reslice must keep the
+		// same results (the simulator's hot-path usage).
+		scratch := make([]int, 0, 64)
+		again := plan.CoalesceGroupSizes(blocks, mask, scratch[:0])
+		for i := range sizes {
+			if again[i] != sizes[i] {
+				t.Fatalf("trial %d: scratch reuse changed size %d", trial, i)
+			}
+		}
+		// The fused variant agrees with both unfused passes in count,
+		// order, and content.
+		fb, fs := plan.CoalesceBlocksSizes(blocks, mask, nil, nil)
+		if len(fb) != len(txs) || len(fs) != len(txs) {
+			t.Fatalf("trial %d: fused lengths %d/%d, want %d", trial, len(fb), len(fs), len(txs))
+		}
+		for i, tx := range txs {
+			if fb[i] != tx.Block || fs[i] != len(tx.Threads) {
+				t.Fatalf("trial %d tx %d: fused (%d,%d), want (%d,%d)",
+					trial, i, fb[i], fs[i], tx.Block, len(tx.Threads))
+			}
+		}
+	}
+}
+
+func TestCoalesceGroupSizesLengthMismatchPanics(t *testing.T) {
+	p := fullWarpPlan()
+	for name, fn := range map[string]func(){
+		"short blocks": func() { p.CoalesceGroupSizes(make([]uint64, 3), nil, nil) },
+		"short active": func() { p.CoalesceGroupSizes(make([]uint64, len(p.SID)), make([]bool, 2), nil) },
+		"fused short blocks": func() { p.CoalesceBlocksSizes(make([]uint64, 3), nil, nil, nil) },
+		"fused lockstep": func() {
+			p.CoalesceBlocksSizes(make([]uint64, len(p.SID)), nil, make([]uint64, 1), nil)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestCountSmallBlocksInactive(t *testing.T) {
 	p := fullWarpPlan()
 	blocks := make([]int, 32)

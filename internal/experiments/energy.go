@@ -66,7 +66,7 @@ func ExtEnergy(o Options) (*ExtEnergyResult, error) {
 		{"FSS(32)", core.FSS(32), false},
 		{"coalescing disabled", core.Baseline(), true},
 	} {
-		cfg := gpusim.DefaultConfig()
+		cfg := o.gpuConfig()
 		cfg.Coalescing = cc.policy
 		cfg.CoalescingDisabled = cc.disabled
 		g, err := gpusim.New(cfg)
@@ -149,7 +149,7 @@ func ExtNoise(o Options) (*ExtNoiseResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := gpusim.New(gpusim.DefaultConfig())
+	g, err := gpusim.New(o.gpuConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -67,6 +67,23 @@ type Options struct {
 	// with the cell's index. Test-only: the crash-safety tests use it
 	// to panic or fail inside a chosen cell (see internal/faultinject).
 	faultHook func(cell int) error
+	// Trace, when non-nil, receives every simulator event from every
+	// launch the experiment performs — install a *tracevis.Exporter to
+	// dump a Perfetto-loadable trace of the whole run. The sink must be
+	// safe for concurrent use unless Workers is 1; expect large volumes
+	// (every issue, transaction, and reply of every sample).
+	Trace gpusim.TraceSink
+	// Telemetry, when non-nil, aggregates live per-cell runtime stats
+	// (timing, retries, throughput) from the experiment's worker pools.
+	Telemetry *runner.Telemetry
+}
+
+// gpuConfig is the GPU configuration every experiment starts from: the
+// paper's Table I defaults plus the run's trace sink.
+func (o Options) gpuConfig() gpusim.Config {
+	cfg := gpusim.DefaultConfig()
+	cfg.Trace = o.Trace
+	return cfg
 }
 
 // pool returns the worker pool experiments fan their cells out over.
@@ -76,6 +93,7 @@ func (o Options) pool() runner.Pool {
 		OnProgress:  o.Progress,
 		CellTimeout: o.CellTimeout,
 		Retries:     o.Retries,
+		Telemetry:   o.Telemetry,
 	}
 }
 
@@ -160,7 +178,7 @@ func collect(o Options, policy core.Config, coalescingDisabled bool) (*aesgpu.Se
 	if err := o.validate(); err != nil {
 		return nil, nil, err
 	}
-	cfg := gpusim.DefaultConfig()
+	cfg := o.gpuConfig()
 	cfg.Coalescing = policy
 	cfg.CoalescingDisabled = coalescingDisabled
 	srv, err := aesgpu.NewServer(cfg, o.Key)

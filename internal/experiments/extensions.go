@@ -87,7 +87,7 @@ func ExtSelective(o Options) (*ExtSelectiveResult, error) {
 	res := &ExtSelectiveResult{}
 	baseCycles := 0.0
 	for i, cc := range configs {
-		cfg := gpusim.DefaultConfig()
+		cfg := o.gpuConfig()
 		cc.mut(&cfg)
 		srv, ds, err := collectCfg(o, cfg)
 		if err != nil {
@@ -183,7 +183,7 @@ func ExtHierarchy(o Options) (*ExtHierarchyResult, error) {
 	res := &ExtHierarchyResult{}
 	baseCycles := 0.0
 	for i, cc := range configs {
-		cfg := gpusim.DefaultConfig()
+		cfg := o.gpuConfig()
 		cc.mut(&cfg)
 		_, ds, err := collectCfg(o, cfg)
 		if err != nil {
@@ -252,14 +252,14 @@ func ExtInferM(o Options) (*ExtInferMResult, error) {
 		return nil, err
 	}
 	candidates := []int{1, 2, 4, 8, 16, 32}
-	cal, err := attack.CalibrateSubwarps(gpusim.DefaultConfig(), core.FSS, candidates,
+	cal, err := attack.CalibrateSubwarps(o.gpuConfig(), core.FSS, candidates,
 		o.Samples/4+2, o.Lines, o.Seed^0xCA1)
 	if err != nil {
 		return nil, err
 	}
 	res := &ExtInferMResult{}
 	for _, trueM := range candidates {
-		cfg := gpusim.DefaultConfig()
+		cfg := o.gpuConfig()
 		cfg.Coalescing = core.FSS(trueM)
 		_, ds, err := collectCfg(o, cfg)
 		if err != nil {
@@ -323,7 +323,7 @@ func ExtScheduler(o Options) (*ExtSchedulerResult, error) {
 	res := &ExtSchedulerResult{}
 	for _, sched := range []gpusim.SchedulerKind{gpusim.LRR, gpusim.GTO} {
 		for _, policy := range []core.Config{core.Baseline(), core.RSSRTS(8)} {
-			cfg := gpusim.DefaultConfig()
+			cfg := o.gpuConfig()
 			cfg.NumSMs = 2
 			cfg.Scheduler = sched
 			cfg.Coalescing = policy
@@ -480,7 +480,7 @@ func ExtRSSDist(o Options) (*ExtRSSDistResult, error) {
 		{"RSS normal sizing", core.RSSNormal(m, 1.5)},
 		{"RSS skewed sizing", core.RSS(m)},
 	} {
-		cfg := gpusim.DefaultConfig()
+		cfg := o.gpuConfig()
 		cfg.Coalescing = pc.policy
 		srv, ds, err := collectCfg(o, cfg)
 		if err != nil {

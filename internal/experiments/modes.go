@@ -7,7 +7,6 @@ import (
 	"rcoal/internal/aesgpu"
 	"rcoal/internal/attack"
 	"rcoal/internal/core"
-	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
 	"rcoal/internal/report"
 	"rcoal/internal/rng"
@@ -46,7 +45,7 @@ func ExtModes(o Options) (*ExtModesResult, error) {
 	}
 	res := &ExtModesResult{}
 	for _, defense := range []core.Config{core.Baseline(), core.RSSRTS(8)} {
-		cfg := gpusim.DefaultConfig()
+		cfg := o.gpuConfig()
 		cfg.Coalescing = defense
 		srv, err := aesgpu.NewServer(cfg, o.Key)
 		if err != nil {

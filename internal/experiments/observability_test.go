@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"rcoal/internal/gpusim/tracevis"
+	"rcoal/internal/runner"
+)
+
+func TestOptionsTraceAndTelemetryWired(t *testing.T) {
+	// An experiment run with an exporter and telemetry installed must
+	// feed both: every simulated launch traces into the exporter, and
+	// the worker pool reports its cells. fig7 is cell-parallel (one
+	// cell per subwarp count), so it exercises the pool's telemetry
+	// hooks; the exporter must be installed concurrency-safe.
+	o := testOptions()
+	o.Samples = 10
+	o.Workers = 2
+	exp := tracevis.New()
+	tel := runner.NewTelemetry()
+	o.Trace = exp
+	o.Telemetry = tel
+
+	if _, err := Run("fig7", o); err != nil {
+		t.Fatal(err)
+	}
+	if exp.Len() == 0 {
+		t.Error("exporter saw no events — Options.Trace not reaching gpusim.Config")
+	}
+	s := tel.Stats()
+	if s.TotalCells == 0 || s.CellsDone != s.TotalCells || s.CellsFailed != 0 {
+		t.Errorf("telemetry not fed by the pool: %+v", s)
+	}
+
+	// The same options without the sinks must leave results identical:
+	// observability may not perturb the determinism contract.
+	plain := testOptions()
+	plain.Samples = 10
+	plain.Workers = 2
+	r1, err := Run("fig7", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run("fig7", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Render() != r2.Render() {
+		t.Error("installing trace/telemetry sinks changed experiment output")
+	}
+}

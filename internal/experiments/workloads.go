@@ -69,7 +69,7 @@ func ExtWorkloads(o Options) (*ExtWorkloadsResult, error) {
 	raws, err := runCells(o, jobs,
 		func(_ int, jb job) string { return jb.pattern.String() + "/" + jb.policy.Name() },
 		func(_ context.Context, _ int, jb job) (raw, error) {
-			cfg := gpusim.DefaultConfig()
+			cfg := o.gpuConfig()
 			cfg.Coalescing = jb.policy
 			g, err := gpusim.New(cfg)
 			if err != nil {

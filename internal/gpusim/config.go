@@ -138,6 +138,13 @@ type Config struct {
 	// (issues, transactions, replies, retirements). Debugging aid;
 	// leave nil for full speed.
 	Trace TraceSink
+	// Metrics, when non-nil, instruments the launch with the simulator's
+	// metrics layer (MCU coalescing distributions, PRT occupancy, DRAM
+	// row locality and queueing, crossbar depths, scheduler stalls); the
+	// launch's snapshot lands in Result.Metrics. Same discipline as
+	// Trace: nil (the default) costs only nil checks on the hot path.
+	// A Metrics bundle is single-goroutine, like the GPU itself.
+	Metrics *Metrics
 	// SharedBanks is the number of shared-memory banks (32 on the
 	// baseline architecture); SharedLoad instructions serialize over
 	// bank conflicts.

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"rcoal/internal/gpusim/mem"
+	"rcoal/internal/metrics"
 )
 
 // Timing holds the GDDR5 timing parameters in memory-clock cycles
@@ -81,7 +82,8 @@ type bankState struct {
 	nextAct  int64 // earliest cycle for the next activate (tRC)
 	nextPre  int64 // earliest cycle the open row may be precharged (tRAS)
 	rowHits  uint64
-	rowMiss  uint64
+	rowMiss  uint64 // every access that activated a row
+	rowConfl uint64 // subset of rowMiss that closed a different open row
 	accesses uint64
 }
 
@@ -106,14 +108,45 @@ type Controller struct {
 
 	// Stats counts controller-level events.
 	Stats Stats
+
+	// DepthHist, when non-nil, observes the FR-FCFS queue depth at
+	// every enqueue (the depth including the new arrival). Installed by
+	// the simulator's metrics layer; the hot path pays one nil check.
+	DepthHist *metrics.Histogram
 }
 
-// Stats aggregates controller activity.
+// Stats aggregates controller activity. RowMisses counts every access
+// that had to activate a row; RowConflicts is the subset that first had
+// to close a different open row (the expensive case the RCoal timing
+// distributions key on).
 type Stats struct {
-	Accesses  uint64 // requests serviced
-	RowHits   uint64
-	RowMisses uint64
-	MaxQueue  int
+	Accesses     uint64 // requests serviced
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+	MaxQueue     int
+}
+
+// BankStats is one bank's per-launch activity, exported for the
+// per-bank row-locality metrics.
+type BankStats struct {
+	Bank         int    `json:"bank"`
+	Accesses     uint64 `json:"accesses"`
+	RowHits      uint64 `json:"row_hits"`
+	RowMisses    uint64 `json:"row_misses"`
+	RowConflicts uint64 `json:"row_conflicts"`
+}
+
+// BankStats returns a fresh per-bank statistics slice (index = bank
+// id). Snapshot-time only; it allocates.
+func (c *Controller) BankStats() []BankStats {
+	out := make([]BankStats, len(c.banks))
+	for i := range c.banks {
+		b := &c.banks[i]
+		out[i] = BankStats{Bank: i, Accesses: b.accesses,
+			RowHits: b.rowHits, RowMisses: b.rowMiss, RowConflicts: b.rowConfl}
+	}
+	return out
 }
 
 // NewController builds a controller for one partition. queueCap <= 0
@@ -154,6 +187,9 @@ func (c *Controller) Push(r *mem.Request) {
 	c.queue = append(c.queue, queued{req: r, loc: loc})
 	if len(c.queue) > c.Stats.MaxQueue {
 		c.Stats.MaxQueue = len(c.queue)
+	}
+	if c.DepthHist != nil {
+		c.DepthHist.Observe(int64(len(c.queue)))
 	}
 }
 
@@ -219,6 +255,8 @@ func (c *Controller) schedule(now int64) {
 		act := maxi64(now, b.nextAct, c.lastAct+int64(c.timing.RRD))
 		if b.openRow >= 0 {
 			act = maxi64(act, b.nextPre+int64(c.timing.RP))
+			b.rowConfl++
+			c.Stats.RowConflicts++
 		}
 		b.openRow = loc.Row
 		b.nextAct = act + int64(c.timing.RC)

@@ -1,0 +1,85 @@
+package gpusim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func diagSnapshot() *Snapshot {
+	return &Snapshot{Cycle: 120, RemainingWarps: 3,
+		ToMemPending: 2, ToSMPending: 1,
+		SMs:        []SMSnapshot{{SM: 4, Warps: 3, Blocked: 2, Ready: 1, PRTEntries: 7, InjectQueue: 1}},
+		Partitions: []PartitionSnapshot{{Partition: 2, Queued: 5, InFlight: 1, L2Replies: 1}}}
+}
+
+func TestNoProgressErrorString(t *testing.T) {
+	e := &NoProgressError{Kernel: "aes", Cycle: 120, Window: 64, Snapshot: diagSnapshot()}
+	msg := e.Error()
+	for _, want := range []string{
+		`kernel "aes"`, "cycle 120", "no state change for 64 steps",
+		"snapshot @ cycle 120", "3 warps unfinished",
+		"sm 4:", "blocked 2", "partition 2:", "queued 5",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("NoProgressError message missing %q:\n%s", want, msg)
+		}
+	}
+	if !errors.Is(e, ErrNoProgress) {
+		t.Error("NoProgressError does not match ErrNoProgress")
+	}
+
+	// Window 0 means the watchdog proved the launch can never complete;
+	// the message must say so rather than report a zero-step wait.
+	proved := &NoProgressError{Kernel: "aes", Cycle: 7, Window: 0, Snapshot: diagSnapshot()}
+	if msg := proved.Error(); !strings.Contains(msg, "nothing in flight can ever complete") {
+		t.Errorf("window-0 message lacks the proof phrasing: %s", msg)
+	} else if strings.Contains(msg, "0 steps") {
+		t.Errorf("window-0 message reports a zero-step wait: %s", msg)
+	}
+}
+
+func TestMaxCyclesErrorString(t *testing.T) {
+	e := &MaxCyclesError{Kernel: "sweep", MaxCycles: 5000, Snapshot: diagSnapshot()}
+	msg := e.Error()
+	for _, want := range []string{`kernel "sweep"`, "exceeded 5000 cycles", "snapshot @ cycle 120"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("MaxCyclesError message missing %q:\n%s", want, msg)
+		}
+	}
+	if !errors.Is(e, ErrMaxCycles) {
+		t.Error("MaxCyclesError does not match ErrMaxCycles")
+	}
+}
+
+func TestErrorStringsTolerateNilSnapshot(t *testing.T) {
+	// Errors constructed without a snapshot (e.g. in tests or future
+	// call sites) must render, not panic.
+	np := &NoProgressError{Kernel: "k", Cycle: 1, Window: 2}
+	if msg := np.Error(); !strings.Contains(msg, "(no snapshot)") {
+		t.Errorf("nil-snapshot NoProgressError: %s", msg)
+	}
+	mc := &MaxCyclesError{Kernel: "k", MaxCycles: 10}
+	if msg := mc.Error(); !strings.Contains(msg, "(no snapshot)") {
+		t.Errorf("nil-snapshot MaxCyclesError: %s", msg)
+	}
+}
+
+func TestErrorsAsRecoversSnapshot(t *testing.T) {
+	// The documented recovery path: errors.As through a wrapped chain
+	// yields the typed error with its diagnostic snapshot intact.
+	base := &NoProgressError{Kernel: "wrapped", Cycle: 9, Window: 3, Snapshot: diagSnapshot()}
+	wrapped := wrapErr{base}
+	var npe *NoProgressError
+	if !errors.As(wrapped, &npe) {
+		t.Fatal("errors.As failed through wrapper")
+	}
+	if npe.Snapshot == nil || npe.Snapshot.Cycle != 120 {
+		t.Errorf("recovered snapshot lost data: %+v", npe.Snapshot)
+	}
+}
+
+type wrapErr struct{ err error }
+
+func (w wrapErr) Error() string { return "run failed: " + w.err.Error() }
+func (w wrapErr) Unwrap() error { return w.err }

@@ -137,6 +137,10 @@ type smState struct {
 	// mshr maps an outstanding block to the warp ids piggybacked on
 	// the primary request (the primary's warp id is in the request).
 	mshr map[uint64][]int
+	// prt is the SM's outstanding-transaction count (the pending-
+	// request-table occupancy of Figure 11); maintained only when
+	// metrics are installed.
+	prt int
 }
 
 // partState is one memory partition: the optional L2 slice in front of
@@ -249,6 +253,9 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 			st.res.L1 = append(st.res.L1, sm.l1.Stats)
 		}
 	}
+	if g.cfg.Metrics != nil {
+		g.snapshotInto(st, st.res)
+	}
 	return st.res, nil
 }
 
@@ -337,6 +344,9 @@ func (g *GPU) setup(k *Kernel, seed uint64) (*runState, error) {
 	// runtimes see identical key sequences.
 	g.resetRuntime(st, cacheRNG)
 	g.arena.reset()
+	if m := g.cfg.Metrics; m != nil {
+		m.reset() // each Run reports exactly its own launch
+	}
 
 	st.res = &Result{Plan: launchPlan, Warps: make([]WarpStats, len(k.Warps))}
 	st.reqID = 0
@@ -443,6 +453,18 @@ func (g *GPU) build(nWarps int) (*runState, error) {
 			st.toSM.InjectDrop(d.Port, d.Nth)
 		}
 	}
+
+	// Install the metrics layer's subsystem hooks. The registry hands
+	// back the same histogram objects across rebuilds, so a rebuilt
+	// runtime keeps accumulating into the same series.
+	if m := g.cfg.Metrics; m != nil {
+		st.toMem.DepthHist = m.icntToMem
+		st.toSM.DepthHist = m.icntToSM
+		for pid, p := range st.parts {
+			p.ctrl.DepthHist = m.dramDepthHist(pid)
+		}
+		m.installDRAM(len(st.parts), g.cfg.AddressMap.Banks)
+	}
 	return st, nil
 }
 
@@ -463,6 +485,7 @@ func (g *GPU) resetRuntime(st *runState, cacheRNG *rng.Source) {
 		if sm.mshr != nil {
 			clear(sm.mshr)
 		}
+		sm.prt = 0
 	}
 	for _, p := range st.parts {
 		p.ctrl.Reset()
@@ -490,7 +513,7 @@ func (g *GPU) stepSMs(st *runState, now int64) (busy bool) {
 			kept := sm.replies[:0]
 			for _, lr := range sm.replies {
 				if lr.at <= now {
-					g.settle(st, st.runs[lr.warp], now)
+					g.settle(st, sm, smID, st.runs[lr.warp], now)
 				} else {
 					kept = append(kept, lr)
 				}
@@ -504,12 +527,12 @@ func (g *GPU) stepSMs(st *runState, now int64) (busy bool) {
 			if sm.l1 != nil && r.Kind == mem.Load {
 				sm.l1.Access(mem.BlockOf(r.Addr)) // fill
 			}
-			g.settle(st, st.runs[r.Warp], now)
+			g.settle(st, sm, smID, st.runs[r.Warp], now)
 			if sm.mshr != nil {
 				block := mem.BlockOf(r.Addr)
 				if waiters, ok := sm.mshr[block]; ok {
 					for _, waiter := range waiters {
-						g.settle(st, st.runs[waiter], now)
+						g.settle(st, sm, smID, st.runs[waiter], now)
 					}
 					delete(sm.mshr, block)
 				}
@@ -538,10 +561,14 @@ func (g *GPU) stepSMs(st *runState, now int64) (busy bool) {
 
 // settle delivers one memory reply to a warp, retiring the warp if it
 // has run off its program.
-func (g *GPU) settle(st *runState, w *warpRun, now int64) {
+func (g *GPU) settle(st *runState, sm *smState, smID int, w *warpRun, now int64) {
 	st.progress++
 	if g.cfg.Trace != nil {
-		g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvReply, Warp: w.prog.ID})
+		g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvReply, SM: smID, Warp: w.prog.ID})
+	}
+	if m := g.cfg.Metrics; m != nil {
+		sm.prt--
+		m.prtOccupancy.Observe(int64(sm.prt))
 	}
 	w.pending--
 	if w.pending < 0 {
@@ -602,6 +629,7 @@ func (g *GPU) stepMemory(st *runState, now int64) (busy bool) {
 						goto tick
 					}
 				}
+				r.Arrived = now
 				p.ctrl.Push(r)
 			}
 		}
@@ -614,6 +642,11 @@ func (g *GPU) stepMemory(st *runState, now int64) (busy bool) {
 			qBefore := p.ctrl.QueueLen()
 			for _, done := range p.ctrl.Tick(now) {
 				done.Done = now
+				if g.cfg.Trace != nil {
+					g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvDRAMService, SM: done.SM,
+						Warp: done.Warp, Addr: done.Addr, Round: done.Round,
+						Part: pid, N: now - done.Arrived})
+				}
 				st.toSM.Push(done.SM, done, now)
 				st.progress++
 			}
@@ -676,6 +709,9 @@ func (g *GPU) issueOne(st *runState, sm *smState, smID, s int, now int64) {
 			if sm.schedPtr[s] >= nLocal {
 				sm.schedPtr[s] = 0
 			}
+			if m := g.cfg.Metrics; m != nil {
+				m.issued.Inc()
+			}
 			return
 		}
 		start = 0
@@ -687,7 +723,35 @@ func (g *GPU) issueOne(st *runState, sm *smState, smID, s int, now int64) {
 		}
 		if g.tryIssue(st, sm, smID, mine[idx], now) {
 			sm.schedPtr[s] = (idx + 1) % nLocal
+			if m := g.cfg.Metrics; m != nil {
+				m.issued.Inc()
+			}
 			return
+		}
+	}
+	if m := g.cfg.Metrics; m != nil {
+		// The slot went unused; classify why. Any candidate blocked on
+		// memory makes it a memory stall; otherwise warps waiting out
+		// pipeline latency make it a pipeline stall; with every warp
+		// finished the scheduler is simply idle.
+		blocked, future := false, false
+		for _, w := range mine {
+			if w.done {
+				continue
+			}
+			if w.blocked || w.pending > 0 {
+				blocked = true
+				break
+			}
+			future = true
+		}
+		switch {
+		case blocked:
+			m.stallMemory.Inc()
+		case future:
+			m.stallPipeline.Inc()
+		default:
+			m.stallIdle.Inc()
 		}
 	}
 }
@@ -832,23 +896,39 @@ func (g *GPU) issueMemory(st *runState, sm *smState, smID int, w *warpRun, ins *
 		blocks = append(blocks, mem.BlockOf(a))
 	}
 
+	round := ins.Round
+	if round < 0 || round > MaxRounds {
+		round = 0
+	}
 	txBlocks := g.txScratch[:0]
-	if g.cfg.CoalescingDisabled {
+	m := g.cfg.Metrics
+	switch {
+	case g.cfg.CoalescingDisabled:
 		// One transaction per active thread, duplicates included.
 		for t, b := range blocks {
 			if ins.Active == nil || ins.Active[t] {
 				txBlocks = append(txBlocks, b)
 			}
 		}
-	} else {
+		if m != nil {
+			m.observeUncoalesced(len(txBlocks), round)
+		}
+	case m != nil:
+		// Fused pass: block keys and Algorithm-1 group sizes in one
+		// coalescing scan, so metrics never re-run the MCU logic.
+		var sizes []int
+		txBlocks, sizes = g.planFor(st, w, ins.Round).CoalesceBlocksSizes(blocks, ins.Active, txBlocks, m.sizeScratch[:0])
+		m.observeSizes(sizes, round)
+		m.sizeScratch = sizes
+	default:
 		txBlocks = g.planFor(st, w, ins.Round).CoalesceBlocks(blocks, ins.Active, txBlocks)
+	}
+	if g.cfg.Trace != nil {
+		g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvCoalesce, SM: smID, Warp: w.prog.ID,
+			Round: round, N: int64(len(txBlocks))})
 	}
 	g.blockScratch = blocks[:0]
 
-	round := ins.Round
-	if round < 0 || round > MaxRounds {
-		round = 0
-	}
 	issued := 0
 	for _, b := range txBlocks {
 		// Every coalesced transaction counts as an access (the
@@ -897,9 +977,16 @@ func (g *GPU) issueMemory(st *runState, sm *smState, smID int, w *warpRun, ins *
 			Loc:   g.cfg.AddressMap.Decode(addr),
 		}
 		sm.injectQ.Push(req)
+		if m := g.cfg.Metrics; m != nil {
+			m.injectDepth.Observe(int64(sm.injectQ.Len()))
+		}
 	}
 	g.txScratch = txBlocks[:0]
 	if issued > 0 {
+		if m := g.cfg.Metrics; m != nil {
+			sm.prt += issued
+			m.prtOccupancy.Observe(int64(sm.prt))
+		}
 		w.blocked = true
 	} else {
 		// Fully predicated-off instruction: nothing to wait for.

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"rcoal/internal/gpusim/mem"
+	"rcoal/internal/metrics"
 	"rcoal/internal/ringbuf"
 )
 
@@ -41,6 +42,11 @@ type Crossbar struct {
 	// Stats
 	Delivered uint64
 	MaxQueue  int
+
+	// DepthHist, when non-nil, observes a port's queued-packet count at
+	// every injection (the depth including the new packet). Installed by
+	// the simulator's metrics layer; the hot path pays one nil check.
+	DepthHist *metrics.Histogram
 }
 
 // NewCrossbar builds a crossbar with the given number of output ports
@@ -91,6 +97,9 @@ func (x *Crossbar) Push(dst int, r *mem.Request, now int64) {
 	x.ports[dst].Push(packet{req: r, readyAt: now + x.latency})
 	if n := x.ports[dst].Len(); n > x.MaxQueue {
 		x.MaxQueue = n
+	}
+	if x.DepthHist != nil {
+		x.DepthHist.Observe(int64(x.ports[dst].Len()))
 	}
 }
 

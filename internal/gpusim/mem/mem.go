@@ -123,6 +123,9 @@ type Request struct {
 	Round int
 	// Issued is the core cycle the request entered the interconnect.
 	Issued int64
+	// Arrived is the core cycle the request reached its memory
+	// partition's controller (set on acceptance; L2 hits never arrive).
+	Arrived int64
 	// Done is the core cycle the reply reached the SM (set on
 	// completion).
 	Done int64

@@ -1,0 +1,182 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"rcoal/internal/core"
+)
+
+func metricsConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Coalescing = core.RSS(4)
+	cfg.Metrics = NewMetrics()
+	return cfg
+}
+
+func TestMetricsReproduceRoundTx(t *testing.T) {
+	// The acceptance check of the metrics layer: the exported snapshot
+	// must reproduce the per-round coalesced-access counts the Result
+	// already carries through WarpStats aggregation.
+	cfg := metricsConfig()
+	g := mustGPU(t, cfg)
+	res, err := g.Run(randomKernel(7, 6, 4), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("Config.Metrics installed but Result.Metrics is nil")
+	}
+	s := res.Metrics
+	for r := 0; r <= MaxRounds; r++ {
+		name := fmt.Sprintf("%s/%02d", MetricRoundTx, r)
+		if got := s.Counters[name]; got != res.RoundTx[r] {
+			t.Errorf("%s = %d, want Result.RoundTx[%d] = %d", name, got, r, res.RoundTx[r])
+		}
+	}
+	// Cross-checks tying the histograms to the Result's totals: every
+	// transaction is one group-size observation, and the per-instruction
+	// counts sum to the total transaction count.
+	if h, ok := s.Histograms[MetricTxGroupSize]; !ok || h.Count != res.TotalTx {
+		t.Errorf("%s count = %d, want TotalTx = %d", MetricTxGroupSize, h.Count, res.TotalTx)
+	}
+	if h, ok := s.Histograms[MetricTxPerInstr]; !ok || uint64(h.Sum) != res.TotalTx {
+		t.Errorf("%s sum = %d, want TotalTx = %d", MetricTxPerInstr, h.Sum, res.TotalTx)
+	}
+	// DRAM partition counters must agree with the controller stats.
+	var wantAcc, gotAcc uint64
+	for pid, d := range res.DRAM {
+		wantAcc += d.Accesses
+		gotAcc += s.Counters[fmt.Sprintf("dram/p%d/accesses", pid)]
+	}
+	if gotAcc != wantAcc {
+		t.Errorf("dram accesses from metrics = %d, from stats = %d", gotAcc, wantAcc)
+	}
+	// And the per-bank table partitions those counts: each partition's
+	// rows sum to its partition-level counter.
+	banks, ok := s.Tables[MetricDRAMBanks]
+	if !ok {
+		t.Fatalf("%s table missing from snapshot", MetricDRAMBanks)
+	}
+	bankRows := len(banks.Rows) / len(res.DRAM)
+	for pid := range res.DRAM {
+		var acc uint64
+		for b := 0; b < bankRows; b++ {
+			acc += banks.Value(pid*bankRows+b, BankColAccesses)
+		}
+		if want := s.Counters[fmt.Sprintf("dram/p%d/accesses", pid)]; acc != want {
+			t.Errorf("partition %d bank rows sum to %d accesses, counter says %d", pid, acc, want)
+		}
+	}
+	// The launch ran warps and stalled schedulers at least once each.
+	if s.Counters[MetricIssued] == 0 {
+		t.Error("no issued instructions counted")
+	}
+	if h := s.Histograms[MetricPRTOccupancy]; h.Count == 0 || h.Min < 0 {
+		t.Errorf("PRT occupancy histogram count=%d min=%d", h.Count, h.Min)
+	}
+	if h := s.Histograms[MetricInjectDepth]; h.Count == 0 {
+		t.Error("inject-queue depth never observed")
+	}
+	if h := s.Histograms[MetricICNTToMemDepth]; h.Count == 0 {
+		t.Error("to-mem crossbar depth never observed")
+	}
+	// The snapshot must marshal (the JSON export path used by the CLIs).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot marshal: %v", err)
+	}
+}
+
+func TestMetricsGroupSizesSumToActiveThreads(t *testing.T) {
+	// Group sizes partition the active threads of each memory
+	// instruction, so their histogram sum counts thread-level accesses.
+	// The test kernel keeps every thread active, making the expected sum
+	// exactly warpSize x memory instructions; count that via tx_per_instr
+	// observations.
+	cfg := metricsConfig()
+	g := mustGPU(t, cfg)
+	res, err := g.Run(aesLikeKernel(4, 3), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Metrics
+	instrs := s.Histograms[MetricTxPerInstr].Count
+	want := int64(instrs) * int64(DefaultConfig().WarpSize)
+	if got := s.Histograms[MetricTxGroupSize].Sum; got != want {
+		t.Errorf("group-size sum = %d, want %d (%d instrs x 32 threads)", got, want, instrs)
+	}
+}
+
+func TestMetricsResetBetweenRuns(t *testing.T) {
+	// Each Run reports exactly its own launch: repeating the identical
+	// launch must yield an identical snapshot, not an accumulated one.
+	cfg := metricsConfig()
+	g := mustGPU(t, cfg)
+	k := randomKernel(3, 4, 3)
+	first, err := g.Run(k, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := g.Run(k, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(first.Metrics)
+	b, _ := json.Marshal(second.Metrics)
+	if string(a) != string(b) {
+		t.Error("identical launches produced different metric snapshots")
+	}
+}
+
+func TestMetricsOffLeavesResultNil(t *testing.T) {
+	g := mustGPU(t, DefaultConfig())
+	res, err := g.Run(randomKernel(1, 2, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics != nil {
+		t.Error("Result.Metrics set without Config.Metrics")
+	}
+}
+
+func TestMetricsCoalescingDisabledGroupsOfOne(t *testing.T) {
+	cfg := metricsConfig()
+	cfg.CoalescingDisabled = true
+	g := mustGPU(t, cfg)
+	res, err := g.Run(aesLikeKernel(2, 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Metrics.Histograms[MetricTxGroupSize]
+	if h.Count == 0 || h.Max != 1 {
+		t.Errorf("uncoalesced group sizes: count=%d max=%d, want all 1", h.Count, h.Max)
+	}
+	if h.Count != res.TotalTx {
+		t.Errorf("group count %d != TotalTx %d", h.Count, res.TotalTx)
+	}
+}
+
+// TestRunAllocsPerRunMetricsOff guards the observability PR's zero-cost
+// promise: with no metrics bundle installed, steady-state Run stays at
+// the pinned allocation count — the nil checks added for metrics and
+// the extra trace kinds contribute nothing.
+func TestRunAllocsPerRunMetricsOff(t *testing.T) {
+	g, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := randomKernel(5, 2, 3)
+	if _, err := g.Run(k, 1); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := g.Run(k, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > steadyStateRunAllocs {
+		t.Errorf("metrics-off Run allocates %.1f times per launch, pinned at %d",
+			avg, steadyStateRunAllocs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"rcoal/internal/core"
 	"rcoal/internal/gpusim/cache"
 	"rcoal/internal/gpusim/dram"
+	"rcoal/internal/metrics"
 )
 
 // MaxRounds bounds the AES round tags the stats arrays index
@@ -70,6 +71,10 @@ type Result struct {
 	// passes over all warps — the observable of the bank-conflict
 	// timing channel.
 	SharedPasses [MaxRounds + 1]uint64
+	// Metrics is the launch's detached metrics snapshot when
+	// Config.Metrics is installed; nil otherwise (the default), so
+	// Results from metrics-free runs stay byte-comparable.
+	Metrics *metrics.Snapshot `json:",omitempty"`
 }
 
 // RoundWindow returns the kernel-level cycle window of round r: from

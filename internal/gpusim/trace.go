@@ -23,7 +23,18 @@ const (
 	EvReply
 	// EvRetire: a warp completed.
 	EvRetire
+	// EvCoalesce: the MCU ran Algorithm 1 on one warp-wide memory
+	// instruction, splitting it into N subwarp-coalesced transactions.
+	EvCoalesce
+	// EvDRAMService: a memory partition finished servicing one
+	// transaction; N carries the cycles between the request arriving at
+	// the controller and its data returning.
+	EvDRAMService
 )
+
+// NumEventKinds is the number of distinct event kinds, for sinks that
+// tally by kind.
+const NumEventKinds = 6
 
 func (k EventKind) String() string {
 	switch k {
@@ -35,6 +46,10 @@ func (k EventKind) String() string {
 		return "reply"
 	case EvRetire:
 		return "retire"
+	case EvCoalesce:
+		return "coalesce"
+	case EvDRAMService:
+		return "dram"
 	}
 	return "unknown"
 }
@@ -47,10 +62,16 @@ type Event struct {
 	Warp  int
 	// PC is the warp's program counter (EvIssue only).
 	PC int
-	// Addr is the block-aligned address (EvMemTx / EvReply).
+	// Addr is the block-aligned address (EvMemTx / EvReply /
+	// EvDRAMService).
 	Addr uint64
 	// Round is the AES round tag, when applicable.
 	Round int
+	// Part is the memory partition (EvDRAMService only).
+	Part int
+	// N is the event's magnitude: coalesced-transaction count for
+	// EvCoalesce, service duration in cycles for EvDRAMService.
+	N int64
 }
 
 // TraceSink receives simulator events. Implementations must be cheap;
@@ -72,14 +93,14 @@ func (s *WriterSink) Emit(e Event) {
 	if s.Err != nil {
 		return
 	}
-	_, s.Err = fmt.Fprintf(s.W, "cycle=%d kind=%s sm=%d warp=%d pc=%d addr=%#x round=%d\n",
-		e.Cycle, e.Kind, e.SM, e.Warp, e.PC, e.Addr, e.Round)
+	_, s.Err = fmt.Fprintf(s.W, "cycle=%d kind=%s sm=%d warp=%d pc=%d addr=%#x round=%d part=%d n=%d\n",
+		e.Cycle, e.Kind, e.SM, e.Warp, e.PC, e.Addr, e.Round, e.Part, e.N)
 }
 
 // CountingSink tallies events by kind — used in tests and quick
 // profiling.
 type CountingSink struct {
-	Counts [4]uint64
+	Counts [NumEventKinds]uint64
 }
 
 // Emit implements TraceSink.

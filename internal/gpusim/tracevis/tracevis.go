@@ -1,0 +1,193 @@
+// Package tracevis exports the gpusim event stream as Chrome
+// trace-event JSON — the format Perfetto (ui.perfetto.dev) and
+// chrome://tracing load directly. One simulated cycle maps to one
+// microsecond of trace time, so the viewer's time axis reads in
+// cycles.
+//
+// The exporter renders two processes:
+//
+//   - pid 0 "SM cores": one thread row per SM, carrying instruction
+//     issues, subwarp-coalesce events (with the Algorithm-1 group
+//     count), transaction injections, reply deliveries, and warp
+//     retirements as instant events.
+//   - pid 1 "DRAM partitions": one thread row per memory partition,
+//     carrying each serviced transaction as a complete ("X") span from
+//     controller arrival to data return.
+//
+// An Exporter implements gpusim.TraceSink. Emit is mutex-guarded so
+// parallel experiment cells may share one exporter; within a single
+// simulation the lock is uncontended and costs one atomic pair per
+// event.
+package tracevis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"rcoal/internal/gpusim"
+)
+
+// Process ids of the exported track groups.
+const (
+	// PidSM is the process holding one thread row per SM.
+	PidSM = 0
+	// PidDRAM is the process holding one thread row per partition.
+	PidDRAM = 1
+)
+
+// Exporter buffers simulator events and writes them as Chrome
+// trace-event JSON. The zero value is ready to use.
+type Exporter struct {
+	mu     sync.Mutex
+	events []gpusim.Event
+}
+
+// New returns an empty exporter.
+func New() *Exporter { return &Exporter{} }
+
+// Emit implements gpusim.TraceSink.
+func (x *Exporter) Emit(e gpusim.Event) {
+	x.mu.Lock()
+	x.events = append(x.events, e)
+	x.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (x *Exporter) Len() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.events)
+}
+
+// Reset discards all buffered events, keeping the exporter usable.
+func (x *Exporter) Reset() {
+	x.mu.Lock()
+	x.events = x.events[:0]
+	x.mu.Unlock()
+}
+
+// traceEvent is one Chrome trace-event JSON object. Dur is a pointer
+// so complete events always carry it (a zero-cycle service is still a
+// span) while instant and metadata events omit it.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Export writes the buffered events as one Chrome trace JSON object:
+// metadata (track naming) first, then all timeline events sorted by
+// timestamp. The buffer is left intact, so a long experiment can
+// export intermediate traces.
+func (x *Exporter) Export(w io.Writer) error {
+	x.mu.Lock()
+	events := append([]gpusim.Event(nil), x.events...)
+	x.mu.Unlock()
+
+	out := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{
+		meta("process_name", PidSM, 0, "SM cores"),
+		meta("process_sort_index", PidSM, 0, 0),
+		meta("process_name", PidDRAM, 0, "DRAM partitions"),
+		meta("process_sort_index", PidDRAM, 0, 1),
+	}}
+
+	// Name each track row that actually appears.
+	smSeen, partSeen := map[int]bool{}, map[int]bool{}
+	for _, e := range events {
+		if e.Kind == gpusim.EvDRAMService {
+			if !partSeen[e.Part] {
+				partSeen[e.Part] = true
+				out.TraceEvents = append(out.TraceEvents,
+					meta("thread_name", PidDRAM, e.Part, fmt.Sprintf("partition %d", e.Part)))
+			}
+			continue
+		}
+		if !smSeen[e.SM] {
+			smSeen[e.SM] = true
+			out.TraceEvents = append(out.TraceEvents,
+				meta("thread_name", PidSM, e.SM, fmt.Sprintf("sm %d", e.SM)))
+		}
+	}
+
+	timeline := make([]traceEvent, 0, len(events))
+	for _, e := range events {
+		timeline = append(timeline, convert(e))
+	}
+	// Chrome trace JSON wants events in timestamp order; keep emission
+	// order among equal timestamps for determinism.
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].Ts < timeline[j].Ts })
+	out.TraceEvents = append(out.TraceEvents, timeline...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile exports the trace into path (atomically enough for a
+// post-run artifact: written to completion, then closed).
+func (x *Exporter) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := x.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// meta builds one metadata ("M") record naming or ordering a track.
+func meta(name string, pid, tid int, arg any) traceEvent {
+	key := "name"
+	if name == "process_sort_index" {
+		key = "sort_index"
+	}
+	return traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{key: arg}}
+}
+
+// convert maps one simulator event onto its trace representation.
+func convert(e gpusim.Event) traceEvent {
+	switch e.Kind {
+	case gpusim.EvDRAMService:
+		// A complete span on the partition's row: arrival to data
+		// return. Events are emitted at completion, so the span starts
+		// N cycles back.
+		dur := e.N
+		return traceEvent{
+			Name: "service", Ph: "X", Ts: e.Cycle - e.N, Dur: &dur,
+			Pid: PidDRAM, Tid: e.Part,
+			Args: map[string]any{"addr": fmt.Sprintf("%#x", e.Addr)},
+		}
+	case gpusim.EvCoalesce:
+		return instant(e, map[string]any{"warp": e.Warp, "round": e.Round, "tx": e.N})
+	case gpusim.EvIssue:
+		return instant(e, map[string]any{"warp": e.Warp, "pc": e.PC})
+	case gpusim.EvMemTx:
+		return instant(e, map[string]any{"warp": e.Warp, "round": e.Round, "addr": fmt.Sprintf("%#x", e.Addr)})
+	default: // EvReply, EvRetire, and any future kinds
+		return instant(e, map[string]any{"warp": e.Warp})
+	}
+}
+
+// instant builds a thread-scoped instant event on the SM's row.
+func instant(e gpusim.Event, args map[string]any) traceEvent {
+	return traceEvent{
+		Name: e.Kind.String(), Ph: "i", Ts: e.Cycle,
+		Pid: PidSM, Tid: e.SM, S: "t", Args: args,
+	}
+}

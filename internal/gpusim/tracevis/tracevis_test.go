@@ -1,0 +1,190 @@
+package tracevis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/core"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/kernels"
+	"rcoal/internal/rng"
+)
+
+// decoded mirrors the wire format loosely, for schema validation.
+type decoded struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+}
+
+// validateChromeTrace checks the invariants Perfetto's importer relies
+// on: every event has a known phase, timeline events appear in
+// non-decreasing timestamp order, complete events carry a non-negative
+// duration, duration events nest (every B has its E, per pid/tid), and
+// every timeline row is named by a thread_name metadata record.
+func validateChromeTrace(t *testing.T, raw []byte) decoded {
+	t.Helper()
+	var d decoded
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("trace does not decode: %v", err)
+	}
+	named := map[[2]int]bool{}
+	open := map[[2]int]int{} // B/E nesting depth per (pid, tid)
+	lastTs := int64(-1 << 62)
+	for i, e := range d.TraceEvents {
+		ph, _ := e["ph"].(string)
+		pid := int(e["pid"].(float64))
+		tid := int(e["tid"].(float64))
+		switch ph {
+		case "M":
+			if e["name"] == "thread_name" {
+				named[[2]int{pid, tid}] = true
+			}
+			continue
+		case "i", "X", "B", "E":
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ph)
+		}
+		ts := int64(e["ts"].(float64))
+		if ts < lastTs {
+			t.Fatalf("event %d: ts %d after %d — timeline not sorted", i, ts, lastTs)
+		}
+		lastTs = ts
+		key := [2]int{pid, tid}
+		switch ph {
+		case "X":
+			dur, ok := e["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Fatalf("event %d: complete event without non-negative dur: %v", i, e)
+			}
+		case "B":
+			open[key]++
+		case "E":
+			open[key]--
+			if open[key] < 0 {
+				t.Fatalf("event %d: E without matching B on %v", i, key)
+			}
+		}
+		if !named[key] {
+			t.Fatalf("event %d: row %v has no thread_name metadata", i, key)
+		}
+	}
+	for key, n := range open {
+		if n != 0 {
+			t.Fatalf("row %v: %d unmatched B events", key, n)
+		}
+	}
+	return d
+}
+
+func TestExportGolden(t *testing.T) {
+	// A fixed synthetic event sequence must serialize byte-for-byte
+	// stably: emission order is scrambled, export sorts by timestamp and
+	// keeps emission order among ties.
+	x := New()
+	x.Emit(gpusim.Event{Cycle: 40, Kind: gpusim.EvDRAMService, Part: 2, Addr: 0x1740, N: 30})
+	x.Emit(gpusim.Event{Cycle: 5, Kind: gpusim.EvIssue, SM: 1, Warp: 3, PC: 7})
+	x.Emit(gpusim.Event{Cycle: 5, Kind: gpusim.EvCoalesce, SM: 1, Warp: 3, Round: 9, N: 4})
+	x.Emit(gpusim.Event{Cycle: 6, Kind: gpusim.EvMemTx, SM: 1, Warp: 3, Round: 9, Addr: 0x1740})
+	x.Emit(gpusim.Event{Cycle: 44, Kind: gpusim.EvReply, SM: 1, Warp: 3})
+
+	var buf bytes.Buffer
+	if err := x.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validateChromeTrace(t, buf.Bytes())
+
+	const want = `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"SM cores"}},` +
+		`{"name":"process_sort_index","ph":"M","ts":0,"pid":0,"tid":0,"args":{"sort_index":0}},` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"DRAM partitions"}},` +
+		`{"name":"process_sort_index","ph":"M","ts":0,"pid":1,"tid":0,"args":{"sort_index":1}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":2,"args":{"name":"partition 2"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":1,"args":{"name":"sm 1"}},` +
+		`{"name":"issue","ph":"i","ts":5,"pid":0,"tid":1,"s":"t","args":{"pc":7,"warp":3}},` +
+		`{"name":"coalesce","ph":"i","ts":5,"pid":0,"tid":1,"s":"t","args":{"round":9,"tx":4,"warp":3}},` +
+		`{"name":"memtx","ph":"i","ts":6,"pid":0,"tid":1,"s":"t","args":{"addr":"0x1740","round":9,"warp":3}},` +
+		`{"name":"service","ph":"X","ts":10,"dur":30,"pid":1,"tid":2,"args":{"addr":"0x1740"}},` +
+		`{"name":"reply","ph":"i","ts":44,"pid":0,"tid":1,"s":"t","args":{"warp":3}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("golden mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestExportFromSimulation(t *testing.T) {
+	// End to end: trace a real AES launch and check the export is a
+	// valid Chrome trace containing both new event kinds on their
+	// designated tracks.
+	c, err := aes.NewCipher([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _, err := kernels.Build(c, kernels.RandomPlaintext(rng.New(3), 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := New()
+	cfg := gpusim.DefaultConfig()
+	cfg.Coalescing = core.RSS(4)
+	cfg.Trace = x
+	g, err := gpusim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(k, 17); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() == 0 {
+		t.Fatal("simulation emitted no events")
+	}
+
+	var buf bytes.Buffer
+	if err := x.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d := validateChromeTrace(t, buf.Bytes())
+	var coalesce, service int
+	for _, e := range d.TraceEvents {
+		switch e["name"] {
+		case "coalesce":
+			if int(e["pid"].(float64)) != PidSM {
+				t.Fatal("coalesce event off the SM process")
+			}
+			coalesce++
+		case "service":
+			if int(e["pid"].(float64)) != PidDRAM {
+				t.Fatal("service event off the DRAM process")
+			}
+			service++
+		}
+	}
+	if coalesce == 0 || service == 0 {
+		t.Fatalf("trace has %d coalesce and %d service events, want both > 0", coalesce, service)
+	}
+
+	// Reset empties the buffer for the next launch.
+	x.Reset()
+	if x.Len() != 0 {
+		t.Error("Reset left events behind")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	x := New()
+	x.Emit(gpusim.Event{Cycle: 1, Kind: gpusim.EvIssue, SM: 0})
+	path := t.TempDir() + "/trace.json"
+	if err := x.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateChromeTrace(t, raw)
+	if !strings.Contains(string(raw), `"issue"`) {
+		t.Error("written trace missing event")
+	}
+}

@@ -1,0 +1,532 @@
+// Package metrics is a zero-dependency instrumentation registry for
+// the simulator and its drivers: counters, gauges (with high-water
+// marks), fixed-bucket histograms, and dense counter tables, collected
+// into JSON-friendly snapshots.
+//
+// The design discipline mirrors the gpusim trace sink: instrumented
+// code holds typed metric pointers resolved once at construction, so
+// the hot path pays a nil check when metrics are off and a handful of
+// integer operations when they are on. Observe/Inc/Add never allocate
+// (pinned by TestHotPathAllocsPerRun); only Snapshot does.
+//
+// Like the simulator itself, a Registry is single-goroutine state:
+// create one per GPU (or other instrumented unit) and merge snapshots
+// afterwards. Concurrent aggregation across worker goroutines lives in
+// internal/runner's Telemetry, not here.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge is an instantaneous level that also tracks its high-water
+// mark (e.g. a queue depth and the deepest the queue ever got).
+type Gauge struct {
+	cur, max int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	g.cur = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add shifts the level by d (d may be negative).
+func (g *Gauge) Add(d int64) { g.Set(g.cur + d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.cur }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= Bounds[i] (and > Bounds[i-1]); one implicit
+// overflow bucket collects everything above the last bound.
+//
+// Bucketing is a table lookup built at construction, which keeps
+// Observe O(1), branch-light, and small enough to inline into the
+// simulator's hot paths; the price is that layouts are bounded (last
+// bound below lutLimit, at most 255 buckets). That comfortably covers
+// this package's domain — small-integer distributions such as
+// transaction counts, group sizes, and queue depths; pick coarser
+// buckets for wider-ranged values.
+type Histogram struct {
+	bounds []int64
+	counts []uint64 // len(bounds)+1; last is overflow
+	// lut maps value v (clamped to the table) to its bucket index; the
+	// final entry maps to the overflow bucket.
+	lut []uint8
+	sum int64
+	min int64
+	max int64
+}
+
+// lutLimit bounds histogram layouts: the last bound must be below it
+// so the lookup table stays small (a few KiB at most).
+const lutLimit = 1 << 12
+
+// sentinelMin/sentinelMax initialize min/max so Observe needs no
+// emptiness branch; snapshots report 0 for empty histograms.
+const (
+	sentinelMin = int64(^uint64(0) >> 1) // math.MaxInt64
+	sentinelMax = -sentinelMin - 1       // math.MinInt64
+)
+
+// NewHistogram builds a histogram over the given strictly increasing
+// inclusive upper bounds. It panics on empty, unsorted, negative, or
+// oversized bounds (see the type comment for the layout limits) —
+// bucket layouts are compile-time decisions, not runtime inputs.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bound")
+	}
+	if bounds[0] < 0 {
+		panic(fmt.Sprintf("metrics: histogram bounds must be non-negative, got %d", bounds[0]))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not increasing at %d (%d <= %d)",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	last := bounds[len(bounds)-1]
+	if last >= lutLimit {
+		panic(fmt.Sprintf("metrics: histogram last bound %d exceeds limit %d — use coarser buckets", last, lutLimit-1))
+	}
+	if len(bounds)+1 > 256 {
+		panic(fmt.Sprintf("metrics: histogram has %d buckets, limit 256", len(bounds)+1))
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	h := &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+	h.min, h.max = sentinelMin, sentinelMax
+	// lut[v] = bucket of v for 0..last; lut[last+1] = overflow. Observe
+	// clamps out-of-range values onto those ends.
+	h.lut = make([]uint8, last+2)
+	i := 0
+	for v := int64(0); v <= last; v++ {
+		for v > b[i] {
+			i++
+		}
+		h.lut[v] = uint8(i)
+	}
+	h.lut[last+1] = uint8(len(h.counts) - 1)
+	return h
+}
+
+// LinearBounds returns n inclusive upper bounds width, 2*width, ...,
+// n*width — the bucket layout for small-integer distributions such as
+// per-instruction transaction counts or queue depths.
+func LinearBounds(width int64, n int) []int64 {
+	if width <= 0 || n <= 0 {
+		panic("metrics: LinearBounds needs positive width and count")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = width * int64(i+1)
+	}
+	return out
+}
+
+// Observe records one value. The body is a table lookup plus a few
+// integer updates, small enough for the compiler to inline at the
+// instrumentation sites; min/max use sentinel initial values (see
+// reset) so no emptiness branch runs per observation.
+func (h *Histogram) Observe(v int64) {
+	i := v
+	if uint64(i) >= uint64(len(h.lut)) {
+		i = 0 // negative values land in the first bucket...
+		if v > 0 {
+			i = int64(len(h.lut) - 1) // ...oversized ones in overflow
+		}
+	}
+	h.counts[h.lut[i]]++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations. It is derived by summing
+// the bucket counts — snapshot-time work traded for one fewer memory
+// update in Observe.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the average observed value, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(n)
+}
+
+// reset zeroes observations, keeping the bucket layout.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum, h.min, h.max = 0, sentinelMin, sentinelMax
+}
+
+// Min returns the smallest observed value, or 0 with no observations.
+// (The sentinel initial value doubles as the emptiness marker.)
+func (h *Histogram) Min() int64 {
+	if h.min == sentinelMin {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed value, or 0 with no observations.
+func (h *Histogram) Max() int64 {
+	if h.max == sentinelMax {
+		return 0
+	}
+	return h.max
+}
+
+// Table is a dense rows x cols matrix of counters for per-entity
+// metric families — e.g. per-DRAM-bank row-locality stats, where 96
+// banks x 4 stats as individually named counters would turn every
+// snapshot into hundreds of string-keyed map inserts. The backing
+// store is one flat row-major slice, so snapshotting a table is a
+// single copy regardless of its size.
+type Table struct {
+	rows, cols []string
+	vals       []uint64 // len(rows)*len(cols), row-major
+}
+
+// Add adds v to cell (row, col).
+func (t *Table) Add(row, col int, v uint64) { t.vals[row*len(t.cols)+col] += v }
+
+// Value returns cell (row, col).
+func (t *Table) Value(row, col int) uint64 { return t.vals[row*len(t.cols)+col] }
+
+// Rows returns the row labels (read-only).
+func (t *Table) Rows() []string { return t.rows }
+
+// Cols returns the column labels (read-only).
+func (t *Table) Cols() []string { return t.cols }
+
+func (t *Table) reset() {
+	for i := range t.vals {
+		t.vals[i] = 0
+	}
+}
+
+// Registry holds named metrics. Lookup is get-or-create and idempotent
+// so instrumented subsystems can resolve their metrics at construction
+// time without coordinating registration order.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	tables     map[string]*Table
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		tables:     map[string]*Table{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use. Later calls ignore bounds (the first layout
+// wins), so hot-path callers can re-resolve without re-checking.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := NewHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// Table returns the named table, creating it with the given row and
+// column labels on first use. Later calls ignore the labels (the first
+// layout wins) but panic if the shape differs — a shape change means
+// two subsystems disagree about the same name.
+func (r *Registry) Table(name string, rows, cols []string) *Table {
+	if t, ok := r.tables[name]; ok {
+		if len(t.rows) != len(rows) || len(t.cols) != len(cols) {
+			panic(fmt.Sprintf("metrics: table %q re-registered with shape %dx%d, have %dx%d",
+				name, len(rows), len(cols), len(t.rows), len(t.cols)))
+		}
+		return t
+	}
+	if len(rows) == 0 || len(cols) == 0 {
+		panic(fmt.Sprintf("metrics: table %q needs at least one row and column", name))
+	}
+	t := &Table{
+		rows: append([]string(nil), rows...),
+		cols: append([]string(nil), cols...),
+		vals: make([]uint64, len(rows)*len(cols)),
+	}
+	r.tables[name] = t
+	return t
+}
+
+// Reset zeroes every registered metric, keeping registrations and
+// bucket layouts, so one registry can serve many launches.
+func (r *Registry) Reset() {
+	for _, c := range r.counters {
+		c.n = 0
+	}
+	for _, g := range r.gauges {
+		g.cur, g.max = 0, 0
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+	for _, t := range r.tables {
+		t.reset()
+	}
+}
+
+// GaugeValue is a gauge's exported state.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramValue is a histogram's exported state. Counts has one entry
+// per bound plus a trailing overflow bucket.
+type HistogramValue struct {
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    int64    `json:"sum"`
+	Min    int64    `json:"min"`
+	Max    int64    `json:"max"`
+	Mean   float64  `json:"mean"`
+}
+
+// TableValue is a table's exported state: Values[i*len(Cols)+j] is the
+// cell at row i, column j. Rows and Cols are shared with the live
+// table (labels are immutable after registration) — treat them as
+// read-only.
+type TableValue struct {
+	Rows   []string `json:"rows"`
+	Cols   []string `json:"cols"`
+	Values []uint64 `json:"values"`
+}
+
+// Value returns cell (row, col).
+func (t TableValue) Value(row, col int) uint64 { return t.Values[row*len(t.Cols)+col] }
+
+// Snapshot is a point-in-time copy of a registry, detached from the
+// live metrics and safe to marshal, merge, or retain. encoding/json
+// emits map keys sorted, so marshaled snapshots are deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters,omitempty"`
+	Gauges     map[string]GaugeValue     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
+	Tables     map[string]TableValue     `json:"tables,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.n
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeValue, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = GaugeValue{Value: g.cur, Max: g.max}
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramValue, len(r.histograms))
+		for name, h := range r.histograms {
+			hv := HistogramValue{
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: append([]uint64(nil), h.counts...),
+				Count:  h.Count(),
+				Sum:    h.sum,
+				Min:    h.Min(),
+				Max:    h.Max(),
+				Mean:   h.Mean(),
+			}
+			s.Histograms[name] = hv
+		}
+	}
+	if len(r.tables) > 0 {
+		s.Tables = make(map[string]TableValue, len(r.tables))
+		for name, t := range r.tables {
+			s.Tables[name] = TableValue{
+				Rows:   t.rows,
+				Cols:   t.cols,
+				Values: append([]uint64(nil), t.vals...),
+			}
+		}
+	}
+	return s
+}
+
+// Merge folds other into s: counters and histogram buckets add,
+// gauges keep the maximum of the high-water marks and other's last
+// value. Histograms merge only when their bucket layouts match.
+func (s *Snapshot) Merge(other *Snapshot) error {
+	if other == nil {
+		return nil
+	}
+	for name, v := range other.Counters {
+		if s.Counters == nil {
+			s.Counters = map[string]uint64{}
+		}
+		s.Counters[name] += v
+	}
+	for name, g := range other.Gauges {
+		if s.Gauges == nil {
+			s.Gauges = map[string]GaugeValue{}
+		}
+		cur := s.Gauges[name]
+		if g.Max > cur.Max {
+			cur.Max = g.Max
+		}
+		cur.Value = g.Value
+		s.Gauges[name] = cur
+	}
+	for name, h := range other.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramValue{}
+		}
+		cur, ok := s.Histograms[name]
+		if !ok {
+			cur = HistogramValue{
+				Bounds: append([]int64(nil), h.Bounds...),
+				Counts: make([]uint64, len(h.Counts)),
+				Min:    h.Min,
+				Max:    h.Max,
+			}
+		}
+		if len(cur.Bounds) != len(h.Bounds) {
+			return fmt.Errorf("metrics: merge %q: bucket layouts differ (%d vs %d bounds)",
+				name, len(cur.Bounds), len(h.Bounds))
+		}
+		for i, b := range h.Bounds {
+			if cur.Bounds[i] != b {
+				return fmt.Errorf("metrics: merge %q: bound %d differs (%d vs %d)",
+					name, i, cur.Bounds[i], b)
+			}
+		}
+		for i, c := range h.Counts {
+			cur.Counts[i] += c
+		}
+		if h.Count > 0 {
+			if cur.Count == 0 || h.Min < cur.Min {
+				cur.Min = h.Min
+			}
+			if cur.Count == 0 || h.Max > cur.Max {
+				cur.Max = h.Max
+			}
+		}
+		cur.Count += h.Count
+		cur.Sum += h.Sum
+		if cur.Count > 0 {
+			cur.Mean = float64(cur.Sum) / float64(cur.Count)
+		}
+		s.Histograms[name] = cur
+	}
+	for name, t := range other.Tables {
+		if s.Tables == nil {
+			s.Tables = map[string]TableValue{}
+		}
+		cur, ok := s.Tables[name]
+		if !ok {
+			cur = TableValue{
+				Rows:   t.Rows,
+				Cols:   t.Cols,
+				Values: make([]uint64, len(t.Values)),
+			}
+		}
+		if len(cur.Rows) != len(t.Rows) || len(cur.Cols) != len(t.Cols) {
+			return fmt.Errorf("metrics: merge %q: table shapes differ (%dx%d vs %dx%d)",
+				name, len(cur.Rows), len(cur.Cols), len(t.Rows), len(t.Cols))
+		}
+		for i, v := range t.Values {
+			cur.Values[i] += v
+		}
+		s.Tables[name] = cur
+	}
+	return nil
+}
+
+// Names returns every metric name in the snapshot, sorted — handy for
+// stable test assertions and reports.
+func (s *Snapshot) Names() []string {
+	var out []string
+	for n := range s.Counters {
+		out = append(out, n)
+	}
+	for n := range s.Gauges {
+		out = append(out, n)
+	}
+	for n := range s.Histograms {
+		out = append(out, n)
+	}
+	for n := range s.Tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,312 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	g.Add(10)
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Errorf("gauge value = %d, want 2", g.Value())
+	}
+	if g.Max() != 14 {
+		t.Errorf("gauge max = %d, want 14", g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{1, 2, 4, 8})
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 8, 9, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 1, 2, 2, 2} // <=1, <=2, <=4, <=8, overflow
+	for i, w := range want {
+		if h.counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.counts[i], w)
+		}
+	}
+	if h.Count() != 9 || h.Sum() != 132 {
+		t.Errorf("count/sum = %d/%d, want 9/132", h.Count(), h.Sum())
+	}
+	if h.min != 0 || h.max != 100 {
+		t.Errorf("min/max = %d/%d, want 0/100", h.min, h.max)
+	}
+	if m := h.Mean(); m < 14.6 || m > 14.7 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]int64{nil, {}, {3, 3}, {5, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestLinearBounds(t *testing.T) {
+	got := LinearBounds(4, 3)
+	for i, want := range []int64{4, 8, 12} {
+		if got[i] != want {
+			t.Errorf("LinearBounds[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndReset(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a")
+	c1.Add(3)
+	if r.Counter("a") != c1 {
+		t.Error("Counter not idempotent")
+	}
+	h1 := r.Histogram("h", []int64{1, 2})
+	h1.Observe(2)
+	if r.Histogram("h", []int64{9}) != h1 {
+		t.Error("Histogram not idempotent (bounds of later calls must be ignored)")
+	}
+	g1 := r.Gauge("g")
+	g1.Set(5)
+	if r.Gauge("g") != g1 {
+		t.Error("Gauge not idempotent")
+	}
+
+	r.Reset()
+	if c1.Value() != 0 || g1.Value() != 0 || g1.Max() != 0 || h1.Count() != 0 || h1.Sum() != 0 {
+		t.Error("Reset left state behind")
+	}
+	h1.Observe(1)
+	if h1.counts[0] != 1 {
+		t.Error("histogram unusable after Reset")
+	}
+}
+
+func TestSnapshotDetachedAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx").Add(10)
+	r.Gauge("depth").Set(3)
+	r.Histogram("sizes", []int64{1, 2, 4}).Observe(3)
+
+	s := r.Snapshot()
+	r.Counter("tx").Add(99)
+	r.Histogram("sizes", nil).Observe(100)
+	if s.Counters["tx"] != 10 {
+		t.Error("snapshot not detached from live counter")
+	}
+	if s.Histograms["sizes"].Count != 1 {
+		t.Error("snapshot not detached from live histogram")
+	}
+
+	b1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(s)
+	if string(b1) != string(b2) {
+		t.Error("snapshot JSON not deterministic")
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["tx"] != 10 || back.Gauges["depth"].Value != 3 {
+		t.Errorf("round-trip lost data: %s", b1)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	mk := func(txA uint64, obs ...int64) *Snapshot {
+		r := NewRegistry()
+		r.Counter("tx").Add(txA)
+		r.Gauge("depth").Set(int64(txA))
+		h := r.Histogram("sizes", []int64{1, 2, 4})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a := mk(3, 1, 5)
+	b := mk(7, 2, 2, 0)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters["tx"] != 10 {
+		t.Errorf("merged counter = %d, want 10", a.Counters["tx"])
+	}
+	if a.Gauges["depth"].Max != 7 {
+		t.Errorf("merged gauge max = %d, want 7", a.Gauges["depth"].Max)
+	}
+	h := a.Histograms["sizes"]
+	if h.Count != 5 || h.Sum != 10 || h.Min != 0 || h.Max != 5 {
+		t.Errorf("merged histogram = %+v", h)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil: %v", err)
+	}
+
+	// Mismatched layouts must refuse to merge.
+	r := NewRegistry()
+	r.Histogram("sizes", []int64{1, 2}).Observe(1)
+	if err := a.Merge(r.Snapshot()); err == nil {
+		t.Error("mismatched bucket layouts merged silently")
+	}
+	r2 := NewRegistry()
+	r2.Histogram("sizes", []int64{1, 2, 5}).Observe(1)
+	if err := a.Merge(r2.Snapshot()); err == nil {
+		t.Error("differing bounds merged silently")
+	}
+
+	// Merging into an empty snapshot deep-copies.
+	var empty Snapshot
+	if err := empty.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Counters["tx"] != 7 || empty.Histograms["sizes"].Count != 3 {
+		t.Errorf("merge into empty lost data: %+v", empty)
+	}
+	empty.Histograms["sizes"].Counts[0]++
+	if b.Histograms["sizes"].Counts[0] == empty.Histograms["sizes"].Counts[0] {
+		t.Error("merge into empty aliases source counts")
+	}
+}
+
+func TestTable(t *testing.T) {
+	r := NewRegistry()
+	tab := r.Table("banks", []string{"p0/b00", "p0/b01"}, []string{"hits", "misses"})
+	if r.Table("banks", []string{"x", "y"}, []string{"a", "b"}) != tab {
+		t.Error("Table not idempotent")
+	}
+	tab.Add(0, 1, 5)
+	tab.Add(1, 0, 2)
+	tab.Add(1, 0, 3)
+	if tab.Value(0, 1) != 5 || tab.Value(1, 0) != 5 || tab.Value(0, 0) != 0 {
+		t.Errorf("table cells: %v", tab.vals)
+	}
+
+	// Snapshot detaches values and round-trips through JSON.
+	s := r.Snapshot()
+	tab.Add(0, 0, 99)
+	tv := s.Tables["banks"]
+	if tv.Value(0, 0) != 0 || tv.Value(0, 1) != 5 {
+		t.Error("snapshot not detached from live table")
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tables["banks"].Value(1, 0) != 5 {
+		t.Errorf("round-trip lost table data: %s", b)
+	}
+
+	// Merge adds cell-wise, deep-copies into empty, refuses mismatched
+	// shapes.
+	var empty Snapshot
+	if err := empty.Merge(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Merge(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Tables["banks"].Value(0, 1); got != 10 {
+		t.Errorf("merged cell = %d, want 10", got)
+	}
+	if s.Tables["banks"].Value(0, 1) != 5 {
+		t.Error("merge mutated its source")
+	}
+	r2 := NewRegistry()
+	r2.Table("banks", []string{"one"}, []string{"hits", "misses"})
+	if err := empty.Merge(r2.Snapshot()); err == nil {
+		t.Error("mismatched table shapes merged silently")
+	}
+
+	// Reset zeroes values but keeps the layout usable.
+	r.Reset()
+	if tab.Value(0, 0) != 0 || tab.Value(1, 0) != 0 {
+		t.Error("Reset left table state behind")
+	}
+	tab.Add(1, 1, 1)
+	if tab.Value(1, 1) != 1 {
+		t.Error("table unusable after Reset")
+	}
+}
+
+func TestTableBadShapePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Table("t", []string{"r"}, []string{"c"})
+	for name, fn := range map[string]func(){
+		"reshape rows": func() { r.Table("t", []string{"a", "b"}, []string{"c"}) },
+		"reshape cols": func() { r.Table("t", []string{"r"}, []string{"c", "d"}) },
+		"empty rows":   func() { r.Table("t2", nil, []string{"c"}) },
+		"empty cols":   func() { r.Table("t3", []string{"r"}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c", []int64{1})
+	r.Table("d", []string{"r"}, []string{"c"})
+	got := r.Snapshot().Names()
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestHotPathAllocsPerRun pins the instrumentation hot path at zero
+// allocations: a regression here would show up as GC pressure in every
+// metrics-on simulation.
+func TestHotPathAllocsPerRun(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", LinearBounds(2, 16))
+	tab := r.Table("t", []string{"r0", "r1"}, []string{"c0", "c1"})
+	avg := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		h.Observe(9)
+		h.Observe(1000)
+		tab.Add(1, 1, 2)
+	})
+	if avg != 0 {
+		t.Errorf("hot path allocates %.1f per run, want 0", avg)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"rcoal/internal/metrics"
 )
 
 // Table is a simple aligned text table.
@@ -134,6 +136,45 @@ func BarChart(title string, labels []string, values []float64, width int) string
 		b.WriteString(Bar(l, values[i], max, width))
 		b.WriteByte('\n')
 	}
+	return b.String()
+}
+
+// MetricsHistogram renders a simulator metrics histogram snapshot:
+// one bar per non-empty bucket labeled with its inclusive value range,
+// followed by a count/mean/min/max summary line.
+func MetricsHistogram(title string, h metrics.HistogramValue, width int) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	var max uint64
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	lo := int64(0)
+	for i, c := range h.Counts {
+		var label string
+		switch {
+		case i == len(h.Bounds): // implicit overflow bucket
+			label = fmt.Sprintf("> %d", h.Bounds[len(h.Bounds)-1])
+		case lo == h.Bounds[i]:
+			label = fmt.Sprintf("%d", lo)
+		default:
+			label = fmt.Sprintf("%d-%d", lo, h.Bounds[i])
+		}
+		if i < len(h.Bounds) {
+			lo = h.Bounds[i] + 1
+		}
+		if c == 0 {
+			continue
+		}
+		b.WriteString(Bar(label, float64(c), float64(max), width))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  n=%d mean=%s min=%d max=%d\n", h.Count, FormatFloat(h.Mean, 2), h.Min, h.Max)
 	return b.String()
 }
 

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"rcoal/internal/metrics"
 )
 
 func TestTableAlignment(t *testing.T) {
@@ -82,5 +84,28 @@ func TestHistogramSkipsEmpty(t *testing.T) {
 	}
 	if !strings.Contains(out, "size  1") || !strings.Contains(out, "size  3") {
 		t.Errorf("non-empty buckets missing:\n%s", out)
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	h := metrics.HistogramValue{
+		Bounds: []int64{1, 2, 4, 8},
+		Counts: []uint64{10, 0, 5, 2, 1}, // 1, 2, 3-4, 5-8, >8
+		Count:  18, Sum: 40, Min: 1, Max: 12, Mean: 40.0 / 18,
+	}
+	out := MetricsHistogram("tx per instr", h, 20)
+	if !strings.HasPrefix(out, "tx per instr\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	for _, want := range []string{"1 ", "3-4", "5-8", "> 8", "n=18", "mean=2.22", "min=1", "max=12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The empty bucket (value 2) is skipped.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "2 ") {
+			t.Errorf("empty bucket rendered: %q", line)
+		}
 	}
 }

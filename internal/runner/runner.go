@@ -61,6 +61,10 @@ type Pool struct {
 	// keeps its index and therefore its CellSeed-derived randomness, so
 	// an eventual success is byte-identical to a first-try success.
 	Retries int
+	// Telemetry, when non-nil, receives live per-cell runtime stats
+	// (timings, retries, failures, worker occupancy). One Telemetry may
+	// be shared across pools; see its docs.
+	Telemetry *Telemetry
 }
 
 // MapN runs fn(ctx, i) for every i in [0, n) on at most p.Workers
@@ -71,6 +75,9 @@ type Pool struct {
 func (p Pool) MapN(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
+	}
+	if p.Telemetry != nil {
+		p.Telemetry.addTotal(n)
 	}
 	workers := Workers(p.Workers)
 	if workers > n {
@@ -136,10 +143,20 @@ func (p Pool) MapN(ctx context.Context, n int, fn func(ctx context.Context, i in
 // same-seed retries around attempts that recover panics and enforce
 // the per-cell timeout.
 func (p Pool) runCell(ctx context.Context, i int, fn func(ctx context.Context, i int) error) error {
+	var start time.Time
+	if p.Telemetry != nil {
+		start = p.Telemetry.cellStart()
+	}
 	for attempt := 0; ; attempt++ {
 		err := p.attemptCell(ctx, i, fn)
 		if err == nil || attempt >= p.Retries || !IsRetryable(err) || ctx.Err() != nil {
+			if p.Telemetry != nil {
+				p.Telemetry.cellEnd(start, err)
+			}
 			return err
+		}
+		if p.Telemetry != nil {
+			p.Telemetry.retryEvent()
 		}
 	}
 }

@@ -1,0 +1,206 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Telemetry aggregates live runtime statistics from one or more Pools:
+// cell timings, retries, failures, throughput, and worker occupancy.
+// Unlike the simulator's metrics registry (single-goroutine by
+// design), Telemetry is concurrency-safe — many worker goroutines and
+// a heartbeat reader share one instance. Attach it via Pool.Telemetry;
+// the same instance may serve several pools (e.g. "-run all" driving
+// one experiment per pool), in which case totals accumulate across
+// them.
+type Telemetry struct {
+	mu         sync.Mutex
+	start      time.Time
+	total      int
+	done       int
+	failed     int
+	retries    int
+	active     int
+	peakActive int
+	busy       time.Duration
+	sumCell    time.Duration
+	minCell    time.Duration
+	maxCell    time.Duration
+	now        func() time.Time // test hook
+}
+
+// NewTelemetry returns an empty aggregator.
+func NewTelemetry() *Telemetry { return &Telemetry{} }
+
+func (t *Telemetry) clock() time.Time {
+	if t.now != nil {
+		return t.now()
+	}
+	return time.Now()
+}
+
+// ensureStarted stamps the observation window's start; callers hold mu.
+func (t *Telemetry) ensureStarted(now time.Time) {
+	if t.start.IsZero() {
+		t.start = now
+	}
+}
+
+// addTotal records that n more cells have been scheduled.
+func (t *Telemetry) addTotal(n int) {
+	now := t.clock()
+	t.mu.Lock()
+	t.ensureStarted(now)
+	t.total += n
+	t.mu.Unlock()
+}
+
+// cellStart records a worker picking up a cell and returns the start
+// time to hand back to cellEnd.
+func (t *Telemetry) cellStart() time.Time {
+	now := t.clock()
+	t.mu.Lock()
+	t.ensureStarted(now)
+	t.active++
+	if t.active > t.peakActive {
+		t.peakActive = t.active
+	}
+	t.mu.Unlock()
+	return now
+}
+
+// cellEnd records a cell finishing (across all of its retry attempts).
+func (t *Telemetry) cellEnd(start time.Time, err error) {
+	d := t.clock().Sub(start)
+	t.mu.Lock()
+	t.active--
+	t.busy += d
+	t.sumCell += d
+	if t.done+t.failed == 0 || d < t.minCell {
+		t.minCell = d
+	}
+	if d > t.maxCell {
+		t.maxCell = d
+	}
+	if err != nil {
+		t.failed++
+	} else {
+		t.done++
+	}
+	t.mu.Unlock()
+}
+
+// retryEvent records one extra attempt of a failed cell.
+func (t *Telemetry) retryEvent() {
+	t.mu.Lock()
+	t.retries++
+	t.mu.Unlock()
+}
+
+// TelemetryStats is a point-in-time summary, JSON-friendly for the
+// expvar endpoint.
+type TelemetryStats struct {
+	TotalCells    int           `json:"total_cells"`
+	CellsDone     int           `json:"cells_done"`
+	CellsFailed   int           `json:"cells_failed"`
+	Retries       int           `json:"retries"`
+	ActiveWorkers int           `json:"active_workers"`
+	PeakWorkers   int           `json:"peak_workers"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+	AvgCell       time.Duration `json:"avg_cell_ns"`
+	MinCell       time.Duration `json:"min_cell_ns"`
+	MaxCell       time.Duration `json:"max_cell_ns"`
+	CellsPerSec   float64       `json:"cells_per_sec"`
+	ETA           time.Duration `json:"eta_ns"`
+	Utilization   float64       `json:"utilization"`
+}
+
+// Stats summarizes the run so far. Throughput counts finished cells
+// (done + failed) over the window since the first event; ETA
+// extrapolates that rate over the unfinished remainder; utilization is
+// the fraction of worker-seconds spent inside cells, against the peak
+// concurrency seen.
+func (t *Telemetry) Stats() TelemetryStats {
+	now := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TelemetryStats{
+		TotalCells:    t.total,
+		CellsDone:     t.done,
+		CellsFailed:   t.failed,
+		Retries:       t.retries,
+		ActiveWorkers: t.active,
+		PeakWorkers:   t.peakActive,
+		MinCell:       t.minCell,
+		MaxCell:       t.maxCell,
+	}
+	if t.start.IsZero() {
+		return s
+	}
+	s.Elapsed = now.Sub(t.start)
+	finished := t.done + t.failed
+	if finished > 0 {
+		s.AvgCell = t.sumCell / time.Duration(finished)
+	}
+	if s.Elapsed > 0 {
+		s.CellsPerSec = float64(finished) / s.Elapsed.Seconds()
+		if t.peakActive > 0 {
+			s.Utilization = float64(t.busy) / (float64(s.Elapsed) * float64(t.peakActive))
+			if s.Utilization > 1 {
+				s.Utilization = 1 // rounding at tiny elapsed windows
+			}
+		}
+	}
+	if remaining := t.total - finished; remaining > 0 && s.CellsPerSec > 0 {
+		s.ETA = time.Duration(float64(remaining) / s.CellsPerSec * float64(time.Second))
+	}
+	return s
+}
+
+// String renders the heartbeat line.
+func (s TelemetryStats) String() string {
+	line := fmt.Sprintf("cells %d/%d", s.CellsDone+s.CellsFailed, s.TotalCells)
+	if s.CellsFailed > 0 {
+		line += fmt.Sprintf(" (%d failed)", s.CellsFailed)
+	}
+	if s.Retries > 0 {
+		line += fmt.Sprintf(", %d retries", s.Retries)
+	}
+	line += fmt.Sprintf(", %.1f cells/s", s.CellsPerSec)
+	if s.ETA > 0 {
+		line += fmt.Sprintf(", eta %s", s.ETA.Round(time.Second))
+	}
+	line += fmt.Sprintf(", workers %d/%d, util %d%%",
+		s.ActiveWorkers, s.PeakWorkers, int(s.Utilization*100+0.5))
+	return line
+}
+
+// Heartbeat starts a goroutine writing one Stats line to w every
+// interval until the returned stop function is called. stop blocks
+// until the final line (the end-of-run summary) has been written, so
+// callers can defer it and still get a complete last line.
+func (t *Telemetry) Heartbeat(w io.Writer, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintf(w, "telemetry: %s\n", t.Stats())
+			case <-done:
+				fmt.Fprintf(w, "telemetry: %s\n", t.Stats())
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}

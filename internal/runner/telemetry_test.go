@@ -1,0 +1,151 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTelemetryCountsPoolRun(t *testing.T) {
+	tel := NewTelemetry()
+	p := Pool{Workers: 4, Telemetry: tel}
+	err := p.MapN(context.Background(), 20, func(context.Context, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tel.Stats()
+	if s.TotalCells != 20 || s.CellsDone != 20 || s.CellsFailed != 0 {
+		t.Fatalf("stats after clean run: %+v", s)
+	}
+	if s.ActiveWorkers != 0 {
+		t.Errorf("active workers %d after pool drained, want 0", s.ActiveWorkers)
+	}
+	if s.PeakWorkers < 1 || s.PeakWorkers > 4 {
+		t.Errorf("peak workers %d, want 1..4", s.PeakWorkers)
+	}
+	if s.MinCell < 0 || s.MaxCell < s.MinCell || s.AvgCell < 0 {
+		t.Errorf("cell timing stats inconsistent: %+v", s)
+	}
+}
+
+func TestTelemetryRetriesAndFailures(t *testing.T) {
+	tel := NewTelemetry()
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	p := Pool{Workers: 1, Retries: 2, Telemetry: tel}
+	err := p.MapN(context.Background(), 3, func(_ context.Context, i int) error {
+		mu.Lock()
+		attempts[i]++
+		n := attempts[i]
+		mu.Unlock()
+		if i == 1 && n <= 2 {
+			return MarkRetryable(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tel.Stats()
+	if s.Retries != 2 {
+		t.Errorf("retries = %d, want 2", s.Retries)
+	}
+	if s.CellsDone != 3 || s.CellsFailed != 0 {
+		t.Errorf("done/failed = %d/%d, want 3/0", s.CellsDone, s.CellsFailed)
+	}
+
+	// A terminally failing cell counts as failed, not done.
+	tel2 := NewTelemetry()
+	p2 := Pool{Workers: 1, Telemetry: tel2}
+	if err := p2.MapN(context.Background(), 1, func(context.Context, int) error {
+		return errors.New("fatal")
+	}); err == nil {
+		t.Fatal("expected error")
+	}
+	if s := tel2.Stats(); s.CellsFailed != 1 || s.CellsDone != 0 {
+		t.Errorf("done/failed = %d/%d, want 0/1", s.CellsDone, s.CellsFailed)
+	}
+}
+
+func TestTelemetryStatsDerived(t *testing.T) {
+	// Fixed clock: 10 cells finish over 5 virtual seconds, half the
+	// workers busy — rate, ETA, and utilization become exact.
+	tel := NewTelemetry()
+	base := time.Unix(1000, 0)
+	now := base
+	tel.now = func() time.Time { return now }
+
+	tel.addTotal(20)
+	for i := 0; i < 10; i++ {
+		start := tel.cellStart()
+		now = now.Add(250 * time.Millisecond)
+		tel.cellEnd(start, nil)
+		now = now.Add(250 * time.Millisecond)
+	}
+	s := tel.Stats()
+	if s.Elapsed != 5*time.Second {
+		t.Fatalf("elapsed = %v, want 5s", s.Elapsed)
+	}
+	if s.CellsPerSec != 2 {
+		t.Errorf("rate = %v, want 2 cells/s", s.CellsPerSec)
+	}
+	if s.ETA != 5*time.Second {
+		t.Errorf("eta = %v, want 5s (10 remaining at 2/s)", s.ETA)
+	}
+	if s.Utilization != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", s.Utilization)
+	}
+	if s.AvgCell != 250*time.Millisecond || s.MinCell != 250*time.Millisecond || s.MaxCell != 250*time.Millisecond {
+		t.Errorf("cell times avg/min/max = %v/%v/%v, want 250ms each", s.AvgCell, s.MinCell, s.MaxCell)
+	}
+
+	line := s.String()
+	for _, want := range []string{"cells 10/20", "2.0 cells/s", "eta 5s", "util 50%"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("heartbeat line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestTelemetryEmptyStats(t *testing.T) {
+	s := NewTelemetry().Stats()
+	if s.Elapsed != 0 || s.CellsPerSec != 0 || s.ETA != 0 {
+		t.Errorf("empty telemetry derived non-zero stats: %+v", s)
+	}
+	if line := s.String(); !strings.Contains(line, "cells 0/0") {
+		t.Errorf("empty heartbeat line: %q", line)
+	}
+}
+
+func TestHeartbeatWritesAndStops(t *testing.T) {
+	tel := NewTelemetry()
+	tel.addTotal(1)
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := tel.Heartbeat(w, 10*time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if strings.Count(out, "telemetry:") < 2 {
+		t.Fatalf("heartbeat wrote too few lines:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("heartbeat output not line-terminated")
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -192,6 +192,9 @@ type BankConflictAttacker = attack.BankConflictAttacker
 // SecurityModel is the Section V analytical model.
 type SecurityModel = theory.Model
 
+// SecurityRow is one Table II row (fixed M across mechanisms).
+type SecurityRow = theory.Row
+
 // NewSecurityModel builds the model for n threads per warp and r
 // memory blocks per table (the paper uses 32 and 16).
 func NewSecurityModel(n, r int) (*SecurityModel, error) { return theory.NewModel(n, r) }
