@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench bench-json ci experiments examples fuzz clean
+.PHONY: all build test test-race cover bench bench-json ci equiv experiments examples fuzz clean
 
 all: build test
 
@@ -13,7 +13,16 @@ ci: build test
 	$(GO) test -run TestFastForward ./internal/gpusim
 	$(GO) test -run 'TestRunSteadyStateAllocations|TestRecoverByteSteadyStateAllocations' -count=1 ./internal/gpusim ./internal/attack
 	$(GO) test -run TestHotPathAllocsPerRun -count=1 ./internal/metrics
+	$(MAKE) equiv EQUIV_SHORT=1
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
+
+# Differential-equivalence harness for the simulation accelerators
+# (trace cache, copy-on-write prefix forking, hybrid analytical
+# cells). EQUIV_SHORT=1 runs the PR-sized grid; unset runs the full
+# 6-mechanism x 3-subwarp-count x 3-seed matrix (the main-branch
+# gate).
+equiv:
+	$(GO) test $(if $(EQUIV_SHORT),-short) -v -count=1 ./internal/equiv/
 
 build:
 	$(GO) build ./...
@@ -33,11 +42,15 @@ bench:
 
 # Machine-readable benchmark report. Set BENCH_BASELINE to a previous
 # raw `go test -bench` log to record before/after speedups alongside
-# the fresh numbers.
+# the fresh numbers. The accelerator X/XVanilla pairs are joined
+# within the run and gated: the prefix-forked sweep must hold >= 2x,
+# the trace-cached collect must stay within noise of vanilla.
 BENCHTIME ?= 1s
+MIN_SPEEDUPS = SelectiveMechanismSweep:2.0,TraceCachedCollect:0.85
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime=$(BENCHTIME) -benchmem -count=1 . > bench_raw.txt
 	$(GO) run ./cmd/rcoal-benchjson -gpu-metrics $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
+		-join-variant Vanilla -min-speedup '$(MIN_SPEEDUPS)' \
 		-out BENCH_gpusim.json bench_raw.txt
 	@rm -f bench_raw.txt
 	@echo wrote BENCH_gpusim.json

@@ -76,6 +76,72 @@ func BenchmarkExtEnergyModel(b *testing.B)       { runExperimentBench(b, "ext-en
 func BenchmarkExtNoiseStudy(b *testing.B)        { runExperimentBench(b, "ext-noise", 20) }
 func BenchmarkExtSharedMemory(b *testing.B)      { runExperimentBench(b, "ext-sharedmem", 30) }
 
+// --- Accelerator benchmarks ---------------------------------------------------
+
+// The X / XVanilla pairs below measure the same workload with the
+// exact accelerators on and off; rcoal-benchjson -join-variant Vanilla
+// turns each pair into a before/after entry with a speedup, and CI
+// gates on it with -min-speedup (see Makefile `bench-json`). Workers
+// is pinned to 1 so the join measures the accelerators, not the pool.
+
+// benchSelectiveSweep runs the selective-RCoal mechanism sweep — the
+// prefix-fork target workload — once per iteration. A fresh cache per
+// iteration mirrors one CLI -accel invocation.
+func benchSelectiveSweep(b *testing.B, accel bool) {
+	b.Helper()
+	o := DefaultExperimentOptions()
+	o.Samples = 6
+	o.Workers = 1
+	for i := 0; i < b.N; i++ {
+		if accel {
+			o.ForkPrefix = true
+			o.TraceCache = NewTraceCache()
+		}
+		if _, err := RunExperiment("ext-selective-sweep", o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectiveMechanismSweep(b *testing.B)        { benchSelectiveSweep(b, true) }
+func BenchmarkSelectiveMechanismSweepVanilla(b *testing.B) { benchSelectiveSweep(b, false) }
+
+// benchTraceCachedCollect measures the cache's real workload: two
+// grid cells (servers under different mechanisms) replaying the same
+// plaintext stream, so the second cell's builds all hit. The vanilla
+// variant rebuilds every trace; CI gates the pair at "not slower"
+// (the first cell's misses pay the keying overhead).
+func benchTraceCachedCollect(b *testing.B, cached bool) {
+	b.Helper()
+	servers := make([]*Server, 2)
+	for i, policy := range []CoalescingConfig{FSS(4), RSSRTS(4)} {
+		cfg := DefaultGPUConfig()
+		cfg.Coalescing = policy
+		srv, err := NewServer(cfg, []byte("RCoal eval key 1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i] = srv
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cached {
+			tc := NewTraceCache()
+			for _, srv := range servers {
+				srv.SetTraceCache(tc)
+			}
+		}
+		for _, srv := range servers {
+			if _, err := srv.Collect(4, 32, uint64(i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTraceCachedCollect(b *testing.B)        { benchTraceCachedCollect(b, true) }
+func BenchmarkTraceCachedCollectVanilla(b *testing.B) { benchTraceCachedCollect(b, false) }
+
 // --- Micro-benchmarks: building blocks ---------------------------------------
 
 func BenchmarkCoalesceWholeWarp(b *testing.B) {

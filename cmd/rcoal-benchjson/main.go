@@ -24,6 +24,21 @@
 //
 //	go test -run '^$' -bench . -benchmem . > bench.txt
 //	rcoal-benchjson -gpu-metrics -out BENCH_gpusim.json bench.txt
+//
+// -join-variant joins before/after pairs measured in the SAME run: for
+// every benchmark X with a sibling named X<suffix>, the sibling becomes
+// X's baseline. That is how the accelerator benchmarks publish their
+// speedup without needing a log from an older binary:
+//
+//	rcoal-benchjson -join-variant Vanilla bench.txt
+//
+// -min-speedup turns joined speedups into a CI gate:
+//
+//	rcoal-benchjson -join-variant Vanilla \
+//	    -min-speedup SelectiveMechanismSweep:2.0 bench.txt
+//
+// writes the report, then exits nonzero if the named benchmark's
+// speedup is below the required ratio.
 package main
 
 import (
@@ -89,6 +104,8 @@ func main() {
 	out := flag.String("out", "-", "output path, - for stdout")
 	baseline := flag.String("baseline", "", "optional baseline bench log to join before/after numbers")
 	gpuMetrics := flag.Bool("gpu-metrics", false, "embed metrics snapshots of the Fig. 6 launches (baseline GPU, coalescing on/off)")
+	joinVariant := flag.String("join-variant", "", "within-run join: every benchmark X with a sibling X<suffix> in the same input gets the sibling as its baseline (e.g. Vanilla)")
+	minSpeedup := flag.String("min-speedup", "", "comma-separated name:ratio assertions checked after joining; the report is still written, but the exit status is nonzero if any named benchmark's speedup is below its ratio")
 	flag.Parse()
 
 	var cur []*Benchmark
@@ -125,6 +142,9 @@ func main() {
 		join(cur, base)
 		rep.Baseline = *baseline
 	}
+	if *joinVariant != "" {
+		joinVariants(cur, *joinVariant)
+	}
 	sort.Slice(rep.Benchmarks, func(i, j int) bool {
 		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
 	})
@@ -136,10 +156,13 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := atomicio.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := atomicio.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
+	}
+	if *minSpeedup != "" {
+		if err := checkMinSpeedups(rep.Benchmarks, *minSpeedup); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -220,19 +243,72 @@ func join(cur, base []*Benchmark) {
 		byName[b.Name] = b
 	}
 	for _, c := range cur {
-		b, ok := byName[c.Name]
-		if !ok {
-			continue
-		}
-		c.BaselineNsPerOp = b.NsPerOp
-		c.BaselineAllocsPerOp = b.AllocsPerOp
-		if c.NsPerOp > 0 {
-			c.Speedup = round2(b.NsPerOp / c.NsPerOp)
-		}
-		if b.AllocsPerOp > 0 {
-			c.AllocRatio = round2(c.AllocsPerOp / b.AllocsPerOp)
+		if b, ok := byName[c.Name]; ok {
+			joinOne(c, b)
 		}
 	}
+}
+
+// joinVariants is the within-run join: X<suffix> becomes X's baseline.
+// Variant entries keep their own row, so the report shows both raw
+// timings next to the derived speedup.
+func joinVariants(cur []*Benchmark, suffix string) {
+	byName := make(map[string]*Benchmark, len(cur))
+	for _, b := range cur {
+		byName[b.Name] = b
+	}
+	for _, c := range cur {
+		if strings.HasSuffix(c.Name, suffix) {
+			continue
+		}
+		if b, ok := byName[c.Name+suffix]; ok {
+			joinOne(c, b)
+		}
+	}
+}
+
+func joinOne(c, b *Benchmark) {
+	c.BaselineNsPerOp = b.NsPerOp
+	c.BaselineAllocsPerOp = b.AllocsPerOp
+	if c.NsPerOp > 0 {
+		c.Speedup = round2(b.NsPerOp / c.NsPerOp)
+	}
+	if b.AllocsPerOp > 0 {
+		c.AllocRatio = round2(c.AllocsPerOp / b.AllocsPerOp)
+	}
+}
+
+// checkMinSpeedups enforces "name:ratio" assertions against the joined
+// report. Names match with or without the "Benchmark" prefix.
+func checkMinSpeedups(bs []*Benchmark, spec string) error {
+	byName := make(map[string]*Benchmark, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, ratioStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return fmt.Errorf("min-speedup: %q is not name:ratio", part)
+		}
+		ratio, err := strconv.ParseFloat(ratioStr, 64)
+		if err != nil {
+			return fmt.Errorf("min-speedup: bad ratio in %q: %v", part, err)
+		}
+		b, found := byName[name]
+		if !found {
+			b, found = byName["Benchmark"+name]
+		}
+		if !found {
+			return fmt.Errorf("min-speedup: benchmark %q not in report", name)
+		}
+		if b.Speedup == 0 {
+			return fmt.Errorf("min-speedup: %q has no joined baseline (missing -baseline/-join-variant match?)", name)
+		}
+		if b.Speedup < ratio {
+			return fmt.Errorf("min-speedup: %s is %.2fx, below required %.2fx", b.Name, b.Speedup, ratio)
+		}
+	}
+	return nil
 }
 
 func round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -9,6 +9,8 @@
 //	rcoal-experiments -run all -samples 100 -seed 7
 //	rcoal-experiments -run all -journal ckpt          # checkpoint finished cells
 //	rcoal-experiments -run all -journal ckpt -resume  # skip journaled cells
+//	rcoal-experiments -run all -accel                 # trace cache + prefix forking (byte-identical)
+//	rcoal-experiments -run fig15 -hybrid              # analytical closed cells (bounded score drift)
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"rcoal/internal/atomicio"
 	"rcoal/internal/experiments"
 	"rcoal/internal/gpusim/tracevis"
+	"rcoal/internal/kernels"
 	"rcoal/internal/runner"
 )
 
@@ -46,6 +49,8 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of every simulated launch to this file (large; best with a single small experiment)")
 		hb       = flag.Duration("heartbeat", 0, "period of the live telemetry line on stderr (cells done, rate, eta, worker utilization); 0 = off")
 		maddr    = flag.String("metrics-addr", "", "serve live run telemetry over HTTP expvar at this address (e.g. localhost:6060/debug/vars)")
+		accel    = flag.Bool("accel", false, "enable the exact accelerators: per-run trace caching plus copy-on-write prefix forking where applicable (results are byte-identical)")
+		hybrid   = flag.Bool("hybrid", false, "replace analytically closed sweep cells with the Section V model's score instead of simulating the attack (scores may differ within the documented HybridScoreBound; performance columns stay simulated)")
 	)
 	flag.Parse()
 
@@ -73,6 +78,13 @@ func main() {
 	opts.Workers = *workers
 	opts.CellTimeout = *cellTO
 	opts.Retries = *retries
+	opts.Hybrid = *hybrid
+	if *accel {
+		// One cache for the whole invocation: experiments share the key
+		// and plaintext streams, so cross-experiment hits are real.
+		opts.TraceCache = kernels.NewTraceCache()
+		opts.ForkPrefix = true
+	}
 
 	var exporter *tracevis.Exporter
 	if *traceOut != "" {

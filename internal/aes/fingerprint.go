@@ -1,0 +1,17 @@
+package aes
+
+// AppendScheduleFingerprint appends a canonical encoding of the
+// expanded key schedule to dst and returns the extended slice. The
+// encoding — the round count followed by every round-key word in
+// big-endian order — is injective in the original key (the schedule's
+// first Nk words are the key itself), so two ciphers share a
+// fingerprint iff they were built from the same key. Trace caches use
+// this as the key-identity component of their cache keys without ever
+// retaining the raw key bytes in an exported field.
+func (c *Cipher) AppendScheduleFingerprint(dst []byte) []byte {
+	dst = append(dst, byte(c.rounds))
+	for _, w := range c.enc {
+		dst = append(dst, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	return dst
+}

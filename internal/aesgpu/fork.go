@@ -1,0 +1,90 @@
+package aesgpu
+
+import (
+	"fmt"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/core"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/kernels"
+	"rcoal/internal/rng"
+)
+
+// ForkedCollect is the prefix-forked counterpart of running
+// Server.Collect once per coalescing policy: it gathers nSamples
+// encryption samples under EACH of the given policies, simulating the
+// mechanism-independent prefix of every sample once and forking it per
+// policy. cfg carries the shared GPU configuration; its Coalescing
+// field is ignored (each policy supplies it) and its VulnerableRounds
+// must be non-empty — forking only accelerates selective RCoal, where
+// the prefix provably cannot depend on the mechanism.
+//
+// The returned datasets are ordered like policies, and each is
+// byte-identical to what a per-policy Server.Collect with the same
+// (nSamples, linesPer, seed) would produce — the contract
+// fork_test.go here and internal/equiv enforce. tc, when non-nil,
+// additionally memoizes trace construction.
+func ForkedCollect(cfg gpusim.Config, key []byte, policies []core.Config, nSamples, linesPer int, seed uint64, tc *kernels.TraceCache) ([]*Dataset, error) {
+	if nSamples <= 0 || linesPer <= 0 {
+		return nil, fmt.Errorf("aesgpu: need positive samples (%d) and lines (%d)", nSamples, linesPer)
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("aesgpu: no policies to fork")
+	}
+	cipher, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+
+	prefixCfg := cfg
+	prefixCfg.Coalescing = core.Baseline()
+	prefixGPU, err := gpusim.New(prefixCfg)
+	if err != nil {
+		return nil, err
+	}
+	forkGPUs := make([]*gpusim.GPU, len(policies))
+	for i, p := range policies {
+		forkCfg := cfg
+		forkCfg.Coalescing = p
+		if forkGPUs[i], err = gpusim.New(forkCfg); err != nil {
+			return nil, err
+		}
+	}
+
+	build := func(lines []kernels.Line) (*gpusim.Kernel, []kernels.Line, error) {
+		if tc != nil {
+			return tc.Build(cipher, lines)
+		}
+		return kernels.Build(cipher, lines)
+	}
+
+	// Mirror Collect exactly: same plaintext stream, same per-sample
+	// hardware seed derivation.
+	ptRNG := rng.New(seed).Split(1)
+	last := cipher.Rounds()
+	out := make([]*Dataset, len(policies))
+	for i := range out {
+		out[i] = &Dataset{}
+	}
+	for n := 0; n < nSamples; n++ {
+		lines := kernels.RandomPlaintext(ptRNG, linesPer)
+		kernel, cts, err := build(lines)
+		if err != nil {
+			return nil, err
+		}
+		hwSeed := seed ^ uint64(n+1)*0x9e3779b97f4a7c15
+		snap, err := prefixGPU.RunPrefix(kernel, hwSeed)
+		if err != nil {
+			return nil, err
+		}
+		for i := range policies {
+			res, err := forkGPUs[i].RunFork(snap)
+			if err != nil {
+				return nil, err
+			}
+			out[i].Plaintexts = append(out[i].Plaintexts, lines)
+			out[i].Samples = append(out[i].Samples, newSample(last, cts, res))
+		}
+	}
+	return out, nil
+}

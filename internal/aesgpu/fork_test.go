@@ -1,0 +1,124 @@
+package aesgpu
+
+import (
+	"reflect"
+	"testing"
+
+	"rcoal/internal/core"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/kernels"
+)
+
+// TestForkedCollectMatchesVanillaCollect is the server-level
+// differential: ForkedCollect across a policy set must be
+// byte-identical to running a fresh per-policy Server.Collect — the
+// exact comparison the experiments layer relies on when swapping in
+// the forked path.
+func TestForkedCollectMatchesVanillaCollect(t *testing.T) {
+	key := []byte("fork-test-key-16")
+	cfg := gpusim.DefaultConfig()
+	cfg.VulnerableRounds = []int{10}
+	policies := []core.Config{
+		core.Baseline(),
+		core.FSS(4),
+		core.FSSRTS(8),
+		core.RSS(2),
+		core.RSSRTS(8),
+		core.RSSNormal(4, 1.5),
+	}
+	const nSamples, linesPer = 3, 32
+	const seed = 1234
+
+	want := make([]*Dataset, len(policies))
+	for i, p := range policies {
+		vcfg := cfg
+		vcfg.Coalescing = p
+		srv, err := NewServer(vcfg, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[i], err = srv.Collect(nSamples, linesPer, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tc := range []*kernels.TraceCache{nil, kernels.NewTraceCache()} {
+		got, err := ForkedCollect(cfg, key, policies, nSamples, linesPer, seed, tc)
+		if err != nil {
+			t.Fatalf("ForkedCollect (cache=%v): %v", tc != nil, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d datasets, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("cache=%v: dataset %d (%s) differs from vanilla Collect",
+					tc != nil, i, policies[i].Name())
+			}
+		}
+		if tc != nil {
+			// One trace build per sample, shared across all policies'
+			// prefix+forks; the cache proves it saw repeat traffic.
+			if st := tc.Stats(); st.Misses != nSamples {
+				t.Errorf("trace cache misses = %d, want %d", st.Misses, nSamples)
+			}
+		}
+	}
+}
+
+// TestCachedServerMatchesUncached checks the trace-cache hook on the
+// serving path: a server with a cache installed returns byte-identical
+// datasets, encrypting and decrypting.
+func TestCachedServerMatchesUncached(t *testing.T) {
+	key := []byte("cache-test-key16")
+	cfg := gpusim.DefaultConfig()
+	cfg.Coalescing = core.RSSRTS(8)
+
+	plain, err := NewServer(cfg, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewServer(cfg, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := kernels.NewTraceCache()
+	cached.SetTraceCache(tc)
+
+	want, err := plain.Collect(4, 32, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.Collect(4, 32, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("cached Collect differs from uncached")
+	}
+	// Same stream again: all hits, same bytes.
+	again, err := cached.Collect(4, 32, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, again) {
+		t.Fatal("repeat cached Collect differs")
+	}
+	if st := tc.Stats(); st.Hits != 4 || st.Misses != 4 {
+		t.Fatalf("cache stats = %+v, want 4 hits / 4 misses", st)
+	}
+
+	// Decrypt path.
+	lines := want.Samples[0].Ciphertexts
+	wantDec, err := plain.Decrypt(lines, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDec, err := cached.Decrypt(lines, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantDec, gotDec) {
+		t.Fatal("cached Decrypt differs from uncached")
+	}
+}

@@ -23,7 +23,14 @@ import (
 // Decrypt runs one GPU decryption request: Sample.Ciphertexts holds
 // the *recovered plaintext* lines (the kernel's output).
 func (s *Server) Decrypt(lines []kernels.Line, seed uint64) (*Sample, error) {
-	kernel, pts, err := kernels.BuildDecrypt(s.cipher, lines)
+	var kernel *gpusim.Kernel
+	var pts []kernels.Line
+	var err error
+	if s.cache != nil {
+		kernel, pts, err = s.cache.BuildDecrypt(s.cipher, lines)
+	} else {
+		kernel, pts, err = kernels.BuildDecrypt(s.cipher, lines)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +56,7 @@ func (s *Server) EncryptCTR(nonce uint64, lines []kernels.Line, seed uint64) (*C
 		binary.BigEndian.PutUint64(counters[i][:8], nonce)
 		binary.BigEndian.PutUint64(counters[i][8:], uint64(i))
 	}
-	kernel, keystream, err := kernels.Build(s.cipher, counters)
+	kernel, keystream, err := s.buildEncrypt(counters)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +93,14 @@ func (s *Server) run(kernel *gpusim.Kernel, outputs []kernels.Line, seed uint64)
 	if err != nil {
 		return nil, err
 	}
-	last := s.cipher.Rounds()
+	return newSample(s.cipher.Rounds(), outputs, res), nil
+}
+
+// newSample assembles the attacker-visible sample from a launch
+// result. Shared by the vanilla path (run) and the prefix-fork
+// collector (fork.go), so both paths report identically by
+// construction.
+func newSample(last int, outputs []kernels.Line, res *gpusim.Result) *Sample {
 	sample := &Sample{
 		Ciphertexts:     outputs,
 		TotalCycles:     res.Cycles,
@@ -106,7 +120,7 @@ func (s *Server) run(kernel *gpusim.Kernel, outputs []kernels.Line, seed uint64)
 	for _, c := range res.L2 {
 		sample.L2Hits += c.Hits
 	}
-	return sample, nil
+	return sample
 }
 
 // RoundZeroKey returns the cipher's round-0 key — the target of the

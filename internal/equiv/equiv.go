@@ -1,0 +1,223 @@
+// Package equiv is the differential-equivalence harness for the
+// simulation accelerators. Three contracts, in decreasing strictness:
+//
+//  1. Trace caching (kernels.TraceCache) must be invisible: a server
+//     with the cache installed returns datasets byte-identical to an
+//     uncached one, for every mechanism and seed.
+//  2. Copy-on-write prefix forking (aesgpu.ForkedCollect) must be
+//     invisible: forked collection across a policy set equals a fresh
+//     per-policy vanilla collection, bit for bit.
+//  3. Hybrid analytical cells (experiments.Options.Hybrid) are allowed
+//     to move security scores, but only on analytically decisive cells
+//     and only within experiments.HybridScoreBound; performance
+//     columns must not move at all.
+//
+// The harness functions return nil/zero on agreement and a
+// first-mismatch error otherwise; equiv_test.go wires them into the
+// regular test suite (reduced grid under -short, full grid otherwise),
+// which is what CI's `make equiv` runs.
+package equiv
+
+import (
+	"fmt"
+	"reflect"
+
+	"rcoal/internal/aesgpu"
+	"rcoal/internal/core"
+	"rcoal/internal/experiments"
+	"rcoal/internal/gpusim"
+	"rcoal/internal/kernels"
+)
+
+// Grid parameterizes the exact-equivalence sweeps: every policy is
+// exercised at every seed.
+type Grid struct {
+	Policies []core.Config
+	Seeds    []uint64
+	Samples  int
+	Lines    int
+	// VulnerableRounds is the selective-RCoal round set shared by all
+	// policies; prefix forking requires it to be non-empty.
+	VulnerableRounds []int
+}
+
+// equivSeeds are the three seeds every exact sweep runs at.
+var equivSeeds = []uint64{1, 42, 0xdecaf}
+
+// policies returns the mechanism grid: whole-warp baseline plus the
+// six mechanism families (FSS, FSS+RTS, RSS skewed, RSS normal,
+// RSS+RTS, and FSS at M=1 — the degenerate single-subwarp point) at
+// each subwarp count in ms.
+func policies(ms []int) []core.Config {
+	ps := []core.Config{core.Baseline(), core.FSS(1)}
+	for _, m := range ms {
+		ps = append(ps,
+			core.FSS(m),
+			core.FSSRTS(m),
+			core.RSS(m),
+			core.RSSNormal(m, 1.5),
+			core.RSSRTS(m),
+		)
+	}
+	return ps
+}
+
+// DefaultGrid is the full differential grid: 6 mechanism families ×
+// subwarp counts {2, 4, 8} × 3 seeds.
+func DefaultGrid() Grid {
+	return Grid{
+		Policies:         policies([]int{2, 4, 8}),
+		Seeds:            equivSeeds,
+		Samples:          3,
+		Lines:            32,
+		VulnerableRounds: []int{10},
+	}
+}
+
+// ShortGrid is the PR-sized grid: same mechanism families, one subwarp
+// count, same three seeds.
+func ShortGrid() Grid {
+	g := DefaultGrid()
+	g.Policies = policies([]int{4})
+	return g
+}
+
+func (g Grid) config() gpusim.Config {
+	cfg := gpusim.DefaultConfig()
+	cfg.VulnerableRounds = append([]int(nil), g.VulnerableRounds...)
+	return cfg
+}
+
+// TraceCacheExact checks contract 1: for every (policy, seed), a
+// Collect through one shared TraceCache equals an uncached Collect.
+// The single cache instance is reused across the whole grid, so key
+// collisions between policies or seeds would surface as mismatches.
+func TraceCacheExact(g Grid, key []byte) error {
+	tc := kernels.NewTraceCache()
+	for _, p := range g.Policies {
+		cfg := g.config()
+		cfg.Coalescing = p
+		for _, seed := range g.Seeds {
+			plain, err := aesgpu.NewServer(cfg, key)
+			if err != nil {
+				return err
+			}
+			cached, err := aesgpu.NewServer(cfg, key)
+			if err != nil {
+				return err
+			}
+			cached.SetTraceCache(tc)
+			want, err := plain.Collect(g.Samples, g.Lines, seed)
+			if err != nil {
+				return err
+			}
+			got, err := cached.Collect(g.Samples, g.Lines, seed)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(got, want) {
+				return fmt.Errorf("equiv: cached Collect diverged (policy %s, seed %#x)", p.Name(), seed)
+			}
+		}
+	}
+	if st := tc.Stats(); st.Hits == 0 {
+		return fmt.Errorf("equiv: trace cache never hit (stats %+v) — grid exercises nothing", st)
+	}
+	return nil
+}
+
+// ForkExact checks contract 2: for every seed, one ForkedCollect
+// across the full policy set equals a fresh vanilla Collect per
+// policy. Run once with tc == nil (forking alone) and once with a
+// cache (both accelerators stacked).
+func ForkExact(g Grid, key []byte, tc *kernels.TraceCache) error {
+	cfg := g.config()
+	for _, seed := range g.Seeds {
+		want := make([]*aesgpu.Dataset, len(g.Policies))
+		for i, p := range g.Policies {
+			vcfg := cfg
+			vcfg.Coalescing = p
+			srv, err := aesgpu.NewServer(vcfg, key)
+			if err != nil {
+				return err
+			}
+			if want[i], err = srv.Collect(g.Samples, g.Lines, seed); err != nil {
+				return err
+			}
+		}
+		got, err := aesgpu.ForkedCollect(cfg, key, g.Policies, g.Samples, g.Lines, seed, tc)
+		if err != nil {
+			return err
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				return fmt.Errorf("equiv: forked dataset diverged (policy %s, seed %#x, cache=%v)",
+					g.Policies[i].Name(), seed, tc != nil)
+			}
+		}
+	}
+	return nil
+}
+
+// HybridReport summarizes a hybrid-vs-full sweep comparison.
+type HybridReport struct {
+	// MaxScoreDelta is max |AvgCorrectCorr(hybrid) − (full)| over the
+	// grid; contract 3 requires it ≤ experiments.HybridScoreBound.
+	MaxScoreDelta float64
+	// Substituted counts cells where hybrid mode changed the score —
+	// zero means the mode silently did nothing, which is also a bug.
+	Substituted int
+}
+
+// HybridWithinBound checks contract 3 on the given Fig-class subwarp
+// grid: scores move only within HybridScoreBound, performance columns
+// not at all.
+func HybridWithinBound(o experiments.Options, ms []int) (HybridReport, error) {
+	var rep HybridReport
+	full, err := experiments.Sweep(o, ms)
+	if err != nil {
+		return rep, err
+	}
+	o.Hybrid = true
+	hyb, err := experiments.Sweep(o, ms)
+	if err != nil {
+		return rep, err
+	}
+	if len(full.Cells) != len(hyb.Cells) {
+		return rep, fmt.Errorf("equiv: hybrid grid shape changed (%d vs %d cells)",
+			len(hyb.Cells), len(full.Cells))
+	}
+	for i := range full.Cells {
+		f, h := full.Cells[i], hyb.Cells[i]
+		if f.Mechanism != h.Mechanism || f.M != h.M {
+			return rep, fmt.Errorf("equiv: hybrid cell %d is (%s,%d), want (%s,%d)",
+				i, h.Mechanism, h.M, f.Mechanism, f.M)
+		}
+		// Performance must be untouched — hybrid only ever replaces
+		// the attack, never the simulation.
+		if f.MeanCycles != h.MeanCycles || f.MeanTx != h.MeanTx ||
+			f.NormCycles != h.NormCycles || f.NormTx != h.NormTx {
+			return rep, fmt.Errorf("equiv: hybrid moved performance columns at (%s,%d)",
+				f.Mechanism, f.M)
+		}
+		if d := abs(f.AvgCorrectCorr - h.AvgCorrectCorr); d > 0 {
+			rep.Substituted++
+			if d > rep.MaxScoreDelta {
+				rep.MaxScoreDelta = d
+			}
+			if d > experiments.HybridScoreBound {
+				return rep, fmt.Errorf("equiv: hybrid score off by %.3f at (%s,%d), bound %.2f (full %.3f, hybrid %.3f)",
+					d, f.Mechanism, f.M, experiments.HybridScoreBound,
+					f.AvgCorrectCorr, h.AvgCorrectCorr)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -48,6 +48,20 @@ func (r *Fig7Result) CSV() string {
 	return b.String()
 }
 
+// CSV implements CSVer: the 256 key-byte-0 guess correlations of both
+// Figure 6 panels.
+func (r *Fig6Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("coalescing_enabled,guess,correlation,is_correct\n")
+	for _, c := range []*Fig6Case{&r.Enabled, &r.Disabled} {
+		for m := 0; m < 256; m++ {
+			b.WriteString(csvJoin(c.CoalescingEnabled, m, c.Byte0.Correlations[m], byte(m) == c.TrueByte))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
 // CSV implements CSVer: all 256 guess correlations per panel (the raw
 // scatter of Figures 8 and 12-14).
 func (r *ScatterResult) CSV() string {
@@ -68,6 +82,17 @@ func (s *SweepResult) CSV() string {
 	b.WriteString("mechanism,num_subwarp,mean_cycles,mean_tx,norm_cycles,norm_tx,avg_correct_corr\n")
 	for _, c := range s.Cells {
 		b.WriteString(csvJoin(c.Mechanism, c.M, c.MeanCycles, c.MeanTx, c.NormCycles, c.NormTx, c.AvgCorrectCorr))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV implements CSVer: the selective-RCoal grid.
+func (s *SelectiveSweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("mechanism,num_subwarp,mean_cycles,norm_cycles,mean_last_round_tx,channel_corr\n")
+	for _, c := range s.Cells {
+		b.WriteString(csvJoin(c.Mechanism, c.M, c.MeanCycles, c.NormCycles, c.MeanLastRoundTx, c.ChannelCorr))
 		b.WriteByte('\n')
 	}
 	return b.String()

@@ -76,6 +76,27 @@ type Options struct {
 	// Telemetry, when non-nil, aggregates live per-cell runtime stats
 	// (timing, retries, throughput) from the experiment's worker pools.
 	Telemetry *runner.Telemetry
+	// TraceCache, when non-nil, memoizes per-plaintext AES trace
+	// construction across cells (kernels.TraceCache). Cells of a grid
+	// differing only in mechanism/subwarp count replay identical
+	// plaintext streams, so the cache collapses their kernel builds to
+	// one. Purely an accelerator: results stay byte-identical.
+	TraceCache *kernels.TraceCache
+	// ForkPrefix routes eligible collection loops through
+	// copy-on-write prefix forking (aesgpu.ForkedCollect): the
+	// mechanism-independent prefix of each sample is simulated once
+	// and forked per mechanism configuration. Only honored by
+	// experiments whose cells are selective-RCoal with shared
+	// plaintext streams (ext-selective-sweep); byte-identical results.
+	ForkPrefix bool
+	// Hybrid replaces simulation of analytically decisive sweep cells
+	// with the Section V model's ρ prediction (see hybrid.go),
+	// reserving cycle-accurate simulation for cells near the decision
+	// threshold. UNLIKE the other accelerators this changes reported
+	// security scores, within the documented HybridScoreBound;
+	// performance columns stay fully simulated. Opt-in via
+	// cmd/rcoal-experiments -hybrid.
+	Hybrid bool
 }
 
 // gpuConfig is the GPU configuration every experiment starts from: the
@@ -185,6 +206,7 @@ func collect(o Options, policy core.Config, coalescingDisabled bool) (*aesgpu.Se
 	if err != nil {
 		return nil, nil, err
 	}
+	srv.SetTraceCache(o.TraceCache)
 	ds, err := srv.Collect(o.Samples, o.Lines, o.Seed)
 	if err != nil {
 		return nil, nil, err

@@ -53,7 +53,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-selective", "ext-hierarchy", "ext-inferm", "ext-scheduler",
 		"ext-planperwarp", "ext-rssdist", "ext-modes", "ext-workloads",
 		"ext-eq4", "ext-realistic", "ext-sensitivity", "ext-energy", "ext-noise",
-		"ext-sharedmem"}
+		"ext-sharedmem", "ext-selective-sweep"}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
 			t.Errorf("experiment %q not registered", id)

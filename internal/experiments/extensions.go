@@ -37,6 +37,7 @@ func collectCfg(o Options, cfg gpusim.Config) (*aesgpu.Server, *aesgpu.Dataset, 
 	if err != nil {
 		return nil, nil, err
 	}
+	srv.SetTraceCache(o.TraceCache)
 	ds, err := srv.Collect(o.Samples, o.Lines, o.Seed)
 	if err != nil {
 		return nil, nil, err

@@ -321,6 +321,70 @@ func (c *Controller) NextEvent(now int64) int64 {
 	return c.minDone
 }
 
+// Snapshot is a controller's complete mid-launch state, captured for
+// copy-on-write prefix forking. Requests are recorded as indices into
+// the caller's interned request table (not as pointers), so a snapshot
+// stays valid — and shareable across any number of forks — after the
+// live request arena is reused.
+type Snapshot struct {
+	banks   []bankState
+	queue   []snapQueued
+	pending []int
+	busFree int64
+	lastAct int64
+	minDone int64
+	stats   Stats
+}
+
+type snapQueued struct {
+	req int
+	loc mem.Location
+}
+
+// Snapshot captures the controller's state. intern maps each live
+// *mem.Request to a stable index in the caller's request table;
+// request payloads (including the in-flight Done times) travel with
+// the interned values, not with the snapshot.
+func (c *Controller) Snapshot(intern func(*mem.Request) int) *Snapshot {
+	s := &Snapshot{
+		banks:   append([]bankState(nil), c.banks...),
+		busFree: c.busFree,
+		lastAct: c.lastAct,
+		minDone: c.minDone,
+		stats:   c.Stats,
+	}
+	for _, q := range c.queue {
+		s.queue = append(s.queue, snapQueued{req: intern(q.req), loc: q.loc})
+	}
+	for _, r := range c.pending {
+		s.pending = append(s.pending, intern(r))
+	}
+	return s
+}
+
+// Restore rewinds the controller to the snapshot, materializing queued
+// and in-flight requests through req (interned index → fresh live
+// request). The controller must have the snapshot's bank count (same
+// address map), which fork-compatibility checks guarantee upstream.
+func (c *Controller) Restore(s *Snapshot, req func(int) *mem.Request) {
+	if len(c.banks) != len(s.banks) {
+		panic(fmt.Sprintf("dram: restore across bank counts (%d != %d)", len(c.banks), len(s.banks)))
+	}
+	copy(c.banks, s.banks)
+	c.queue = c.queue[:0]
+	for _, q := range s.queue {
+		c.queue = append(c.queue, queued{req: req(q.req), loc: q.loc})
+	}
+	c.pending = c.pending[:0]
+	for _, i := range s.pending {
+		c.pending = append(c.pending, req(i))
+	}
+	c.busFree = s.busFree
+	c.lastAct = s.lastAct
+	c.minDone = s.minDone
+	c.Stats = s.stats
+}
+
 // Reset clears all bank, queue, and statistics state, keeping the
 // backing buffers, so one controller can serve many launches without
 // reallocating.

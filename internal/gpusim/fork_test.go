@@ -1,0 +1,242 @@
+package gpusim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rcoal/internal/core"
+)
+
+// This file enforces the copy-on-write prefix-fork determinism
+// contract: for any selective-RCoal configuration, RunPrefix once +
+// RunFork per mechanism is byte-identical to a full Run per mechanism.
+
+// forkMechanisms spans the mechanism × subwarp-count grid the
+// acceptance criteria require: ≥ 6 mechanism families × ≥ 3 subwarp
+// counts.
+func forkMechanisms() []core.Config {
+	var out []core.Config
+	out = append(out, core.Baseline())
+	for _, m := range []int{2, 4, 8} {
+		out = append(out,
+			core.FSS(m),
+			core.FSSRTS(m),
+			core.RSS(m),
+			core.RSSRTS(m),
+			core.RSSNormal(m, 1.5),
+		)
+	}
+	return out
+}
+
+// forkConfig returns a fork-eligible selective config with the given
+// mechanism and vulnerable rounds.
+func forkConfig(mech core.Config, vulnerable []int, mut func(*Config)) Config {
+	cfg := DefaultConfig()
+	cfg.Coalescing = mech
+	cfg.VulnerableRounds = vulnerable
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}
+
+// TestForkByteIdenticalResults is the core differential: one prefix
+// per (kernel, seed), forked across every mechanism and subwarp count,
+// must reproduce the vanilla Run bit for bit.
+func TestForkByteIdenticalResults(t *testing.T) {
+	kern := randomKernel(11, 4, 4)
+	vulnerable := []int{4} // last round, the paper's selective-RCoal case
+	seeds := []uint64{1, 42, 0xdecaf}
+
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"plain", nil},
+		{"mshr", func(c *Config) { c.MSHREnabled = true }},
+		{"gto", func(c *Config) { c.Scheduler = GTO }},
+		{"ff-off", func(c *Config) { c.FastForwardDisabled = true }},
+	}
+
+	for _, variant := range variants {
+		t.Run(variant.name, func(t *testing.T) {
+			prefixGPU, err := New(forkConfig(core.Baseline(), vulnerable, variant.mut))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range seeds {
+				snap, err := prefixGPU.RunPrefix(kern, seed)
+				if err != nil {
+					t.Fatalf("seed %d: RunPrefix: %v", seed, err)
+				}
+				if snap.Finished() {
+					t.Fatalf("seed %d: prefix ran to completion; kernel should reach round 4", seed)
+				}
+				for _, mech := range forkMechanisms() {
+					t.Run(fmt.Sprintf("%s-m%d/seed%d", mech.Name(), mech.NumSubwarps, seed), func(t *testing.T) {
+						cfg := forkConfig(mech, vulnerable, variant.mut)
+						vanilla, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, err := vanilla.Run(kern, seed)
+						if err != nil {
+							t.Fatal(err)
+						}
+						forked, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := forked.RunFork(snap)
+						if err != nil {
+							t.Fatalf("RunFork: %v", err)
+						}
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("forked result differs from vanilla Run\nvanilla: cycles=%d totalTx=%d lastTx=%d\nforked:  cycles=%d totalTx=%d lastTx=%d",
+								want.Cycles, want.TotalTx, want.RoundTx[4],
+								got.Cycles, got.TotalTx, got.RoundTx[4])
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestForkSnapshotImmutable forks one snapshot many times, with
+// interleaved mechanisms and a shared fork GPU, and requires every
+// same-mechanism fork to return identical results: consuming a
+// snapshot must not mutate it.
+func TestForkSnapshotImmutable(t *testing.T) {
+	kern := randomKernel(3, 3, 4)
+	vulnerable := []int{4}
+	prefixGPU, err := New(forkConfig(core.Baseline(), vulnerable, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := prefixGPU.RunPrefix(kern, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mechA, mechB := core.RSSRTS(8), core.FSS(4)
+	gA, err := New(forkConfig(mechA, vulnerable, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gB, err := New(forkConfig(mechB, vulnerable, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := gA.RunFork(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gB.RunFork(snap); err != nil {
+		t.Fatal(err)
+	}
+	again, err := gA.RunFork(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("re-forking the same snapshot with the same mechanism changed the result")
+	}
+	// The prefix GPU itself must stay usable for fresh prefixes.
+	snap2, err := prefixGPU.RunPrefix(kern, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := gA.RunFork(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Fatal("a fresh prefix of the same (kernel, seed) forked differently")
+	}
+}
+
+// TestForkFinishedPrefix covers kernels that never reach a vulnerable
+// round: the snapshot is Finished and forks still return the exact
+// vanilla result.
+func TestForkFinishedPrefix(t *testing.T) {
+	kern := randomKernel(5, 2, 3) // rounds 1..3 only
+	vulnerable := []int{9}
+	prefixGPU, err := New(forkConfig(core.Baseline(), vulnerable, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := prefixGPU.RunPrefix(kern, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Finished() {
+		t.Fatal("prefix should have run to completion")
+	}
+	mech := core.RSSRTS(4)
+	cfg := forkConfig(mech, vulnerable, nil)
+	vanilla, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := vanilla.Run(kern, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := forked.RunFork(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("finished-prefix fork differs from vanilla Run")
+	}
+}
+
+// TestForkGates pins the configurations forking must refuse.
+func TestForkGates(t *testing.T) {
+	kern := randomKernel(1, 2, 3)
+	reject := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no-vulnerable-rounds", forkConfig(core.RSS(4), nil, nil)},
+		{"plan-per-warp", forkConfig(core.RSS(4), []int{3}, func(c *Config) { c.PlanPerWarp = true })},
+		{"l1", forkConfig(core.RSS(4), []int{3}, func(c *Config) { c.L1Enabled, c.L1 = true, DefaultL1() })},
+		{"l2", forkConfig(core.RSS(4), []int{3}, func(c *Config) { c.L2Enabled, c.L2 = true, DefaultL2() })},
+	}
+	for _, tc := range reject {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.RunPrefix(kern, 1); err == nil {
+				t.Fatal("RunPrefix accepted a non-forkable config")
+			}
+		})
+	}
+
+	// Fork-incompatibility beyond the mechanism: differing
+	// VulnerableRounds must be refused.
+	prefixGPU, err := New(forkConfig(core.Baseline(), []int{3}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := prefixGPU.RunPrefix(kern, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(forkConfig(core.RSS(4), []int{2}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.RunFork(snap); err == nil {
+		t.Fatal("RunFork accepted a snapshot with different VulnerableRounds")
+	}
+}

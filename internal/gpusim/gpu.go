@@ -185,6 +185,26 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, _, err := g.loop(st, k, 0, false); err != nil {
+		return nil, err
+	}
+	g.finish(st)
+	return st.res, nil
+}
+
+// loop runs the cycle loop from cycle start until the launch
+// terminates, setting st.res.Cycles. With pauseAtVulnerable set it
+// instead returns (pausedAt, true, nil) at the top of the first cycle
+// where some ready warp's next real instruction belongs to a
+// vulnerable round, before any work of that cycle happens — the
+// copy-on-write fork point (fork.go). The predicate is a pure function
+// of simulator state, and no plan-dependent work of a vulnerable round
+// can have executed before it fires, so the pause cycle and the
+// pre-pause state are identical across mechanism configurations.
+// Fast-forward cannot jump past the boundary: a ready warp pins the
+// event horizon to now+1, and every skipped cycle provably has no
+// ready warps, where the predicate is vacuously false.
+func (g *GPU) loop(st *runState, k *Kernel, start int64, pauseAtVulnerable bool) (pausedAt int64, paused bool, err error) {
 	fastForward := !g.cfg.FastForwardDisabled
 	maxCycles := g.cfg.MaxCycles
 	if maxCycles == 0 {
@@ -201,21 +221,24 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 	var lastProgress uint64
 	var stalled int64
 
-	for now := int64(0); ; now++ {
+	for now := start; ; now++ {
 		if now > maxCycles {
-			return nil, &MaxCyclesError{Kernel: k.Label, MaxCycles: maxCycles, Snapshot: g.snapshot(st, now)}
+			return 0, false, &MaxCyclesError{Kernel: k.Label, MaxCycles: maxCycles, Snapshot: g.snapshot(st, now)}
+		}
+		if pauseAtVulnerable && st.atVulnerableBoundary(now) {
+			return now, true, nil
 		}
 		smBusy := g.stepSMs(st, now)
 		memBusy := g.stepMemory(st, now)
 		if st.remaining == 0 && st.toMem.Idle() && st.toSM.Idle() && st.idleMemory() && st.idleSMs() {
 			st.res.Cycles = now
-			break
+			return 0, false, nil
 		}
 		if st.progress != lastProgress {
 			lastProgress = st.progress
 			stalled = 0
 		} else if stalled++; stalled >= window {
-			return nil, &NoProgressError{Kernel: k.Label, Cycle: now, Window: window, Snapshot: g.snapshot(st, now)}
+			return 0, false, &NoProgressError{Kernel: k.Label, Cycle: now, Window: window, Snapshot: g.snapshot(st, now)}
 		}
 		if fastForward && !smBusy && !memBusy {
 			// Event-driven fast-forward: when no subsystem can make
@@ -230,7 +253,7 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 				// Warps remain unfinished yet nothing is in flight
 				// anywhere: no future step can change state. Report the
 				// wedge immediately instead of aging the watchdog.
-				return nil, &NoProgressError{Kernel: k.Label, Cycle: now, Snapshot: g.snapshot(st, now)}
+				return 0, false, &NoProgressError{Kernel: k.Label, Cycle: now, Snapshot: g.snapshot(st, now)}
 			}
 			if next > now+1 {
 				if next > maxCycles {
@@ -241,7 +264,11 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 			}
 		}
 	}
+}
 
+// finish folds the per-subsystem statistics into st.res after the loop
+// terminates.
+func (g *GPU) finish(st *runState) {
 	for _, p := range st.parts {
 		st.res.DRAM = append(st.res.DRAM, p.ctrl.Stats)
 		if p.l2 != nil {
@@ -256,7 +283,31 @@ func (g *GPU) Run(k *Kernel, seed uint64) (*Result, error) {
 	if g.cfg.Metrics != nil {
 		g.snapshotInto(st, st.res)
 	}
-	return st.res, nil
+}
+
+// atVulnerableBoundary reports whether some ready warp's next real
+// (non-RoundMark) instruction belongs to a vulnerable round. tryIssue
+// consumes RoundMarks eagerly in the same issue slot as the following
+// instruction, so the scan mirrors exactly what the warp would issue
+// this cycle; a true result means issuing any further cycle could
+// execute plan-dependent work.
+func (st *runState) atVulnerableBoundary(now int64) bool {
+	for _, w := range st.runs {
+		if w.done || w.blocked || w.readyAt > now {
+			continue
+		}
+		for pc := w.pc; pc < len(w.prog.Instrs); pc++ {
+			ins := &w.prog.Instrs[pc]
+			if ins.Kind == RoundMark {
+				continue
+			}
+			if ins.Round >= 0 && ins.Round <= MaxRounds && st.roundMask[ins.Round] {
+				return true
+			}
+			break
+		}
+	}
+	return false
 }
 
 // nextEvent returns the earliest cycle strictly after now at which any

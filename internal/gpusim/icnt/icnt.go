@@ -161,6 +161,64 @@ func (x *Crossbar) Idle() bool {
 // Ports returns the number of output ports.
 func (x *Crossbar) Ports() int { return len(x.ports) }
 
+// Snapshot is a crossbar's complete mid-launch state, captured for
+// copy-on-write prefix forking. Queued packets reference requests as
+// indices into the caller's interned request table, so a snapshot
+// stays valid — and shareable across forks — after the live request
+// arena is reused.
+type Snapshot struct {
+	ports     [][]snapPacket
+	nextSlot  []int64
+	delivered uint64
+	maxQueue  int
+	dropSeen  uint64
+}
+
+type snapPacket struct {
+	req     int
+	readyAt int64
+}
+
+// Snapshot captures the crossbar's state; intern maps each in-flight
+// *mem.Request to a stable index in the caller's request table.
+func (x *Crossbar) Snapshot(intern func(*mem.Request) int) *Snapshot {
+	s := &Snapshot{
+		ports:     make([][]snapPacket, len(x.ports)),
+		nextSlot:  append([]int64(nil), x.nextSlot...),
+		delivered: x.Delivered,
+		maxQueue:  x.MaxQueue,
+		dropSeen:  x.dropSeen,
+	}
+	var scratch []packet
+	for i := range x.ports {
+		scratch = x.ports[i].Snapshot(scratch[:0])
+		for _, p := range scratch {
+			s.ports[i] = append(s.ports[i], snapPacket{req: intern(p.req), readyAt: p.readyAt})
+		}
+	}
+	return s
+}
+
+// Restore rewinds the crossbar to the snapshot, materializing queued
+// packets' requests through req (interned index → fresh live request).
+// The crossbar must have the snapshot's port count, which
+// fork-compatibility checks guarantee upstream.
+func (x *Crossbar) Restore(s *Snapshot, req func(int) *mem.Request) {
+	if len(x.ports) != len(s.ports) {
+		panic(fmt.Sprintf("icnt: restore across port counts (%d != %d)", len(x.ports), len(s.ports)))
+	}
+	for i := range x.ports {
+		x.ports[i].Reset()
+		for _, p := range s.ports[i] {
+			x.ports[i].Push(packet{req: req(p.req), readyAt: p.readyAt})
+		}
+	}
+	copy(x.nextSlot, s.nextSlot)
+	x.Delivered = s.delivered
+	x.MaxQueue = s.maxQueue
+	x.dropSeen = s.dropSeen
+}
+
 // Reset drops all queued packets and bandwidth state, keeping the port
 // buffers for reuse, so one crossbar can serve many launches without
 // reallocating.

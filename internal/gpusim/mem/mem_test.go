@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -108,4 +109,28 @@ func TestAccessKindString(t *testing.T) {
 	if Load.String() != "load" || Store.String() != "store" {
 		t.Error("AccessKind strings wrong")
 	}
+}
+
+// TestRequestIsValueCopyable guards the prefix-fork snapshot contract:
+// the simulator interns in-flight requests by *value* (gpusim's
+// PrefixSnapshot), which is only a deep copy while Request and its
+// fields contain no references. Adding a slice/map/pointer field to
+// Request must consciously extend the snapshot logic — this test makes
+// that omission loud.
+func TestRequestIsValueCopyable(t *testing.T) {
+	var check func(path string, ty reflect.Type)
+	check = func(path string, ty reflect.Type) {
+		switch ty.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface, reflect.UnsafePointer:
+			t.Errorf("%s has reference kind %s; value-interned snapshots would alias it", path, ty.Kind())
+		case reflect.Struct:
+			for i := 0; i < ty.NumField(); i++ {
+				f := ty.Field(i)
+				check(path+"."+f.Name, f.Type)
+			}
+		case reflect.Array:
+			check(path+"[]", ty.Elem())
+		}
+	}
+	check("Request", reflect.TypeOf(Request{}))
 }

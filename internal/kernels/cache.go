@@ -1,0 +1,145 @@
+package kernels
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/gpusim"
+)
+
+// This file implements the trace cache: grid sweeps in
+// internal/experiments run the same (plaintext, key) samples under
+// many coalescing mechanisms, and the AES address trace — the kernel —
+// depends only on the plaintext, the key schedule, and the direction,
+// never on the mechanism. Memoizing Build/BuildDecrypt by a
+// cryptographic fingerprint of those inputs lets every cell of a
+// mechanism × subwarp grid share one trace construction.
+//
+// The cached *gpusim.Kernel is shared across callers by pointer. That
+// is sound because the simulator treats a kernel as read-only program
+// text (it only ever reads WarpProgram.Instrs); the cache's own tests
+// and the internal/equiv differential harness pin this down.
+
+// Cache key directions. The direction byte keeps an encryption of
+// lines L under key K from colliding with a decryption of the same
+// lines under the same key, whose trace differs.
+const (
+	traceDirEncrypt byte = 1
+	traceDirDecrypt byte = 2
+)
+
+// TraceCacheStats reports cache effectiveness counters.
+type TraceCacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+type traceEntry struct {
+	kernel *gpusim.Kernel
+	out    []Line // ciphertext (encrypt) or plaintext (decrypt) lines
+}
+
+// TraceCache memoizes kernel construction keyed by
+// (direction, key schedule, plaintext lines). It is safe for
+// concurrent use; worker pools sweeping a grid share one cache.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[[32]byte]*traceEntry
+	scratch []byte // key-material buffer, reused under mu for zero-alloc keying
+	hits    uint64
+	misses  uint64
+}
+
+// NewTraceCache returns an empty trace cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: make(map[[32]byte]*traceEntry)}
+}
+
+// Stats returns the hit/miss counters.
+func (tc *TraceCache) Stats() TraceCacheStats {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return TraceCacheStats{Hits: tc.hits, Misses: tc.misses}
+}
+
+// Len returns the number of cached traces.
+func (tc *TraceCache) Len() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.entries)
+}
+
+// appendKeyMaterial writes the canonical cache-key encoding to dst:
+// direction byte, key-schedule fingerprint, line count (little-endian
+// 64-bit, so a 1-line input never collides with a 2-line input whose
+// bytes happen to align), then the raw lines. Every field is
+// fixed-width or length-prefixed, making the encoding injective.
+func appendKeyMaterial(dst []byte, dir byte, c *aes.Cipher, lines []Line) []byte {
+	dst = append(dst, dir)
+	dst = c.AppendScheduleFingerprint(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(lines)))
+	for i := range lines {
+		dst = append(dst, lines[i][:]...)
+	}
+	return dst
+}
+
+// TraceKey returns the cache key for (dir, cipher, lines). Exported
+// for the fuzz harness, which proves the encoding injective; the
+// cache itself uses the allocation-free internal path.
+func TraceKey(dir byte, c *aes.Cipher, lines []Line) [32]byte {
+	return sha256.Sum256(appendKeyMaterial(nil, dir, c, lines))
+}
+
+// key computes the cache key using the cache's scratch buffer. Caller
+// holds mu.
+func (tc *TraceCache) key(dir byte, c *aes.Cipher, lines []Line) [32]byte {
+	tc.scratch = appendKeyMaterial(tc.scratch[:0], dir, c, lines)
+	return sha256.Sum256(tc.scratch)
+}
+
+// Build is the cached counterpart of the package-level Build: it
+// returns the encryption kernel for lines under c and the ciphertext
+// lines. The kernel is shared with other callers and must be treated
+// as read-only; the output lines are a fresh copy the caller owns.
+func (tc *TraceCache) Build(c *aes.Cipher, lines []Line) (*gpusim.Kernel, []Line, error) {
+	return tc.build(traceDirEncrypt, c, lines, Build)
+}
+
+// BuildDecrypt is the cached counterpart of the package-level
+// BuildDecrypt, with the same sharing contract as Build.
+func (tc *TraceCache) BuildDecrypt(c *aes.Cipher, lines []Line) (*gpusim.Kernel, []Line, error) {
+	return tc.build(traceDirDecrypt, c, lines, BuildDecrypt)
+}
+
+func (tc *TraceCache) build(dir byte, c *aes.Cipher, lines []Line, fn func(*aes.Cipher, []Line) (*gpusim.Kernel, []Line, error)) (*gpusim.Kernel, []Line, error) {
+	tc.mu.Lock()
+	k := tc.key(dir, c, lines)
+	if e, ok := tc.entries[k]; ok {
+		tc.hits++
+		tc.mu.Unlock()
+		return e.kernel, append([]Line(nil), e.out...), nil
+	}
+	tc.misses++
+	tc.mu.Unlock()
+
+	// Build outside the lock: trace construction is the expensive part,
+	// and concurrent misses on the same key both build deterministically
+	// identical entries, so last-write-wins is harmless.
+	kernel, out, err := fn(c, lines)
+	if err != nil {
+		return nil, nil, err
+	}
+	tc.mu.Lock()
+	if e, ok := tc.entries[k]; ok {
+		// Another worker won the race; adopt its entry so all callers
+		// share one kernel pointer.
+		kernel, out = e.kernel, e.out
+	} else {
+		tc.entries[k] = &traceEntry{kernel: kernel, out: out}
+	}
+	tc.mu.Unlock()
+	return kernel, append([]Line(nil), out...), nil
+}

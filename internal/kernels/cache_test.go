@@ -1,0 +1,280 @@
+package kernels
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rcoal/internal/aes"
+	"rcoal/internal/rng"
+)
+
+func cacheCipher(t testing.TB, key []byte) *aes.Cipher {
+	t.Helper()
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	return c
+}
+
+func seqKey(n int, salt byte) []byte {
+	k := make([]byte, n)
+	for i := range k {
+		k[i] = byte(i) ^ salt
+	}
+	return k
+}
+
+// TestTraceCacheHitMatchesDirectBuild pins the cache's core contract:
+// a cached Build returns the same kernel and outputs as a direct
+// Build, and repeat calls hit (sharing one kernel pointer).
+func TestTraceCacheHitMatchesDirectBuild(t *testing.T) {
+	c := cacheCipher(t, seqKey(16, 0))
+	lines := RandomPlaintext(rng.New(7), 40)
+
+	wantK, wantCT, err := Build(c, lines)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	tc := NewTraceCache()
+	k1, ct1, err := tc.Build(c, lines)
+	if err != nil {
+		t.Fatalf("cached Build: %v", err)
+	}
+	if !reflect.DeepEqual(k1, wantK) {
+		t.Fatalf("cached kernel differs from direct build")
+	}
+	if !reflect.DeepEqual(ct1, wantCT) {
+		t.Fatalf("cached ciphertext differs from direct build")
+	}
+
+	k2, ct2, err := tc.Build(c, lines)
+	if err != nil {
+		t.Fatalf("cached Build (hit): %v", err)
+	}
+	if k2 != k1 {
+		t.Fatalf("cache hit returned a different kernel pointer")
+	}
+	if !reflect.DeepEqual(ct2, wantCT) {
+		t.Fatalf("cache hit ciphertext differs")
+	}
+	if st := tc.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// The returned output slices are caller-owned copies: mutating one
+	// must not poison later hits.
+	ct1[0][0] ^= 0xFF
+	k3, ct3, err := tc.Build(c, lines)
+	if err != nil {
+		t.Fatalf("cached Build (hit 2): %v", err)
+	}
+	if k3 != k1 || !reflect.DeepEqual(ct3, wantCT) {
+		t.Fatalf("cache entry was poisoned by caller mutation")
+	}
+}
+
+// TestTraceCacheDistinguishesInputs verifies that every component of
+// the cache key — key, plaintext, line count, direction — separates
+// entries.
+func TestTraceCacheDistinguishesInputs(t *testing.T) {
+	cA := cacheCipher(t, seqKey(16, 0))
+	cB := cacheCipher(t, seqKey(16, 1))
+	cLong := cacheCipher(t, seqKey(32, 0))
+	lines := RandomPlaintext(rng.New(7), 3)
+	lines2 := RandomPlaintext(rng.New(8), 3)
+
+	keys := map[[32]byte]string{}
+	add := func(name string, k [32]byte) {
+		if prev, ok := keys[k]; ok {
+			t.Fatalf("cache key collision: %s vs %s", prev, name)
+		}
+		keys[k] = name
+	}
+	add("enc/keyA/3", TraceKey(traceDirEncrypt, cA, lines))
+	add("enc/keyB/3", TraceKey(traceDirEncrypt, cB, lines))
+	add("enc/keyLong/3", TraceKey(traceDirEncrypt, cLong, lines))
+	add("enc/keyA/3'", TraceKey(traceDirEncrypt, cA, lines2))
+	add("enc/keyA/2", TraceKey(traceDirEncrypt, cA, lines[:2]))
+	add("dec/keyA/3", TraceKey(traceDirDecrypt, cA, lines))
+
+	// Determinism: same inputs, same key.
+	if TraceKey(traceDirEncrypt, cA, lines) != TraceKey(traceDirEncrypt, cA, lines) {
+		t.Fatalf("TraceKey is not deterministic")
+	}
+}
+
+// TestTraceCacheDecrypt checks the decrypt direction round-trips
+// through the cache.
+func TestTraceCacheDecrypt(t *testing.T) {
+	c := cacheCipher(t, seqKey(16, 3))
+	pts := RandomPlaintext(rng.New(9), 5)
+	_, cts, err := Build(c, pts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	tc := NewTraceCache()
+	_, back, err := tc.BuildDecrypt(c, cts)
+	if err != nil {
+		t.Fatalf("cached BuildDecrypt: %v", err)
+	}
+	if !reflect.DeepEqual(back, pts) {
+		t.Fatalf("cached decrypt did not recover the plaintext")
+	}
+	if _, _, err := tc.BuildDecrypt(c, cts); err != nil {
+		t.Fatalf("cached BuildDecrypt (hit): %v", err)
+	}
+	if st := tc.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestTraceCacheConcurrent hammers one cache from many goroutines over
+// a small universe of inputs; run with -race this doubles as the
+// data-race check for the shared-kernel contract.
+func TestTraceCacheConcurrent(t *testing.T) {
+	c := cacheCipher(t, seqKey(16, 5))
+	universe := make([][]Line, 4)
+	for i := range universe {
+		universe[i] = RandomPlaintext(rng.New(uint64(100+i)), 8)
+	}
+	want := make([][]Line, len(universe))
+	for i, lines := range universe {
+		_, ct, err := Build(c, lines)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		want[i] = ct
+	}
+
+	tc := NewTraceCache()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				i := (g + iter) % len(universe)
+				_, ct, err := tc.Build(c, universe[i])
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !reflect.DeepEqual(ct, want[i]) {
+					errs <- "concurrent cached build returned wrong ciphertext"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if n := tc.Len(); n != len(universe) {
+		t.Fatalf("cache holds %d entries, want %d", n, len(universe))
+	}
+}
+
+// TestTraceCacheKeyAllocs proves the internal key computation is
+// allocation-free once the scratch buffer is warm, so cache hits cost
+// one allocation total (the caller-owned output copy).
+func TestTraceCacheKeyAllocs(t *testing.T) {
+	c := cacheCipher(t, seqKey(16, 2))
+	lines := RandomPlaintext(rng.New(11), 32)
+	tc := NewTraceCache()
+	if _, _, err := tc.Build(c, lines); err != nil {
+		t.Fatalf("warmup Build: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		tc.mu.Lock()
+		tc.key(traceDirEncrypt, c, lines)
+		tc.mu.Unlock()
+	})
+	if allocs != 0 {
+		t.Fatalf("key computation allocates %v per run, want 0", allocs)
+	}
+}
+
+// FuzzTraceCacheKey mutates key material, plaintext bytes, and shape
+// (line count, direction) and asserts the cache-key encoding is
+// injective: distinct (direction, key, lines) tuples never share a
+// key, and identical tuples always do. A violation means a cache hit
+// could hand a cell the wrong trace — a wrong-science bug.
+func FuzzTraceCacheKey(f *testing.F) {
+	f.Add([]byte{1}, []byte{2}, []byte{3}, []byte{4}, false, false)
+	f.Add([]byte{}, []byte{}, []byte{}, []byte{}, true, false)
+	f.Add(seqKey(16, 0), seqKey(16, 0), []byte("pt"), []byte("pt"), true, true)
+	f.Add(seqKey(32, 7), seqKey(24, 7), bytes.Repeat([]byte{0xAB}, 40), []byte{}, false, true)
+
+	normKey := func(raw []byte) []byte {
+		sizes := [...]int{16, 24, 32}
+		k := make([]byte, sizes[len(raw)%3])
+		copy(k, raw)
+		return k
+	}
+	normLines := func(raw []byte) []Line {
+		n := len(raw)/LineBytes + 1
+		if n > 40 {
+			n = 40
+		}
+		lines := make([]Line, n)
+		for i, b := range raw {
+			lines[(i/LineBytes)%n][i%LineBytes] ^= b
+		}
+		return lines
+	}
+	dirOf := func(enc bool) byte {
+		if enc {
+			return traceDirEncrypt
+		}
+		return traceDirDecrypt
+	}
+
+	f.Fuzz(func(t *testing.T, rawKeyA, rawKeyB, rawPtA, rawPtB []byte, encA, encB bool) {
+		keyA, keyB := normKey(rawKeyA), normKey(rawKeyB)
+		linesA, linesB := normLines(rawPtA), normLines(rawPtB)
+		cA, err := aes.NewCipher(keyA)
+		if err != nil {
+			t.Fatalf("NewCipher(A): %v", err)
+		}
+		cB, err := aes.NewCipher(keyB)
+		if err != nil {
+			t.Fatalf("NewCipher(B): %v", err)
+		}
+		hA := TraceKey(dirOf(encA), cA, linesA)
+		hB := TraceKey(dirOf(encB), cB, linesB)
+
+		same := encA == encB && bytes.Equal(keyA, keyB) && reflect.DeepEqual(linesA, linesB)
+		if same && hA != hB {
+			t.Fatalf("identical inputs produced distinct cache keys")
+		}
+		if !same && hA == hB {
+			t.Fatalf("distinct inputs collided: key=%x", hA)
+		}
+
+		// A hit through the live cache must return the entry for the
+		// matching tuple, proven by checking its output against a
+		// direct build.
+		tc := NewTraceCache()
+		if _, _, err := tc.Build(cA, linesA); err != nil {
+			t.Fatalf("cached Build(A): %v", err)
+		}
+		_, got, err := tc.Build(cB, linesB)
+		if err != nil {
+			t.Fatalf("cached Build(B): %v", err)
+		}
+		_, want, err := Build(cB, linesB)
+		if err != nil {
+			t.Fatalf("Build(B): %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cache returned the wrong trace for B after caching A")
+		}
+	})
+}

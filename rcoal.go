@@ -130,6 +130,24 @@ func NewServer(cfg GPUConfig, key []byte) (*Server, error) {
 	return aesgpu.NewServer(cfg, key)
 }
 
+// TraceCache memoizes per-plaintext AES trace construction keyed by
+// (key schedule, plaintext, direction). Install with
+// Server.SetTraceCache or ExperimentOptions.TraceCache; results stay
+// byte-identical (see internal/equiv).
+type TraceCache = kernels.TraceCache
+
+// NewTraceCache returns an empty trace cache, safe for concurrent use.
+func NewTraceCache() *TraceCache { return kernels.NewTraceCache() }
+
+// ForkedCollect gathers nSamples timing samples under EACH policy,
+// simulating the mechanism-independent prefix of every sample once and
+// forking it per policy (copy-on-write prefix forking). Requires
+// selective RCoal (cfg.VulnerableRounds non-empty); the datasets are
+// byte-identical to per-policy Server.Collect runs. tc may be nil.
+func ForkedCollect(cfg GPUConfig, key []byte, policies []CoalescingConfig, nSamples, linesPer int, seed uint64, tc *TraceCache) ([]*Dataset, error) {
+	return aesgpu.ForkedCollect(cfg, key, policies, nSamples, linesPer, seed, tc)
+}
+
 // RandomPlaintext draws n random plaintext lines from the seed.
 func RandomPlaintext(seed uint64, n int) []Line {
 	return kernels.RandomPlaintext(rng.New(seed), n)
