@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench bench-json ci equiv experiments examples fuzz clean
+.PHONY: all build test test-race cover bench bench-json ci equiv experiments examples fuzz dist-smoke clean
 
 all: build test
 
@@ -15,6 +15,13 @@ ci: build test
 	$(GO) test -run TestHotPathAllocsPerRun -count=1 ./internal/metrics
 	$(MAKE) equiv EQUIV_SHORT=1
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
+	$(MAKE) dist-smoke
+
+# Distributed sweep smoke: coordinator + two loopback workers (one
+# killed mid-grid) must match the single-process CSV byte for byte,
+# and a warm-cache rerun must be >= 10x faster.
+dist-smoke:
+	bash scripts/dist_smoke.sh
 
 # Differential-equivalence harness for the simulation accelerators
 # (trace cache, copy-on-write prefix forking, hybrid analytical

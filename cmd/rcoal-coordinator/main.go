@@ -1,0 +1,188 @@
+// Command rcoal-coordinator runs an experiment sweep as the
+// coordinator of a distributed fleet: it enumerates the selected
+// experiments' grids, leases cells to workers over HTTP (see
+// rcoal-experiments -worker), journals every lease and completion in a
+// durable checkpoint ledger, and renders the same reports and CSVs a
+// single-process run would — byte-identically, at any worker count.
+//
+// Usage:
+//
+//	rcoal-coordinator -addr :8077 -run fig7 -journal ckpt
+//	rcoal-coordinator -addr :8077 -run all -journal ckpt -resume -cache cachedir
+//	rcoal-experiments -worker http://coordinator:8077   # on each machine
+//
+// The control plane lives on the same address: GET /status for live
+// grid progress and per-worker rates, POST /leases/cancel to revoke
+// (and thereby retry) an in-flight lease, /debug/vars for expvar.
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rcoal/internal/atomicio"
+	"rcoal/internal/checkpoint"
+	"rcoal/internal/dist"
+	"rcoal/internal/experiments"
+	"rcoal/internal/kernels"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8077", "address to serve the lease protocol and control plane on")
+		run     = flag.String("run", "", "experiment ID to run, or \"all\"")
+		samples = flag.Int("samples", 100, "plaintext timing samples per configuration")
+		lines   = flag.Int("lines", 32, "plaintext lines per sample (fig18 always uses 1024)")
+		seed    = flag.Uint64("seed", 0x8C0A1, "master random seed")
+		key     = flag.String("key", "RCoal eval key 1", "AES key (16/24/32 bytes)")
+		csvDir  = flag.String("csv", "", "directory to write <id>.csv data files into (optional)")
+		jdir    = flag.String("journal", "", "directory for per-experiment lease ledgers (<id>.journal); required")
+		resume  = flag.Bool("resume", false, "resume from existing ledgers: journaled cells restore, journaled leases stay stale-detectable")
+		cdir    = flag.String("cache", "", "directory for the fingerprint-keyed results cache; cells computed by any prior sweep under identical options are restored instead of leased")
+		par     = flag.Int("parallel", 1, "experiments whose grids are open for leasing concurrently")
+		accel   = flag.Bool("accel", false, "lease cells with the exact accelerators enabled on workers (results are byte-identical)")
+		hybrid  = flag.Bool("hybrid", false, "lease cells with the hybrid analytical substitution (scores may differ within HybridScoreBound)")
+		leaseTO = flag.Duration("lease-timeout", 2*time.Minute, "silence budget per lease before the cell is re-issued to another worker")
+		hb      = flag.Duration("heartbeat", 0, "period of the live status line on stderr (cells done, cache hit/miss, workers, rate, eta); 0 = off")
+		drain   = flag.Duration("drain-wait", 2*time.Second, "grace period after the last grid completes so polling workers see Done and exit")
+	)
+	flag.Parse()
+
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "usage: rcoal-coordinator -addr :8077 -run <id>|all -journal <dir>")
+		os.Exit(2)
+	}
+	if *jdir == "" {
+		fmt.Fprintln(os.Stderr, "rcoal-coordinator: -journal is required (the ledger is what makes leases durable)")
+		os.Exit(2)
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Samples = *samples
+	opts.Lines = *lines
+	opts.Seed = *seed
+	opts.Key = []byte(*key)
+	opts.Hybrid = *hybrid
+	if *accel {
+		// The coordinator never simulates, but a non-nil trace cache is
+		// how Options carries "accelerate" to dist.WireFrom; workers
+		// build their own shared cache per process.
+		opts.TraceCache = kernels.NewTraceCache()
+		opts.ForkPrefix = true
+	}
+
+	s := dist.NewServer(dist.ServerConfig{LeaseTimeout: *leaseTO})
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	expvar.Publish("rcoal_dist", expvar.Func(func() any { return s.Status() }))
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "rcoal-coordinator: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "rcoal-coordinator: serving on %s (status: http://%s/status)\n", *addr, *addr)
+
+	if *hb > 0 {
+		stop := s.Heartbeat(os.Stderr, *hb)
+		defer stop()
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+
+	type outcome struct {
+		report  string
+		elapsed float64
+		err     error
+	}
+	results := make([]outcome, len(ids))
+	sem := make(chan struct{}, maxInt(1, *par))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			o := opts
+			j, err := experiments.OpenJournal(filepath.Join(*jdir, id+".journal"), id, o, *resume)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			defer j.Close()
+			if *resume && j.Len() > 0 {
+				fmt.Fprintf(os.Stderr, "%s: resuming with %d journaled cells (%d discarded)\n",
+					id, j.Len(), j.Discarded)
+			}
+			var cache *checkpoint.Journal
+			if *cdir != "" {
+				cache, err = experiments.OpenCache(*cdir, id, o)
+				if err != nil {
+					results[i] = outcome{err: err}
+					return
+				}
+				defer cache.Close()
+			}
+			o.Exec = dist.NewExec(s, id, j, cache)
+			res, err := experiments.Run(id, o)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			out := res.Render()
+			if *csvDir != "" {
+				if c, ok := res.(experiments.CSVer); ok {
+					path := filepath.Join(*csvDir, id+".csv")
+					if werr := atomicio.WriteFile(path, []byte(c.CSV()), 0o644); werr != nil {
+						results[i] = outcome{err: werr}
+						return
+					}
+					out += fmt.Sprintf("(data written to %s)\n", path)
+				}
+			}
+			results[i] = outcome{report: out, elapsed: time.Since(start).Seconds()}
+		}(i, id)
+	}
+	wg.Wait()
+
+	// Tell polling workers the sweep is over, give them one poll cycle
+	// to hear it, then stop serving.
+	s.Drain()
+	time.Sleep(*drain)
+	srv.Close()
+
+	exit := 0
+	for i, id := range ids {
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "rcoal-coordinator: %s: %v\n", id, results[i].err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, results[i].elapsed, results[i].report)
+	}
+	if exit == 0 {
+		st := s.Status()
+		fmt.Fprintf(os.Stderr, "rcoal-coordinator: done; served %d worker(s)\n", len(st.Workers))
+	}
+	os.Exit(exit)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -11,19 +11,24 @@
 //	rcoal-experiments -run all -journal ckpt -resume  # skip journaled cells
 //	rcoal-experiments -run all -accel                 # trace cache + prefix forking (byte-identical)
 //	rcoal-experiments -run fig15 -hybrid              # analytical closed cells (bounded score drift)
+//	rcoal-experiments -run all -cache cachedir        # reuse cells from any prior identical sweep
+//	rcoal-experiments -worker http://host:8077        # compute cells for a rcoal-coordinator
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"time"
 
 	"rcoal/internal/atomicio"
+	"rcoal/internal/dist"
 	"rcoal/internal/experiments"
 	"rcoal/internal/gpusim/tracevis"
 	"rcoal/internal/kernels"
@@ -32,31 +37,38 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiment IDs")
-		run     = flag.String("run", "", "experiment ID to run, or \"all\"")
-		samples = flag.Int("samples", 100, "plaintext timing samples per configuration")
-		lines   = flag.Int("lines", 32, "plaintext lines per sample (fig18 always uses 1024)")
-		seed    = flag.Uint64("seed", 0x8C0A1, "master random seed")
-		key     = flag.String("key", "RCoal eval key 1", "AES key (16/24/32 bytes)")
-		csvDir  = flag.String("csv", "", "directory to write <id>.csv data files into (optional)")
-		par     = flag.Int("parallel", 1, "experiments to run concurrently (they are independent and deterministic)")
-		workers = flag.Int("workers", 0, "cells evaluated concurrently inside each experiment; 0 = GOMAXPROCS, 1 = serial (results are identical at any setting)")
-		prog    = flag.Bool("progress", false, "report per-experiment cell progress on stderr")
-		jdir    = flag.String("journal", "", "directory for per-experiment checkpoint journals (<id>.journal); completed cells survive crashes")
-		resume  = flag.Bool("resume", false, "resume from existing journals, skipping journaled cells (requires -journal)")
-		cellTO  = flag.Duration("cell-timeout", 0, "per-cell time budget; 0 = unlimited")
-		retries = flag.Int("retries", 0, "extra attempts for cells failing with a retryable fault")
+		list     = flag.Bool("list", false, "list available experiment IDs")
+		run      = flag.String("run", "", "experiment ID to run, or \"all\"")
+		samples  = flag.Int("samples", 100, "plaintext timing samples per configuration")
+		lines    = flag.Int("lines", 32, "plaintext lines per sample (fig18 always uses 1024)")
+		seed     = flag.Uint64("seed", 0x8C0A1, "master random seed")
+		key      = flag.String("key", "RCoal eval key 1", "AES key (16/24/32 bytes)")
+		csvDir   = flag.String("csv", "", "directory to write <id>.csv data files into (optional)")
+		par      = flag.Int("parallel", 1, "experiments to run concurrently (they are independent and deterministic)")
+		workers  = flag.Int("workers", 0, "cells evaluated concurrently inside each experiment; 0 = GOMAXPROCS, 1 = serial (results are identical at any setting)")
+		prog     = flag.Bool("progress", false, "report per-experiment cell progress on stderr")
+		jdir     = flag.String("journal", "", "directory for per-experiment checkpoint journals (<id>.journal); completed cells survive crashes")
+		resume   = flag.Bool("resume", false, "resume from existing journals, skipping journaled cells (requires -journal)")
+		cellTO   = flag.Duration("cell-timeout", 0, "per-cell time budget; 0 = unlimited")
+		retries  = flag.Int("retries", 0, "extra attempts for cells failing with a retryable fault")
 		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of every simulated launch to this file (large; best with a single small experiment)")
 		hb       = flag.Duration("heartbeat", 0, "period of the live telemetry line on stderr (cells done, rate, eta, worker utilization); 0 = off")
 		maddr    = flag.String("metrics-addr", "", "serve live run telemetry over HTTP expvar at this address (e.g. localhost:6060/debug/vars)")
 		accel    = flag.Bool("accel", false, "enable the exact accelerators: per-run trace caching plus copy-on-write prefix forking where applicable (results are byte-identical)")
 		hybrid   = flag.Bool("hybrid", false, "replace analytically closed sweep cells with the Section V model's score instead of simulating the attack (scores may differ within the documented HybridScoreBound; performance columns stay simulated)")
+		cdir     = flag.String("cache", "", "directory for the fingerprint-keyed results cache: cells computed by any prior sweep under identical result-determining options are restored instead of re-run")
+		worker   = flag.String("worker", "", "run as a distributed worker for the rcoal-coordinator at this base URL (e.g. http://host:8077) instead of running experiments locally; -workers bounds concurrent cells")
+		workerID = flag.String("worker-id", "", "worker name in the coordinator's ledger and status page; default host:pid")
 	)
 	flag.Parse()
 
 	if *resume && *jdir == "" {
 		fmt.Fprintln(os.Stderr, "rcoal-experiments: -resume requires -journal")
 		os.Exit(2)
+	}
+
+	if *worker != "" {
+		os.Exit(runWorker(*worker, *workerID, *workers, *prog))
 	}
 
 	if *list {
@@ -147,6 +159,15 @@ func main() {
 				}
 				o.Journal = j
 			}
+			if *cdir != "" {
+				c, cerr := experiments.OpenCache(*cdir, id, o)
+				if cerr != nil {
+					results[i] = outcome{err: cerr}
+					return
+				}
+				defer c.Close()
+				o.Cache = c
+			}
 			res, err := experiments.Run(id, o)
 			if err != nil {
 				results[i] = outcome{err: err}
@@ -189,4 +210,35 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// runWorker attaches this process to a coordinator as a cell-compute
+// worker until the coordinator drains.
+func runWorker(coordinator, id string, concurrency int, verbose bool) int {
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	w := &dist.Worker{
+		Coordinator: coordinator,
+		ID:          id,
+		Concurrency: concurrency,
+	}
+	if verbose {
+		w.Log = os.Stderr
+	}
+	fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s attaching to %s (%d concurrent cells)\n",
+		id, coordinator, concurrency)
+	if err := w.Run(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "rcoal-experiments: worker: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s done (%d cells computed)\n", id, w.Completed())
+	return 0
 }

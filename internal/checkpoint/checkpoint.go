@@ -12,6 +12,13 @@
 //     journal written under different options refuses to resume rather
 //     than silently splicing incompatible results.
 //
+// Beyond completed results the journal doubles as a distributed work
+// ledger: RecordLease appends a durable record that a cell was handed
+// to a worker (see Lease), so a restarted coordinator knows which
+// cells were in flight and can re-issue them; RecordOnce gives the
+// first completion of a cell the win when a timed-out lease is
+// re-issued and both holders eventually report.
+//
 // Values are stored as raw JSON produced by the caller. Results must
 // round-trip exactly (encoding/json renders float64s with the minimal
 // digits that re-parse to the same bit pattern), preserving the
@@ -40,6 +47,53 @@ type line struct {
 	V json.RawMessage `json:"v"`
 }
 
+// leaseLine is the JSONL wire format for one lease record: the cell
+// identified by L was handed to worker W as issue number N at unix-nano
+// time T. The checksum covers the canonical payload (see leasePayload)
+// so a torn lease line is discarded on resume exactly like a torn
+// result line.
+type leaseLine struct {
+	L string `json:"l"`
+	W string `json:"w"`
+	N int64  `json:"n"`
+	T int64  `json:"t"`
+	C string `json:"c"`
+}
+
+// anyLine is the union the resume scanner parses before deciding which
+// kind a line is: result lines carry K, lease lines carry L.
+type anyLine struct {
+	K string          `json:"k"`
+	C string          `json:"c"`
+	V json.RawMessage `json:"v"`
+	L string          `json:"l"`
+	W string          `json:"w"`
+	N int64           `json:"n"`
+	T int64           `json:"t"`
+}
+
+// Lease is a durable record that a cell was handed out for execution.
+// Recording one before issuing the lease over the network makes the
+// hand-out survive a coordinator crash: on resume the cell is known to
+// be in flight (and, its holder being gone, immediately re-issuable)
+// rather than silently forgotten.
+type Lease struct {
+	// Key is the cell the lease covers.
+	Key string
+	// Worker identifies the holder (informational).
+	Worker string
+	// Seq is the per-key issue counter; re-issues after a timeout or
+	// cancellation bump it, invalidating completions of older issues.
+	Seq int64
+	// IssuedUnixNano is the issue time (informational; the authority on
+	// expiry is the live coordinator, not the journal).
+	IssuedUnixNano int64
+}
+
+func leasePayload(l Lease) string {
+	return fmt.Sprintf("%s|%s|%d|%d", l.Key, l.Worker, l.Seq, l.IssuedUnixNano)
+}
+
 // metaLine is the first journal line, fingerprinting the run.
 type metaLine struct {
 	Meta json.RawMessage `json:"meta"`
@@ -53,9 +107,10 @@ func checksum(v []byte) string {
 // Journal is an open checkpoint file. Record is safe for concurrent
 // use by the runner pool's workers.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	seen map[string]json.RawMessage
+	mu     sync.Mutex
+	f      *os.File
+	seen   map[string]json.RawMessage
+	leases map[string]Lease
 
 	// Discarded counts journal lines dropped on resume because they
 	// were malformed or failed their checksum. The corresponding cells
@@ -71,7 +126,7 @@ func Create(path string, meta any) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %w", path, err)
 	}
-	j := &Journal{f: f, seen: make(map[string]json.RawMessage)}
+	j := &Journal{f: f, seen: make(map[string]json.RawMessage), leases: make(map[string]Lease)}
 	if err := j.writeMeta(meta); err != nil {
 		f.Close()
 		return nil, err
@@ -90,7 +145,7 @@ func Resume(path string, meta any) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: opening %s: %w", path, err)
 	}
-	j := &Journal{f: f, seen: make(map[string]json.RawMessage)}
+	j := &Journal{f: f, seen: make(map[string]json.RawMessage), leases: make(map[string]Lease)}
 
 	wantMeta, err := json.Marshal(meta)
 	if err != nil {
@@ -120,8 +175,25 @@ func Resume(path string, meta any) (*Journal, error) {
 			}
 			continue
 		}
-		var l line
-		if err := json.Unmarshal(raw, &l); err != nil || l.K == "" || checksum(l.V) != l.C {
+		var l anyLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			j.Discarded++
+			continue
+		}
+		if l.L != "" {
+			// Lease record. A torn or corrupted one is discarded like a
+			// torn result line: at worst the coordinator forgets a lease
+			// was out and re-issues, which is always safe.
+			ls := Lease{Key: l.L, Worker: l.W, Seq: l.N, IssuedUnixNano: l.T}
+			if checksum([]byte(leasePayload(ls))) != l.C {
+				j.Discarded++
+				continue
+			}
+			// Last lease per key wins: it carries the highest Seq issued.
+			j.leases[ls.Key] = ls
+			continue
+		}
+		if l.K == "" || checksum(l.V) != l.C {
 			j.Discarded++
 			continue
 		}
@@ -205,6 +277,75 @@ func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return len(j.seen)
+}
+
+// Leases returns the journaled lease records for cells that have no
+// completed result — the in-flight set as of the last crash or the
+// current run. Keys whose result line landed are complete and omitted.
+// The returned map is a copy.
+func (j *Journal) Leases() map[string]Lease {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]Lease)
+	for k, l := range j.leases {
+		if _, done := j.seen[k]; !done {
+			out[k] = l
+		}
+	}
+	return out
+}
+
+// RecordLease journals a lease hand-out and syncs it to disk before
+// returning, so the coordinator only grants a lease the ledger already
+// remembers. Safe for concurrent use.
+func (j *Journal) RecordLease(l Lease) error {
+	if l.Key == "" {
+		return fmt.Errorf("checkpoint: empty lease key")
+	}
+	out, err := json.Marshal(leaseLine{
+		L: l.Key, W: l.Worker, N: l.Seq, T: l.IssuedUnixNano,
+		C: checksum([]byte(leasePayload(l))),
+	})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLocked(out); err != nil {
+		return err
+	}
+	j.leases[l.Key] = l
+	return nil
+}
+
+// RecordOnce journals value under key unless a result for key is
+// already present, in which case it reports recorded=false and leaves
+// the journal untouched — first writer wins. This is the duplicate-
+// completion guard for distributed sweeps, where a timed-out lease's
+// original holder may eventually report the same (deterministic) cell
+// a re-issued lease already delivered.
+func (j *Journal) RecordOnce(key string, value any) (recorded bool, err error) {
+	if key == "" {
+		return false, fmt.Errorf("checkpoint: empty cell key")
+	}
+	v, err := json.Marshal(value)
+	if err != nil {
+		return false, fmt.Errorf("checkpoint: marshaling cell %q: %w", key, err)
+	}
+	out, err := json.Marshal(line{K: key, C: checksum(v), V: v})
+	if err != nil {
+		return false, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.seen[key]; dup {
+		return false, nil
+	}
+	if err := j.appendLocked(out); err != nil {
+		return false, err
+	}
+	j.seen[key] = v
+	return true, nil
 }
 
 // Record journals value (marshaled to JSON) under key and syncs it to

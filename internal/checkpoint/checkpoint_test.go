@@ -254,6 +254,152 @@ func TestConcurrentRecord(t *testing.T) {
 	}
 }
 
+func TestLeaseRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.journal")
+	meta := testMeta{Experiment: "sweep"}
+	j, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two leases out; one completes, one (cell/1) is in flight when the
+	// coordinator "crashes".
+	j.RecordLease(Lease{Key: "cell/0", Worker: "w1", Seq: 1, IssuedUnixNano: 100})
+	j.RecordLease(Lease{Key: "cell/1", Worker: "w2", Seq: 1, IssuedUnixNano: 200})
+	j.Record("cell/0", testCell{Cell: 0})
+	j.Close()
+
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	leases := r.Leases()
+	if len(leases) != 1 {
+		t.Fatalf("Leases() = %v, want only the incomplete cell/1", leases)
+	}
+	l, ok := leases["cell/1"]
+	if !ok || l.Worker != "w2" || l.Seq != 1 || l.IssuedUnixNano != 200 {
+		t.Errorf("cell/1 lease = %+v", l)
+	}
+	if _, ok := r.Lookup("cell/0"); !ok {
+		t.Error("completed cell lost among lease lines")
+	}
+}
+
+func TestLeaseReissueLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.journal")
+	meta := testMeta{Experiment: "sweep"}
+	j, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lease times out and is re-issued to another worker with a higher
+	// seq; the ledger must report the latest issue.
+	j.RecordLease(Lease{Key: "cell/0", Worker: "w1", Seq: 1, IssuedUnixNano: 100})
+	j.RecordLease(Lease{Key: "cell/0", Worker: "w2", Seq: 2, IssuedUnixNano: 900})
+	j.Close()
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	l := r.Leases()["cell/0"]
+	if l.Worker != "w2" || l.Seq != 2 {
+		t.Errorf("lease after re-issue = %+v, want w2/seq 2", l)
+	}
+}
+
+func TestTornLeaseLineDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.journal")
+	meta := testMeta{Experiment: "sweep"}
+	j, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.RecordLease(Lease{Key: "cell/0", Worker: "w1", Seq: 1})
+	j.RecordLease(Lease{Key: "cell/1", Worker: "w1", Seq: 1})
+	j.Close()
+
+	// Corrupt the first lease line (line 0 is meta).
+	if err := faultinject.CorruptJournalLine(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Discarded != 1 {
+		t.Errorf("Discarded = %d, want 1", r.Discarded)
+	}
+	leases := r.Leases()
+	if _, ok := leases["cell/0"]; ok {
+		t.Error("torn lease line still resolvable")
+	}
+	if _, ok := leases["cell/1"]; !ok {
+		t.Error("healthy lease lost")
+	}
+
+	// A torn *tail* lease line (crash mid-append) heals the same way.
+	if err := r.RecordLease(Lease{Key: "cell/2", Worker: "w2", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healed.Close()
+	if _, ok := healed.Leases()["cell/2"]; ok {
+		t.Error("truncated tail lease still resolvable")
+	}
+	// Appending after the torn tail starts a fresh line.
+	if err := healed.RecordLease(Lease{Key: "cell/3", Worker: "w2", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordOnceFirstWriterWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.journal")
+	meta := testMeta{Experiment: "sweep"}
+	j, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := j.RecordOnce("cell/0", testCell{Cell: 0, Cycles: 1})
+	if err != nil || !rec {
+		t.Fatalf("first RecordOnce = (%v, %v), want recorded", rec, err)
+	}
+	// The duplicate (a stale lease holder reporting late) must neither
+	// record nor clobber.
+	rec, err = j.RecordOnce("cell/0", testCell{Cell: 0, Cycles: 99})
+	if err != nil || rec {
+		t.Fatalf("duplicate RecordOnce = (%v, %v), want not recorded", rec, err)
+	}
+	j.Close()
+	r, err := Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	raw, _ := r.Lookup("cell/0")
+	var c testCell
+	json.Unmarshal(raw, &c)
+	if c.Cycles != 1 {
+		t.Errorf("cycles = %v, want the first write (1)", c.Cycles)
+	}
+	if r.Len() != 1 {
+		t.Errorf("len = %d, want 1 (duplicate must not append)", r.Len())
+	}
+}
+
 func TestEmptyKeyRejected(t *testing.T) {
 	j, err := Create(filepath.Join(t.TempDir(), "j"), testMeta{})
 	if err != nil {

@@ -1,0 +1,204 @@
+// Package dist shards an experiment grid across machines: a
+// coordinator enumerates the cell-parallel experiments' grids and
+// hands cells out over HTTP as leases; workers pull a lease, recompute
+// exactly that cell with experiments.ComputeCell, and POST the result
+// back. Because every cell derives all of its randomness from explicit
+// seeds (runner.CellSeed), cells are location-independent, and the
+// final CSVs are byte-identical at any shard count — the property the
+// end-to-end tests and the CI smoke step enforce.
+//
+// Durability is delegated to the checksummed checkpoint journal
+// (internal/checkpoint), which the coordinator uses as a work ledger:
+//
+//   - a lease is journaled (RecordLease) before it is granted, so a
+//     coordinator crash never forgets a cell was in flight;
+//   - a completion is journaled first-writer-wins (RecordOnce), so a
+//     timed-out lease whose original holder reports late cannot
+//     clobber the re-issued lease's result (they are identical bytes
+//     anyway — determinism makes the race benign, the ledger makes it
+//     visible);
+//   - on restart the coordinator resumes the journal, restores every
+//     completed cell, and re-issues the rest — no cell runs more than
+//     once per lease timeout.
+//
+// Repeated sweeps are short-circuited by the fingerprint-keyed results
+// cache (experiments.OpenCache): any cell computed under identical
+// result-determining options by any prior sweep — local or distributed
+// — is restored instead of leased.
+//
+// The wire protocol is plain JSON over four endpoints:
+//
+//	POST /lease         LeaseRequest  -> LeaseResponse
+//	POST /complete      CompleteRequest -> CompleteResponse
+//	POST /leases/cancel CancelRequest -> CancelResponse
+//	GET  /status        -> Status
+//
+// The AES key under attack travels in the lease payload (hex). The
+// protocol is designed for trusted lab networks (localhost, a private
+// cluster), not the open internet; the key is the paper's published
+// evaluation constant in every shipped configuration.
+package dist
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"rcoal/internal/experiments"
+	"rcoal/internal/metrics"
+)
+
+// WireOptions is the result-determining slice of experiments.Options a
+// lease carries: everything a worker needs to recompute a cell
+// byte-identically, and nothing that is local policy (worker counts,
+// progress sinks, journals).
+type WireOptions struct {
+	Samples int    `json:"samples"`
+	Lines   int    `json:"lines"`
+	Seed    uint64 `json:"seed"`
+	KeyHex  string `json:"key_hex"`
+	// Hybrid selects the analytical closed-cell substitution — part of
+	// the result fingerprint, so it must travel with the lease.
+	Hybrid bool `json:"hybrid,omitempty"`
+	// Accel turns on the exact accelerators (trace cache, prefix
+	// forking) on the worker. Byte-identical by the internal/equiv
+	// contract, so it is NOT part of the fingerprint — an accelerated
+	// distributed sweep must match a vanilla single-process one.
+	Accel bool `json:"accel,omitempty"`
+}
+
+// WireFrom extracts the wire options from an experiment configuration.
+func WireFrom(o experiments.Options) WireOptions {
+	return WireOptions{
+		Samples: o.Samples,
+		Lines:   o.Lines,
+		Seed:    o.Seed,
+		KeyHex:  hex.EncodeToString(o.Key),
+		Hybrid:  o.Hybrid,
+		Accel:   o.TraceCache != nil || o.ForkPrefix,
+	}
+}
+
+// Options reconstructs the experiment configuration a worker computes
+// leased cells under. The caller supplies the accelerator state (one
+// shared trace cache per worker process); width and worker counts are
+// irrelevant to cell bytes and set to render-neutral values.
+func (w WireOptions) Options() (experiments.Options, error) {
+	key, err := hex.DecodeString(w.KeyHex)
+	if err != nil {
+		return experiments.Options{}, fmt.Errorf("dist: decoding lease key: %w", err)
+	}
+	o := experiments.DefaultOptions()
+	o.Samples = w.Samples
+	o.Lines = w.Lines
+	o.Seed = w.Seed
+	o.Key = key
+	o.Hybrid = w.Hybrid
+	o.ForkPrefix = w.Accel
+	o.Workers = 1
+	return o, nil
+}
+
+// LeaseRequest asks the coordinator for one cell to compute.
+type LeaseRequest struct {
+	// Worker identifies the requester in the ledger, the status page,
+	// and the per-worker rate accounting.
+	Worker string `json:"worker"`
+}
+
+// LeaseGrant is one cell handed to a worker.
+type LeaseGrant struct {
+	Experiment string `json:"experiment"`
+	Key        string `json:"key"`
+	// Seq is the per-cell issue number; completions must echo it, so
+	// stale holders of a canceled or re-issued lease are recognized.
+	Seq     int64       `json:"seq"`
+	Options WireOptions `json:"options"`
+}
+
+// LeaseResponse answers a lease poll. Exactly one of the three shapes
+// applies: a grant, a wait hint (nothing pending right now), or Done
+// (the coordinator has drained — the worker should exit).
+type LeaseResponse struct {
+	Done   bool        `json:"done,omitempty"`
+	WaitMS int64       `json:"wait_ms,omitempty"`
+	Lease  *LeaseGrant `json:"lease,omitempty"`
+}
+
+// CompleteRequest reports a computed cell (or the error that killed
+// it). Value is the cell's canonical JSON, byte-identical to what a
+// local run would journal.
+type CompleteRequest struct {
+	Worker     string          `json:"worker"`
+	Experiment string          `json:"experiment"`
+	Key        string          `json:"key"`
+	Seq        int64           `json:"seq"`
+	Value      json.RawMessage `json:"value,omitempty"`
+	// Error, when non-empty, reports that the cell failed on the
+	// worker. Cell errors are deterministic in this codebase
+	// (misconfiguration, not flakiness), so they fail the experiment
+	// just as they would in the local pool.
+	Error string `json:"error,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Accepted=false is not an
+// error condition for the worker — it means another holder already
+// delivered the cell (duplicate) or the lease was canceled (stale).
+type CompleteResponse struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// CancelRequest revokes an in-flight lease. The cell returns to the
+// pending queue and re-issues on the next poll (that is also the
+// "retry" operation — retrying a lease is canceling it and letting a
+// worker pick it back up); the revoked holder's eventual completion is
+// rejected as stale.
+type CancelRequest struct {
+	Experiment string `json:"experiment"`
+	Key        string `json:"key"`
+}
+
+// CancelResponse reports whether a lease was actually revoked.
+type CancelResponse struct {
+	Canceled bool   `json:"canceled"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Status is the coordinator control plane's live view: per-experiment
+// grid progress, per-worker rates, and the counter registry (lease
+// traffic, cache hits/misses, restores).
+type Status struct {
+	Done        bool               `json:"done"`
+	Experiments []ExperimentStatus `json:"experiments"`
+	Workers     []WorkerStatus     `json:"workers"`
+	// CellsPerSec is the fresh-completion rate (restored and cached
+	// cells excluded, mirroring runner.Telemetry's rate-window rule).
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// ETASeconds extrapolates CellsPerSec over unfinished cells; 0
+	// when unknown.
+	ETASeconds float64 `json:"eta_seconds"`
+	// Metrics is the coordinator's counter registry snapshot
+	// (dist_cache_hits, dist_cache_misses, dist_leases_issued, ...).
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// ExperimentStatus is one experiment's grid progress.
+type ExperimentStatus struct {
+	ID       string `json:"id"`
+	Total    int    `json:"total"`
+	Done     int    `json:"done"`
+	Restored int    `json:"restored"`
+	CacheHit int    `json:"cache_hits"`
+	Pending  int    `json:"pending"`
+	Leased   int    `json:"leased"`
+}
+
+// WorkerStatus is one worker's live accounting.
+type WorkerStatus struct {
+	ID               string  `json:"id"`
+	Active           int     `json:"active"`
+	Completed        int     `json:"completed"`
+	CellsPerSec      float64 `json:"cells_per_sec"`
+	LastSeenUnixNano int64   `json:"last_seen_unix_nano"`
+}

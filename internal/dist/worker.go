@@ -1,0 +1,245 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"rcoal/internal/experiments"
+	"rcoal/internal/kernels"
+)
+
+// Worker pulls leases from a coordinator, recomputes each leased cell
+// with experiments.ComputeCell, and reports the bytes back. One Worker
+// value drives Concurrency goroutines sharing a single trace cache, so
+// accelerated leases amortize kernel construction across cells exactly
+// as a local accelerated sweep does.
+type Worker struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// ID names this worker in the ledger and the status page.
+	ID string
+	// Concurrency is the number of cells computed at once; 0 means 1.
+	Concurrency int
+	// Client overrides http.DefaultClient.
+	Client *http.Client
+	// PollInterval bounds lease-poll backoff when the coordinator has
+	// nothing pending and gave no hint; 0 means 250ms.
+	PollInterval time.Duration
+	// MaxErrors aborts Run after this many consecutive transport
+	// failures (coordinator unreachable); 0 means 25. Rejected
+	// completions (duplicate/stale) are not errors.
+	MaxErrors int
+	// ErrorBackoff is the pause after a transport failure; 0 means
+	// 400ms.
+	ErrorBackoff time.Duration
+	// Log, when non-nil, receives one line per lease lifecycle event.
+	Log io.Writer
+	// Compute overrides cell computation (tests). nil means
+	// experiments.ComputeCell with panic recovery.
+	Compute func(id string, o experiments.Options, key string) (json.RawMessage, error)
+
+	// traceCache is shared by all goroutines of this worker; built
+	// lazily on the first accelerated lease.
+	cacheOnce  sync.Once
+	traceCache *kernels.TraceCache
+
+	mu        sync.Mutex
+	completed int
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "worker %s: %s\n", w.ID, fmt.Sprintf(format, args...))
+	}
+}
+
+// Completed returns how many cells this worker delivered (accepted or
+// not).
+func (w *Worker) Completed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.completed
+}
+
+// Run polls for leases until the coordinator reports Done, the context
+// is canceled, or MaxErrors consecutive transport failures. A nil
+// error means a clean drain.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.ID == "" {
+		w.ID = "worker"
+	}
+	conc := w.Concurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	errs := make(chan error, conc)
+	for i := 0; i < conc; i++ {
+		go func() { errs <- w.runLoop(ctx) }()
+	}
+	var first error
+	for i := 0; i < conc; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (w *Worker) runLoop(ctx context.Context) error {
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	poll := w.PollInterval
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	backoff := w.ErrorBackoff
+	if backoff <= 0 {
+		backoff = 400 * time.Millisecond
+	}
+	maxErrs := w.MaxErrors
+	if maxErrs <= 0 {
+		maxErrs = 25
+	}
+	consecutive := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var resp LeaseResponse
+		err := w.post(ctx, client, "/lease", LeaseRequest{Worker: w.ID}, &resp)
+		if err != nil {
+			consecutive++
+			if consecutive >= maxErrs {
+				return fmt.Errorf("dist: worker %s: %d consecutive coordinator errors, last: %w", w.ID, consecutive, err)
+			}
+			w.logf("lease poll failed (%d/%d): %v", consecutive, maxErrs, err)
+			if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
+			continue
+		}
+		consecutive = 0
+		switch {
+		case resp.Done:
+			w.logf("coordinator drained, exiting")
+			return nil
+		case resp.Lease == nil:
+			wait := poll
+			if resp.WaitMS > 0 {
+				wait = time.Duration(resp.WaitMS) * time.Millisecond
+			}
+			if !sleepCtx(ctx, wait) {
+				return ctx.Err()
+			}
+		default:
+			if err := w.serveLease(ctx, client, resp.Lease); err != nil {
+				consecutive++
+				if consecutive >= maxErrs {
+					return fmt.Errorf("dist: worker %s: %d consecutive coordinator errors, last: %w", w.ID, consecutive, err)
+				}
+				w.logf("completion post failed (%d/%d): %v", consecutive, maxErrs, err)
+				if !sleepCtx(ctx, backoff) {
+					return ctx.Err()
+				}
+			} else {
+				consecutive = 0
+			}
+		}
+	}
+}
+
+// serveLease computes one leased cell and reports the outcome. The
+// returned error covers transport only — a cell computation failure is
+// reported to the coordinator (which fails that experiment), not up
+// the worker loop.
+func (w *Worker) serveLease(ctx context.Context, client *http.Client, g *LeaseGrant) error {
+	w.logf("leased %s %s (seq %d)", g.Experiment, g.Key, g.Seq)
+	raw, err := w.compute(g)
+	req := CompleteRequest{
+		Worker: w.ID, Experiment: g.Experiment, Key: g.Key, Seq: g.Seq, Value: raw,
+	}
+	if err != nil {
+		req.Error = err.Error()
+		req.Value = nil
+	}
+	w.mu.Lock()
+	w.completed++
+	w.mu.Unlock()
+	var resp CompleteResponse
+	if err := w.post(ctx, client, "/complete", req, &resp); err != nil {
+		return err
+	}
+	if !resp.Accepted {
+		// Duplicate or stale — another holder delivered the identical
+		// bytes first. Informational, not an error.
+		w.logf("completion of %s %s rejected: %s", g.Experiment, g.Key, resp.Reason)
+	} else {
+		w.logf("completed %s %s", g.Experiment, g.Key)
+	}
+	return nil
+}
+
+// compute reconstructs the leased cell's options and recomputes it,
+// converting panics into reportable errors so a poisoned cell fails
+// its experiment instead of killing the worker.
+func (w *Worker) compute(g *LeaseGrant) (raw json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	o, err := g.Options.Options()
+	if err != nil {
+		return nil, err
+	}
+	if g.Options.Accel {
+		w.cacheOnce.Do(func() { w.traceCache = kernels.NewTraceCache() })
+		o.TraceCache = w.traceCache
+	}
+	if w.Compute != nil {
+		return w.Compute(g.Experiment, o, g.Key)
+	}
+	return experiments.ComputeCell(g.Experiment, o, g.Key)
+}
+
+func (w *Worker) post(ctx context.Context, client *http.Client, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("dist: %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ComputeCell runs exactly one cell of experiment id's grid — the cell
+// whose stable key is key — and returns its canonical JSON encoding,
+// byte-identical to what a full local run would journal for it. This
+// is the worker side of distributed sweeps: a leased cell names its
+// experiment and key, and the worker recomputes just that cell.
+//
+// The implementation drives the ordinary experiment runner with a
+// capturing executor: the driver enumerates its grid as usual, the
+// executor runs only the requested cell, and the rest of the driver is
+// abandoned. Grid enumeration is cheap (no simulation happens before
+// execution), so the overhead over a hand-rolled per-experiment
+// dispatch is negligible — and no experiment needs per-cell plumbing
+// of its own.
+func ComputeCell(id string, o Options, key string) (json.RawMessage, error) {
+	cap := &captureExec{key: key}
+	o.Exec = cap
+	// A single-cell computation owns no sweep-level machinery.
+	o.Journal = nil
+	o.Cache = nil
+	o.Progress = nil
+	o.Telemetry = nil
+	_, runErr := Run(id, o)
+	if cap.found {
+		if cap.err != nil {
+			return nil, cap.err
+		}
+		return cap.raw, nil
+	}
+	if runErr != nil && !errors.Is(runErr, errCellCaptured) {
+		return nil, runErr
+	}
+	return nil, fmt.Errorf("experiments: %s has no grid cell %q", id, key)
+}
+
+// errCellCaptured aborts an experiment driver once the capturing
+// executor has what it came for (or knows the batch lacks it). It
+// deliberately surfaces through the driver's error path: the driver's
+// post-processing needs the full grid, which a single-cell run never
+// produces.
+var errCellCaptured = errors.New("experiments: cell captured; driver abandoned")
+
+// captureExec runs the one cell matching key and aborts the driver.
+// Relies on the CellExec contract that a driver enumerates its full
+// grid in one batch: a key absent from the batch is absent from the
+// experiment.
+type captureExec struct {
+	key   string
+	found bool
+	raw   json.RawMessage
+	err   error
+}
+
+func (c *captureExec) ExecCells(_ Options, cells []GridCell) ([]json.RawMessage, error) {
+	for _, cell := range cells {
+		if cell.Key == c.key {
+			c.found = true
+			c.raw, c.err = cell.Run(context.Background())
+			break
+		}
+	}
+	return nil, errCellCaptured
+}

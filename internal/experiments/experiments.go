@@ -56,6 +56,20 @@ type Options struct {
 	// re-running them — an interrupted sweep resumes where it stopped
 	// with byte-identical output (see OpenJournal).
 	Journal *checkpoint.Journal
+	// Cache, when non-nil, is the fingerprint-keyed results cache
+	// (see OpenCache): cells any prior sweep computed under identical
+	// result-determining options are restored instead of re-run, and
+	// freshly computed cells are recorded for future sweeps. Purely an
+	// accelerator — output stays byte-identical.
+	Cache *checkpoint.Journal
+	// Exec, when non-nil, replaces the local worker pool as the
+	// executor of the cell-parallel experiments' enumerated grids —
+	// the seam the distributed coordinator (internal/dist) plugs into
+	// to lease cells out to remote workers. Cells are
+	// location-independent (all randomness derives from explicit
+	// seeds), so any executor that runs GridCell.Run faithfully
+	// produces byte-identical results. See CellExec.
+	Exec CellExec
 	// CellTimeout, when positive, bounds each evaluation cell's run
 	// (runner.Pool.CellTimeout).
 	CellTimeout time.Duration

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 
 	"rcoal/internal/checkpoint"
 )
@@ -12,7 +14,14 @@ import (
 // journalMeta fingerprints the options that determine an experiment's
 // cell results. Resuming a journal whose fingerprint differs from the
 // current run would splice together results from incompatible
-// configurations, so checkpoint.Resume rejects the mismatch.
+// configurations, so checkpoint.Resume rejects the mismatch. The same
+// fingerprint keys the cross-sweep results cache (OpenCache).
+//
+// Hybrid is part of the fingerprint because it changes reported scores
+// (within HybridScoreBound); the exact accelerators (trace cache,
+// prefix forking) are deliberately NOT — they are byte-identical by
+// the internal/equiv contract, so accelerated and vanilla runs may
+// share journals and cache entries.
 type journalMeta struct {
 	Experiment string `json:"experiment"`
 	Samples    int    `json:"samples"`
@@ -20,6 +29,35 @@ type journalMeta struct {
 	Seed       uint64 `json:"seed"`
 	// KeyHash fingerprints the AES key without writing it to disk.
 	KeyHash string `json:"keyHash"`
+	Hybrid  bool   `json:"hybrid,omitempty"`
+}
+
+func metaFor(id string, o Options) journalMeta {
+	h := fnv.New64a()
+	h.Write(o.Key)
+	return journalMeta{
+		Experiment: id,
+		Samples:    o.Samples,
+		Lines:      o.Lines,
+		Seed:       o.Seed,
+		KeyHash:    fmt.Sprintf("%016x", h.Sum64()),
+		Hybrid:     o.Hybrid,
+	}
+}
+
+// Fingerprint returns the 16-hex-digit fingerprint of the
+// result-determining options for experiment id — the identity under
+// which cell results may be shared across runs, machines, and sweeps.
+func Fingerprint(id string, o Options) string {
+	b, err := json.Marshal(metaFor(id, o))
+	if err != nil {
+		// journalMeta is a flat struct of marshalable fields; this
+		// cannot fail for any Options value.
+		panic(err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // OpenJournal opens (resume) or creates the checkpoint journal for
@@ -28,71 +66,192 @@ type journalMeta struct {
 // experiment's cells are checkpointed as they complete and journaled
 // cells are restored instead of re-run.
 func OpenJournal(path, id string, o Options, resume bool) (*checkpoint.Journal, error) {
-	h := fnv.New64a()
-	h.Write(o.Key)
-	meta := journalMeta{
-		Experiment: id,
-		Samples:    o.Samples,
-		Lines:      o.Lines,
-		Seed:       o.Seed,
-		KeyHash:    fmt.Sprintf("%016x", h.Sum64()),
-	}
+	meta := metaFor(id, o)
 	if resume {
 		return checkpoint.Resume(path, meta)
 	}
 	return checkpoint.Create(path, meta)
 }
 
-// runCells is the journaled evaluation loop every cell-parallel
-// experiment runs on. Each item is one cell, identified by a stable
-// key; with a journal attached, already-journaled cells are restored
-// by unmarshaling their recorded JSON (bypassing fn entirely) and each
-// freshly computed cell is recorded before the run moves on. Results
-// land in item order either way, and because recorded values
-// round-trip exactly through encoding/json, a resumed run's output is
-// byte-identical to an uninterrupted one.
+// OpenCache opens (creating as needed) the results-cache journal for
+// experiment id under dir. Unlike a run's checkpoint journal — one per
+// sweep, truncated on a fresh start — the cache is keyed by the
+// options fingerprint and append-only across runs: any sweep, local or
+// distributed, that computed a cell under identical result-determining
+// options has already paid for it, and later sweeps restore it for
+// free. Attach the returned journal to Options.Cache.
 //
-// The remaining cells fan out over the pool with the pool's full
-// robustness envelope (panic recovery, per-cell timeout, retries).
-func runCells[T, R any](o Options, items []T,
-	key func(i int, item T) string,
-	fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+// The cache file is single-writer: one process (a coordinator or a
+// local sweep) may have it open at a time.
+func OpenCache(dir, id string, o Options) (*checkpoint.Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: creating cache dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s.cache", id, Fingerprint(id, o)))
+	return checkpoint.Resume(path, metaFor(id, o))
+}
 
-	out := make([]R, len(items))
-	todo := make([]int, 0, len(items))
-	for i, item := range items {
+// GridCell is one enumerated cell of a cell-parallel experiment: a
+// stable key plus a closure that computes the cell and returns its
+// canonical JSON encoding — exactly the bytes the checkpoint journal
+// stores, so a computed, journaled, cached, or remotely executed cell
+// all round-trip identically.
+type GridCell struct {
+	// Index is the cell's position in the experiment's grid.
+	Index int
+	// Key identifies the cell within its experiment. Keys are only
+	// unique per experiment — different experiments may reuse a key
+	// for different computations, which is why the results cache is
+	// fingerprinted per experiment.
+	Key string
+	// Run computes the cell. The result must depend only on the cell's
+	// identity and the result-determining Options (never on scheduling,
+	// location, or worker count) — the property that makes cells
+	// location-independent and distributed execution byte-identical.
+	Run func(ctx context.Context) (json.RawMessage, error)
+}
+
+// CellExec executes one enumerated batch of grid cells and returns
+// each cell's JSON result in order. It is the seam that decouples grid
+// enumeration from execution: the default local executor fans cells
+// out over the in-process worker pool, while internal/dist's executor
+// leases them to remote workers. An executor owns the durability of
+// what it runs (journaling, caching); runCells only unmarshals.
+//
+// Every current experiment enumerates its full grid in a single batch
+// (one runCells call per driver); executors may rely on that.
+type CellExec interface {
+	ExecCells(o Options, cells []GridCell) ([]json.RawMessage, error)
+}
+
+// localExec is the default executor: the journaled evaluation loop
+// every cell-parallel experiment runs on in a single process. Cells
+// already in the run's journal are restored; cells in the results
+// cache are copied into the journal and restored; the remainder fan
+// out over the pool with the full robustness envelope (panic recovery,
+// per-cell timeout, retries) and are journaled and cached as they
+// complete. Restores and cache hits are reported to Telemetry outside
+// the rate window.
+type localExec struct{}
+
+func (localExec) ExecCells(o Options, cells []GridCell) ([]json.RawMessage, error) {
+	raws := make([]json.RawMessage, len(cells))
+	todo := make([]int, 0, len(cells))
+	restored := 0
+	for i, c := range cells {
 		if o.Journal != nil {
-			if raw, ok := o.Journal.Lookup(key(i, item)); ok {
-				if err := json.Unmarshal(raw, &out[i]); err != nil {
-					return nil, fmt.Errorf("experiments: journaled cell %q: %w", key(i, item), err)
+			if raw, ok := o.Journal.Lookup(c.Key); ok {
+				raws[i] = raw
+				restored++
+				continue
+			}
+		}
+		if o.Cache != nil {
+			if raw, ok := o.Cache.Lookup(c.Key); ok {
+				raws[i] = raw
+				restored++
+				if o.Telemetry != nil {
+					o.Telemetry.AddCacheHit()
+				}
+				// Copy into the run's journal so its ledger stays
+				// complete for a later resume.
+				if o.Journal != nil {
+					if err := o.Journal.Record(c.Key, raw); err != nil {
+						return nil, err
+					}
 				}
 				continue
+			}
+			if o.Telemetry != nil {
+				o.Telemetry.AddCacheMiss()
 			}
 		}
 		todo = append(todo, i)
 	}
+	if restored > 0 && o.Telemetry != nil {
+		o.Telemetry.AddRestored(restored)
+	}
 
 	err := o.pool().MapN(context.Background(), len(todo), func(ctx context.Context, ti int) error {
-		i := todo[ti]
+		c := cells[todo[ti]]
 		if o.faultHook != nil {
-			if err := o.faultHook(i); err != nil {
+			if err := o.faultHook(c.Index); err != nil {
 				return err
 			}
 		}
-		r, err := fn(ctx, i, items[i])
+		raw, err := c.Run(ctx)
 		if err != nil {
 			return err
 		}
 		if o.Journal != nil {
-			if err := o.Journal.Record(key(i, items[i]), r); err != nil {
+			if err := o.Journal.Record(c.Key, raw); err != nil {
 				return err
 			}
 		}
-		out[i] = r
+		if o.Cache != nil {
+			if _, err := o.Cache.RecordOnce(c.Key, raw); err != nil {
+				return err
+			}
+		}
+		raws[todo[ti]] = raw
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	return raws, nil
+}
+
+// runCells is the evaluation loop every cell-parallel experiment runs
+// on. It enumerates the grid — each item becomes a GridCell with a
+// stable key and a closure producing canonical JSON — and hands the
+// batch to the configured executor (Options.Exec, defaulting to the
+// local pool). Results land in item order, and because every path
+// through an executor round-trips the same encoding/json bytes, a
+// resumed, cached, or distributed run's output is byte-identical to a
+// plain single-process one.
+func runCells[T, R any](o Options, items []T,
+	key func(i int, item T) string,
+	fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+
+	cells := make([]GridCell, len(items))
+	for i := range items {
+		i := i
+		item := items[i]
+		k := key(i, item)
+		cells[i] = GridCell{
+			Index: i,
+			Key:   k,
+			Run: func(ctx context.Context) (json.RawMessage, error) {
+				r, err := fn(ctx, i, item)
+				if err != nil {
+					return nil, err
+				}
+				raw, err := json.Marshal(r)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: encoding cell %q: %w", k, err)
+				}
+				return raw, nil
+			},
+		}
+	}
+
+	var exec CellExec = localExec{}
+	if o.Exec != nil {
+		exec = o.Exec
+	}
+	raws, err := exec.ExecCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	if len(raws) != len(cells) {
+		return nil, fmt.Errorf("experiments: executor returned %d results for %d cells", len(raws), len(cells))
+	}
+	out := make([]R, len(items))
+	for i, raw := range raws {
+		if err := json.Unmarshal(raw, &out[i]); err != nil {
+			return nil, fmt.Errorf("experiments: decoding cell %q: %w", cells[i].Key, err)
+		}
 	}
 	return out, nil
 }

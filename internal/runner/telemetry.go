@@ -21,6 +21,9 @@ type Telemetry struct {
 	total      int
 	done       int
 	failed     int
+	restored   int
+	cacheHits  int
+	cacheMiss  int
 	retries    int
 	active     int
 	peakActive int
@@ -92,6 +95,37 @@ func (t *Telemetry) cellEnd(start time.Time, err error) {
 	t.mu.Unlock()
 }
 
+// AddRestored records n cells satisfied without computation — restored
+// from a checkpoint journal or served by a results cache. Restored
+// cells count toward the grid total and completion display but are
+// excluded from the rate window: they complete in microseconds, and
+// folding them into the throughput sample would inflate the rate and
+// collapse the ETA of a resumed sweep (the remaining *fresh* cells
+// still cost full simulation time each).
+func (t *Telemetry) AddRestored(n int) {
+	now := t.clock()
+	t.mu.Lock()
+	t.ensureStarted(now)
+	t.restored += n
+	t.mu.Unlock()
+}
+
+// AddCacheHit records one cell served by the fingerprint-keyed results
+// cache. Hits are also restored cells — report them with AddRestored
+// too; this counter only tracks the cache's contribution.
+func (t *Telemetry) AddCacheHit() {
+	t.mu.Lock()
+	t.cacheHits++
+	t.mu.Unlock()
+}
+
+// AddCacheMiss records one cell the results cache could not serve.
+func (t *Telemetry) AddCacheMiss() {
+	t.mu.Lock()
+	t.cacheMiss++
+	t.mu.Unlock()
+}
+
 // retryEvent records one extra attempt of a failed cell.
 func (t *Telemetry) retryEvent() {
 	t.mu.Lock()
@@ -102,9 +136,15 @@ func (t *Telemetry) retryEvent() {
 // TelemetryStats is a point-in-time summary, JSON-friendly for the
 // expvar endpoint.
 type TelemetryStats struct {
-	TotalCells    int           `json:"total_cells"`
-	CellsDone     int           `json:"cells_done"`
-	CellsFailed   int           `json:"cells_failed"`
+	TotalCells  int `json:"total_cells"`
+	CellsDone   int `json:"cells_done"`
+	CellsFailed int `json:"cells_failed"`
+	// RestoredCells were satisfied without computation (journal resume
+	// or results cache). They are included in TotalCells and CellsDone
+	// but excluded from CellsPerSec and ETA — see AddRestored.
+	RestoredCells int           `json:"restored_cells"`
+	CacheHits     int           `json:"cache_hits"`
+	CacheMisses   int           `json:"cache_misses"`
 	Retries       int           `json:"retries"`
 	ActiveWorkers int           `json:"active_workers"`
 	PeakWorkers   int           `json:"peak_workers"`
@@ -117,19 +157,22 @@ type TelemetryStats struct {
 	Utilization   float64       `json:"utilization"`
 }
 
-// Stats summarizes the run so far. Throughput counts finished cells
-// (done + failed) over the window since the first event; ETA
-// extrapolates that rate over the unfinished remainder; utilization is
-// the fraction of worker-seconds spent inside cells, against the peak
-// concurrency seen.
+// Stats summarizes the run so far. Throughput counts freshly computed
+// cells (done + failed, restored excluded) over the window since the
+// first event; ETA extrapolates that rate over the unfinished
+// remainder; utilization is the fraction of worker-seconds spent
+// inside cells, against the peak concurrency seen.
 func (t *Telemetry) Stats() TelemetryStats {
 	now := t.clock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := TelemetryStats{
-		TotalCells:    t.total,
-		CellsDone:     t.done,
+		TotalCells:    t.total + t.restored,
+		CellsDone:     t.done + t.restored,
 		CellsFailed:   t.failed,
+		RestoredCells: t.restored,
+		CacheHits:     t.cacheHits,
+		CacheMisses:   t.cacheMiss,
 		Retries:       t.retries,
 		ActiveWorkers: t.active,
 		PeakWorkers:   t.peakActive,
@@ -140,12 +183,15 @@ func (t *Telemetry) Stats() TelemetryStats {
 		return s
 	}
 	s.Elapsed = now.Sub(t.start)
-	finished := t.done + t.failed
-	if finished > 0 {
-		s.AvgCell = t.sumCell / time.Duration(finished)
+	// The rate window covers freshly computed cells only: restored
+	// cells arrive in microseconds and would otherwise inflate the
+	// rate (and deflate the ETA) of every resumed or cache-warm sweep.
+	fresh := t.done + t.failed
+	if fresh > 0 {
+		s.AvgCell = t.sumCell / time.Duration(fresh)
 	}
 	if s.Elapsed > 0 {
-		s.CellsPerSec = float64(finished) / s.Elapsed.Seconds()
+		s.CellsPerSec = float64(fresh) / s.Elapsed.Seconds()
 		if t.peakActive > 0 {
 			s.Utilization = float64(t.busy) / (float64(s.Elapsed) * float64(t.peakActive))
 			if s.Utilization > 1 {
@@ -153,7 +199,7 @@ func (t *Telemetry) Stats() TelemetryStats {
 			}
 		}
 	}
-	if remaining := t.total - finished; remaining > 0 && s.CellsPerSec > 0 {
+	if remaining := t.total - fresh; remaining > 0 && s.CellsPerSec > 0 {
 		s.ETA = time.Duration(float64(remaining) / s.CellsPerSec * float64(time.Second))
 	}
 	return s
@@ -162,8 +208,14 @@ func (t *Telemetry) Stats() TelemetryStats {
 // String renders the heartbeat line.
 func (s TelemetryStats) String() string {
 	line := fmt.Sprintf("cells %d/%d", s.CellsDone+s.CellsFailed, s.TotalCells)
+	if s.RestoredCells > 0 {
+		line += fmt.Sprintf(" (%d restored)", s.RestoredCells)
+	}
 	if s.CellsFailed > 0 {
 		line += fmt.Sprintf(" (%d failed)", s.CellsFailed)
+	}
+	if s.CacheHits+s.CacheMisses > 0 {
+		line += fmt.Sprintf(", cache %d hit/%d miss", s.CacheHits, s.CacheMisses)
 	}
 	if s.Retries > 0 {
 		line += fmt.Sprintf(", %d retries", s.Retries)

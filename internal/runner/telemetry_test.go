@@ -111,6 +111,56 @@ func TestTelemetryStatsDerived(t *testing.T) {
 	}
 }
 
+func TestTelemetryRestoredExcludedFromRateWindow(t *testing.T) {
+	// A resumed sweep: 15 of 20 cells restored from the journal in an
+	// instant, 2 fresh cells computed at 1 cell/s. The rate must
+	// reflect only the fresh cells, and the ETA must cover only the 3
+	// unfinished fresh cells — restored cells inflating either was the
+	// stale-rate bug on resumed sweeps.
+	tel := NewTelemetry()
+	base := time.Unix(1000, 0)
+	now := base
+	tel.now = func() time.Time { return now }
+
+	tel.AddRestored(15)
+	tel.addTotal(5) // the pool only schedules the 5 remaining cells
+	for i := 0; i < 2; i++ {
+		start := tel.cellStart()
+		now = now.Add(time.Second)
+		tel.cellEnd(start, nil)
+	}
+	s := tel.Stats()
+	if s.TotalCells != 20 || s.CellsDone != 17 {
+		t.Errorf("done/total = %d/%d, want 17/20", s.CellsDone, s.TotalCells)
+	}
+	if s.RestoredCells != 15 {
+		t.Errorf("restored = %d, want 15", s.RestoredCells)
+	}
+	if s.CellsPerSec != 1 {
+		t.Errorf("rate = %v cells/s, want 1 (restored cells must not count)", s.CellsPerSec)
+	}
+	if s.ETA != 3*time.Second {
+		t.Errorf("eta = %v, want 3s (3 fresh cells at 1/s)", s.ETA)
+	}
+	if line := s.String(); !strings.Contains(line, "cells 17/20 (15 restored)") {
+		t.Errorf("heartbeat line %q missing restored count", line)
+	}
+}
+
+func TestTelemetryCacheCounters(t *testing.T) {
+	tel := NewTelemetry()
+	tel.AddCacheHit()
+	tel.AddCacheHit()
+	tel.AddCacheMiss()
+	s := tel.Stats()
+	if s.CacheHits != 2 || s.CacheMisses != 1 {
+		t.Errorf("cache hit/miss = %d/%d, want 2/1", s.CacheHits, s.CacheMisses)
+	}
+	if line := s.String(); !strings.Contains(line, "cache 2 hit/1 miss") {
+		t.Errorf("heartbeat line %q missing cache counters", line)
+	}
+}
+
 func TestTelemetryEmptyStats(t *testing.T) {
 	s := NewTelemetry().Stats()
 	if s.Elapsed != 0 || s.CellsPerSec != 0 || s.ETA != 0 {

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Distributed sweep smoke test, mirrored by the CI "Distributed smoke"
+# step. On loopback, it checks the three properties the coordinator/
+# worker architecture promises:
+#
+#   1. Byte-identity: a coordinator with two workers (one killed
+#      mid-grid) writes a CSV byte-identical to the single-process
+#      golden.
+#   2. Resilience: the killed worker's leases time out and re-issue;
+#      the sweep still finishes.
+#   3. Warm cache: re-running the sweep against the populated results
+#      cache completes >= 10x faster, with zero cells recomputed.
+#
+# Run from the repo root: bash scripts/dist_smoke.sh
+set -euo pipefail
+
+EXP=fig7
+SAMPLES=8
+LINES=16
+ADDR=localhost:8077
+URL=http://$ADDR
+
+TMP=$(mktemp -d)
+cleanup() {
+  jobs -p | xargs -r kill 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+now_ms() { date +%s%3N; }
+
+echo "== build =="
+go build -o "$TMP/bin/" ./cmd/rcoal-experiments ./cmd/rcoal-coordinator
+
+echo "== single-process golden =="
+mkdir -p "$TMP/golden"
+"$TMP/bin/rcoal-experiments" -run "$EXP" -samples "$SAMPLES" -lines "$LINES" \
+  -csv "$TMP/golden" >/dev/null
+
+echo "== distributed: coordinator + 2 workers, one killed mid-grid =="
+mkdir -p "$TMP/dist-csv" "$TMP/journal"
+t0=$(now_ms)
+"$TMP/bin/rcoal-coordinator" -addr "$ADDR" -run "$EXP" \
+  -samples "$SAMPLES" -lines "$LINES" \
+  -journal "$TMP/journal" -cache "$TMP/cache" -csv "$TMP/dist-csv" \
+  -lease-timeout 3s -drain-wait 500ms >/dev/null &
+COORD=$!
+sleep 0.3
+"$TMP/bin/rcoal-experiments" -worker "$URL" -worker-id doomed -workers 1 &
+W1=$!
+"$TMP/bin/rcoal-experiments" -worker "$URL" -worker-id survivor -workers 2 &
+W2=$!
+sleep 0.5
+kill "$W1" 2>/dev/null || true
+echo "killed worker 'doomed' mid-grid; its leases re-issue after the 3s timeout"
+wait "$COORD"
+t1=$(now_ms)
+kill "$W2" 2>/dev/null || true
+wait "$W2" 2>/dev/null || true
+cold_ms=$((t1 - t0))
+
+diff -u "$TMP/golden/$EXP.csv" "$TMP/dist-csv/$EXP.csv"
+echo "OK: distributed CSV is byte-identical to the single-process golden (${cold_ms}ms)"
+
+echo "== warm cache: repeated sweep, no workers attached =="
+mkdir -p "$TMP/warm-csv" "$TMP/journal2"
+t2=$(now_ms)
+"$TMP/bin/rcoal-coordinator" -addr "$ADDR" -run "$EXP" \
+  -samples "$SAMPLES" -lines "$LINES" \
+  -journal "$TMP/journal2" -cache "$TMP/cache" -csv "$TMP/warm-csv" \
+  -drain-wait 0s >/dev/null
+t3=$(now_ms)
+warm_ms=$((t3 - t2))
+
+diff -u "$TMP/golden/$EXP.csv" "$TMP/warm-csv/$EXP.csv"
+echo "OK: cache-served CSV is byte-identical (${warm_ms}ms)"
+
+if [ $((warm_ms * 10)) -gt "$cold_ms" ]; then
+  echo "FAIL: warm sweep (${warm_ms}ms) not >= 10x faster than cold (${cold_ms}ms)"
+  exit 1
+fi
+echo "OK: warm sweep ${warm_ms}ms vs cold ${cold_ms}ms (>= 10x faster)"
+echo "dist smoke passed"
