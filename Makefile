@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench bench-json ci equiv experiments examples fuzz dist-smoke clean
+.PHONY: all build test test-race cover bench bench-json ci equiv experiments examples fuzz dist-smoke frontier vet-mechanism clean
 
 all: build test
 
 # Mirror of .github/workflows/ci.yml: everything the gate runs.
 ci: build test
 	$(GO) vet ./...
+	bash scripts/vet_mechanism.sh
 	$(GO) test -race -short ./...
 	$(GO) test -run TestFastForward ./internal/gpusim
 	$(GO) test -run 'TestRunSteadyStateAllocations|TestRecoverByteSteadyStateAllocations' -count=1 ./internal/gpusim ./internal/attack
@@ -16,6 +17,19 @@ ci: build test
 	$(MAKE) equiv EQUIV_SHORT=1
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
 	$(MAKE) dist-smoke
+	$(MAKE) frontier
+
+# Defense-frontier smoke: the ext-defense-frontier experiment through
+# the real binary, CSV diffed byte-for-byte against the committed
+# golden (regenerate: go test ./internal/experiments -run Frontier -update).
+frontier:
+	bash scripts/frontier_smoke.sh
+
+# Mechanism-API boundary: no package outside internal/{core,mechanism}
+# may construct a core.Config coalescing policy directly — defenses go
+# through the mechanism registry.
+vet-mechanism:
+	bash scripts/vet_mechanism.sh
 
 # Distributed sweep smoke: coordinator + two loopback workers (one
 # killed mid-grid) must match the single-process CSV byte for byte,

@@ -114,9 +114,9 @@ func BenchmarkSelectiveMechanismSweepVanilla(b *testing.B) { benchSelectiveSweep
 func benchTraceCachedCollect(b *testing.B, cached bool) {
 	b.Helper()
 	servers := make([]*Server, 2)
-	for i, policy := range []CoalescingConfig{FSS(4), RSSRTS(4)} {
+	for i, policy := range []Mechanism{FSS(4), RSSRTS(4)} {
 		cfg := DefaultGPUConfig()
-		cfg.Coalescing = policy
+		cfg.Defense = policy
 		srv, err := NewServer(cfg, []byte("RCoal eval key 1"))
 		if err != nil {
 			b.Fatal(err)

@@ -321,15 +321,14 @@ func collectGPUMetrics() ([]*GPUMetricsEntry, error) {
 	const lines, seed = 32, 1
 	var out []*GPUMetricsEntry
 	for _, c := range []struct {
-		name     string
-		disabled bool
+		name    string
+		defense rcoal.Mechanism
 	}{
-		{"fig6a_coalescing_on", false},
-		{"fig6b_coalescing_off", true},
+		{"fig6a_coalescing_on", rcoal.Baseline()},
+		{"fig6b_coalescing_off", rcoal.NoCoal()},
 	} {
 		cfg := rcoal.DefaultGPUConfig()
-		cfg.Coalescing = rcoal.Baseline()
-		cfg.CoalescingDisabled = c.disabled
+		cfg.Defense = c.defense
 		cfg.Metrics = gpusim.NewMetrics()
 		srv, err := rcoal.NewServer(cfg, []byte("RCoal eval key 1"))
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -57,6 +58,7 @@ func main() {
 		accel    = flag.Bool("accel", false, "enable the exact accelerators: per-run trace caching plus copy-on-write prefix forking where applicable (results are byte-identical)")
 		hybrid   = flag.Bool("hybrid", false, "replace analytically closed sweep cells with the Section V model's score instead of simulating the attack (scores may differ within the documented HybridScoreBound; performance columns stay simulated)")
 		cdir     = flag.String("cache", "", "directory for the fingerprint-keyed results cache: cells computed by any prior sweep under identical result-determining options are restored instead of re-run")
+		mechs    = flag.String("mechanisms", "", "comma-separated defense specs restricting mechanism-enumerating experiments (ext-defense-frontier), e.g. \"baseline,rss+rts:8,delay:64\"; empty = full registry")
 		worker   = flag.String("worker", "", "run as a distributed worker for the rcoal-coordinator at this base URL (e.g. http://host:8077) instead of running experiments locally; -workers bounds concurrent cells")
 		workerID = flag.String("worker-id", "", "worker name in the coordinator's ledger and status page; default host:pid")
 	)
@@ -91,6 +93,11 @@ func main() {
 	opts.CellTimeout = *cellTO
 	opts.Retries = *retries
 	opts.Hybrid = *hybrid
+	if *mechs != "" {
+		for _, spec := range strings.Split(*mechs, ",") {
+			opts.Mechanisms = append(opts.Mechanisms, strings.TrimSpace(spec))
+		}
+	}
 	if *accel {
 		// One cache for the whole invocation: experiments share the key
 		// and plaintext streams, so cross-experiment hits are real.

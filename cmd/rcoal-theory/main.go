@@ -27,6 +27,7 @@ func main() {
 		n        = flag.Int("n", 32, "threads per warp (N)")
 		r        = flag.Int("r", 16, "memory blocks per lookup table (R)")
 		ms       = flag.String("m", "1,2,4,8,16,32", "comma-separated subwarp counts (M)")
+		mechSpec = flag.String("mechanism", "", "evaluate one defense spec (e.g. rss+rts:8) instead of the Table II grid")
 		alpha    = flag.Float64("alpha", 0.99, "attack success rate for absolute sample counts")
 		absolute = flag.Bool("absolute", false, "also print absolute samples via Equation 4")
 		progress = flag.Bool("progress", false, "report per-row compute time on stderr (the partition sums get slow at large N)")
@@ -37,6 +38,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rcoal-theory:", err)
 		os.Exit(1)
+	}
+
+	if *mechSpec != "" {
+		mech, err := rcoal.ParseMechanism(*mechSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcoal-theory:", err)
+			os.Exit(1)
+		}
+		rho, ok := md.RhoFor(mech)
+		if !ok {
+			fmt.Printf("%s: the Section V model has no closed form for this mechanism;\n"+
+				"measure it empirically (rcoal-experiments -run ext-defense-frontier).\n", mech.Name())
+			return
+		}
+		fmt.Printf("%s: analytic rho = %s (N=%d, R=%d)\n", mech.Name(), report.FormatFloat(rho, 4), *n, *r)
+		if *absolute {
+			fmt.Printf("samples for a successful attack (Equation 4, alpha=%.2f): %s\n",
+				*alpha, report.FormatFloat(rcoal.SamplesForAttack(rho, *alpha), 0))
+		}
+		return
 	}
 
 	var mvals []int

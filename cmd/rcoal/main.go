@@ -46,6 +46,8 @@ func main() {
 		for _, id := range rcoal.ExperimentIDs() {
 			fmt.Println(id)
 		}
+	case "list-mechanisms":
+		err = cmdListMechanisms()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -63,11 +65,12 @@ func usage() {
 	fmt.Fprint(os.Stderr, `rcoal — randomized GPU memory coalescing (HPCA'18 reproduction)
 
 commands:
-  encrypt   run one AES encryption on the simulated GPU and report timing
-  attack    mount the correlation timing attack against a defended server
-  sweep     security/performance grid over all mechanisms and subwarp counts
-  theory    print the Table II analytical security model
-  list      list reproducible paper experiments (see rcoal-experiments)
+  encrypt          run one AES encryption on the simulated GPU and report timing
+  attack           mount the correlation timing attack against a defended server
+  sweep            security/performance grid over all mechanisms and subwarp counts
+  theory           print the Table II analytical security model
+  list             list reproducible paper experiments (see rcoal-experiments)
+  list-mechanisms  list the registered defense mechanisms and their spec grammar
 
 run "rcoal <command> -h" for flags.
 `)
@@ -90,9 +93,11 @@ func cmdEncrypt(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *nocoal {
+		policy = rcoal.NoCoal()
+	}
 	cfg := rcoal.DefaultGPUConfig()
-	cfg.Coalescing = policy
-	cfg.CoalescingDisabled = *nocoal
+	cfg.Defense = policy
 	var exporter *tracevis.Exporter
 	if *traceOut != "" {
 		exporter = tracevis.New()
@@ -159,7 +164,7 @@ func cmdAttack(args []string) error {
 		return err
 	}
 	cfg := rcoal.DefaultGPUConfig()
-	cfg.Coalescing = policy
+	cfg.Defense = policy
 	srv, err := rcoal.NewServer(cfg, []byte(*key))
 	if err != nil {
 		return err
@@ -267,6 +272,17 @@ func cmdSweep(args []string) error {
 		Headers: []string{"mechanism", "num-subwarp", "time (x)", "tx (x)", "attack corr"}}
 	for _, c := range sw.Cells {
 		t.AddRow(c.Mechanism.String(), c.M, c.NormCycles, c.NormTx, c.AvgCorrectCorr)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func cmdListMechanisms() error {
+	t := &report.Table{Title: "registered defense mechanisms (-mechanism accepts any example spec)",
+		Headers: []string{"keyword", "usage", "aliases", "examples", "summary"}}
+	for _, info := range rcoal.ListMechanisms() {
+		t.AddRow(info.Keyword, info.Usage, strings.Join(info.Aliases, ", "),
+			strings.Join(info.Examples, ", "), info.Summary)
 	}
 	fmt.Print(t.String())
 	return nil

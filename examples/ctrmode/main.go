@@ -29,9 +29,9 @@ func main() {
 	attackCTR(rcoal.RSSRTS(8), key)
 }
 
-func attackCTR(policy rcoal.CoalescingConfig, key []byte) {
+func attackCTR(policy rcoal.Mechanism, key []byte) {
 	cfg := rcoal.DefaultGPUConfig()
-	cfg.Coalescing = policy
+	cfg.Defense = policy
 	srv, err := rcoal.NewServer(cfg, key)
 	if err != nil {
 		log.Fatal(err)

@@ -22,7 +22,7 @@ const (
 )
 
 type point struct {
-	policy   rcoal.CoalescingConfig
+	policy   rcoal.Mechanism
 	normTime float64
 	avgCorr  float64
 }
@@ -35,7 +35,7 @@ func main() {
 
 	var points []point
 	for _, m := range []int{2, 4, 8, 16} {
-		for _, mk := range []func(int) rcoal.CoalescingConfig{rcoal.FSS, rcoal.FSSRTS, rcoal.RSS, rcoal.RSSRTS} {
+		for _, mk := range []func(int) rcoal.Mechanism{rcoal.FSS, rcoal.FSSRTS, rcoal.RSS, rcoal.RSSRTS} {
 			policy := mk(m)
 			pt := point{policy: policy}
 			pt.normTime, pt.avgCorr = measure(policy, key, baseTime)
@@ -72,19 +72,19 @@ func score(p point, a, b float64) float64 {
 	return rcoal.RCoalScore(s, p.normTime, a, b)
 }
 
-func measureTime(policy rcoal.CoalescingConfig, key []byte) float64 {
+func measureTime(policy rcoal.Mechanism, key []byte) float64 {
 	t, _ := measureRaw(policy, key)
 	return t
 }
 
-func measure(policy rcoal.CoalescingConfig, key []byte, baseTime float64) (normTime, avgCorr float64) {
+func measure(policy rcoal.Mechanism, key []byte, baseTime float64) (normTime, avgCorr float64) {
 	t, corr := measureRaw(policy, key)
 	return t / baseTime, corr
 }
 
-func measureRaw(policy rcoal.CoalescingConfig, key []byte) (meanTime, avgCorr float64) {
+func measureRaw(policy rcoal.Mechanism, key []byte) (meanTime, avgCorr float64) {
 	cfg := rcoal.DefaultGPUConfig()
-	cfg.Coalescing = policy
+	cfg.Defense = policy
 	srv, err := rcoal.NewServer(cfg, key)
 	if err != nil {
 		log.Fatal(err)

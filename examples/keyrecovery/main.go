@@ -44,9 +44,9 @@ func main() {
 // attackServer mounts the corresponding attack against a server
 // defended with the given policy; returns the recovered last-round key
 // and whether all 16 bytes were correct.
-func attackServer(policy rcoal.CoalescingConfig, key []byte) ([16]byte, bool) {
+func attackServer(policy rcoal.Mechanism, key []byte) ([16]byte, bool) {
 	cfg := rcoal.DefaultGPUConfig()
-	cfg.Coalescing = policy
+	cfg.Defense = policy
 	srv, err := rcoal.NewServer(cfg, key)
 	if err != nil {
 		log.Fatal(err)

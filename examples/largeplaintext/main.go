@@ -23,13 +23,13 @@ func main() {
 
 	baseTime := 0.0
 	fmt.Printf("%-12s  %10s  %12s  %16s\n", "mechanism", "time (x)", "last-rnd tx", "est-vs-obs corr")
-	for _, policy := range []rcoal.CoalescingConfig{
+	for _, policy := range []rcoal.Mechanism{
 		rcoal.Baseline(),
 		rcoal.RSS(2), rcoal.RSS(4), rcoal.RSS(8),
 		rcoal.RSSRTS(2), rcoal.RSSRTS(4), rcoal.RSSRTS(8),
 	} {
 		cfg := rcoal.DefaultGPUConfig()
-		cfg.Coalescing = policy
+		cfg.Defense = policy
 		srv, err := rcoal.NewServer(cfg, key)
 		if err != nil {
 			log.Fatal(err)

@@ -16,7 +16,7 @@ func main() {
 	key := []byte("quickstart key!!")
 	plaintext := rcoal.RandomPlaintext(42, 32) // 32 lines = one warp
 
-	mechanisms := []rcoal.CoalescingConfig{
+	mechanisms := []rcoal.Mechanism{
 		rcoal.Baseline(),
 		rcoal.FSS(4),
 		rcoal.FSSRTS(4),
@@ -29,7 +29,7 @@ func main() {
 	fmt.Printf("%-12s  %12s  %12s  %14s\n", "mechanism", "cycles", "transactions", "last-round tx")
 	for _, mech := range mechanisms {
 		cfg := rcoal.DefaultGPUConfig()
-		cfg.Coalescing = mech
+		cfg.Defense = mech
 		srv, err := rcoal.NewServer(cfg, key)
 		if err != nil {
 			log.Fatal(err)

@@ -90,6 +90,10 @@ type Sample struct {
 	// Metrics is the launch's metrics snapshot, present only when the
 	// server's GPU config installs a gpusim.Metrics bundle.
 	Metrics *metrics.Snapshot
+	// Energy is the launch's estimated energy in picojoules under the
+	// default GTX-480-class energy model (evaluation ground truth for
+	// the defense frontier's energy axis).
+	Energy float64
 }
 
 // Encrypt runs one encryption request. The seed determines the

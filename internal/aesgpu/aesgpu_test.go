@@ -3,9 +3,9 @@ package aesgpu
 import (
 	"testing"
 
-	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/rng"
 	"rcoal/internal/stats"
 )
@@ -116,7 +116,7 @@ func TestDefendedServerStillCorrect(t *testing.T) {
 	// Functional correctness is defense-independent: RSS+RTS changes
 	// timing, never ciphertexts.
 	cfg := gpusim.DefaultConfig()
-	cfg.Coalescing = core.RSSRTS(8)
+	cfg.Defense = mechanism.RSSRTS(8)
 	def := newTestServer(t, cfg)
 	base := newTestServer(t, gpusim.DefaultConfig())
 	lines := kernels.RandomPlaintext(rng.New(3), 32)
@@ -140,7 +140,7 @@ func TestDefendedServerStillCorrect(t *testing.T) {
 
 func TestSeedVariesDefendedTiming(t *testing.T) {
 	cfg := gpusim.DefaultConfig()
-	cfg.Coalescing = core.RSSRTS(4)
+	cfg.Defense = mechanism.RSSRTS(4)
 	s := newTestServer(t, cfg)
 	lines := kernels.RandomPlaintext(rng.New(5), 32)
 	seen := map[uint64]bool{}

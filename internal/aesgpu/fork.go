@@ -4,32 +4,34 @@ import (
 	"fmt"
 
 	"rcoal/internal/aes"
-	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/rng"
 )
 
 // ForkedCollect is the prefix-forked counterpart of running
-// Server.Collect once per coalescing policy: it gathers nSamples
-// encryption samples under EACH of the given policies, simulating the
-// mechanism-independent prefix of every sample once and forking it per
-// policy. cfg carries the shared GPU configuration; its Coalescing
-// field is ignored (each policy supplies it) and its VulnerableRounds
-// must be non-empty — forking only accelerates selective RCoal, where
-// the prefix provably cannot depend on the mechanism.
+// Server.Collect once per defense mechanism: it gathers nSamples
+// encryption samples under EACH of the given mechanisms, simulating
+// the mechanism-independent prefix of every sample once and forking it
+// per mechanism. cfg carries the shared GPU configuration; its Defense
+// field is ignored (each mechanism supplies it) and its
+// VulnerableRounds must be non-empty — forking only accelerates
+// selective RCoal, where the prefix provably cannot depend on the
+// mechanism. Every mechanism must be plan-only (gpusim's forkable()
+// rejects per-request hooks and the coalescer bypass).
 //
-// The returned datasets are ordered like policies, and each is
-// byte-identical to what a per-policy Server.Collect with the same
+// The returned datasets are ordered like mechs, and each is
+// byte-identical to what a per-mechanism Server.Collect with the same
 // (nSamples, linesPer, seed) would produce — the contract
 // fork_test.go here and internal/equiv enforce. tc, when non-nil,
 // additionally memoizes trace construction.
-func ForkedCollect(cfg gpusim.Config, key []byte, policies []core.Config, nSamples, linesPer int, seed uint64, tc *kernels.TraceCache) ([]*Dataset, error) {
+func ForkedCollect(cfg gpusim.Config, key []byte, mechs []mechanism.Mechanism, nSamples, linesPer int, seed uint64, tc *kernels.TraceCache) ([]*Dataset, error) {
 	if nSamples <= 0 || linesPer <= 0 {
 		return nil, fmt.Errorf("aesgpu: need positive samples (%d) and lines (%d)", nSamples, linesPer)
 	}
-	if len(policies) == 0 {
-		return nil, fmt.Errorf("aesgpu: no policies to fork")
+	if len(mechs) == 0 {
+		return nil, fmt.Errorf("aesgpu: no mechanisms to fork")
 	}
 	cipher, err := aes.NewCipher(key)
 	if err != nil {
@@ -37,15 +39,15 @@ func ForkedCollect(cfg gpusim.Config, key []byte, policies []core.Config, nSampl
 	}
 
 	prefixCfg := cfg
-	prefixCfg.Coalescing = core.Baseline()
+	prefixCfg.Defense = mechanism.Baseline()
 	prefixGPU, err := gpusim.New(prefixCfg)
 	if err != nil {
 		return nil, err
 	}
-	forkGPUs := make([]*gpusim.GPU, len(policies))
-	for i, p := range policies {
+	forkGPUs := make([]*gpusim.GPU, len(mechs))
+	for i, m := range mechs {
 		forkCfg := cfg
-		forkCfg.Coalescing = p
+		forkCfg.Defense = m
 		if forkGPUs[i], err = gpusim.New(forkCfg); err != nil {
 			return nil, err
 		}
@@ -62,7 +64,7 @@ func ForkedCollect(cfg gpusim.Config, key []byte, policies []core.Config, nSampl
 	// hardware seed derivation.
 	ptRNG := rng.New(seed).Split(1)
 	last := cipher.Rounds()
-	out := make([]*Dataset, len(policies))
+	out := make([]*Dataset, len(mechs))
 	for i := range out {
 		out[i] = &Dataset{}
 	}
@@ -77,13 +79,13 @@ func ForkedCollect(cfg gpusim.Config, key []byte, policies []core.Config, nSampl
 		if err != nil {
 			return nil, err
 		}
-		for i := range policies {
+		for i := range mechs {
 			res, err := forkGPUs[i].RunFork(snap)
 			if err != nil {
 				return nil, err
 			}
 			out[i].Plaintexts = append(out[i].Plaintexts, lines)
-			out[i].Samples = append(out[i].Samples, newSample(last, cts, res))
+			out[i].Samples = append(out[i].Samples, newSample(last, cts, res, forkGPUs[i].Config()))
 		}
 	}
 	return out, nil

@@ -4,9 +4,9 @@ import (
 	"reflect"
 	"testing"
 
-	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 )
 
 // TestForkedCollectMatchesVanillaCollect is the server-level
@@ -18,13 +18,13 @@ func TestForkedCollectMatchesVanillaCollect(t *testing.T) {
 	key := []byte("fork-test-key-16")
 	cfg := gpusim.DefaultConfig()
 	cfg.VulnerableRounds = []int{10}
-	policies := []core.Config{
-		core.Baseline(),
-		core.FSS(4),
-		core.FSSRTS(8),
-		core.RSS(2),
-		core.RSSRTS(8),
-		core.RSSNormal(4, 1.5),
+	policies := []mechanism.Mechanism{
+		mechanism.Baseline(),
+		mechanism.FSS(4),
+		mechanism.FSSRTS(8),
+		mechanism.RSS(2),
+		mechanism.RSSRTS(8),
+		mechanism.RSSNormal(4, 1.5),
 	}
 	const nSamples, linesPer = 3, 32
 	const seed = 1234
@@ -32,7 +32,7 @@ func TestForkedCollectMatchesVanillaCollect(t *testing.T) {
 	want := make([]*Dataset, len(policies))
 	for i, p := range policies {
 		vcfg := cfg
-		vcfg.Coalescing = p
+		vcfg.Defense = p
 		srv, err := NewServer(vcfg, key)
 		if err != nil {
 			t.Fatal(err)
@@ -72,7 +72,7 @@ func TestForkedCollectMatchesVanillaCollect(t *testing.T) {
 func TestCachedServerMatchesUncached(t *testing.T) {
 	key := []byte("cache-test-key16")
 	cfg := gpusim.DefaultConfig()
-	cfg.Coalescing = core.RSSRTS(8)
+	cfg.Defense = mechanism.RSSRTS(8)
 
 	plain, err := NewServer(cfg, key)
 	if err != nil {

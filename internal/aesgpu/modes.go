@@ -93,14 +93,14 @@ func (s *Server) run(kernel *gpusim.Kernel, outputs []kernels.Line, seed uint64)
 	if err != nil {
 		return nil, err
 	}
-	return newSample(s.cipher.Rounds(), outputs, res), nil
+	return newSample(s.cipher.Rounds(), outputs, res, s.gpu.Config()), nil
 }
 
 // newSample assembles the attacker-visible sample from a launch
 // result. Shared by the vanilla path (run) and the prefix-fork
 // collector (fork.go), so both paths report identically by
 // construction.
-func newSample(last int, outputs []kernels.Line, res *gpusim.Result) *Sample {
+func newSample(last int, outputs []kernels.Line, res *gpusim.Result, cfg gpusim.Config) *Sample {
 	sample := &Sample{
 		Ciphertexts:     outputs,
 		TotalCycles:     res.Cycles,
@@ -110,6 +110,7 @@ func newSample(last int, outputs []kernels.Line, res *gpusim.Result) *Sample {
 		Plan:            res.Plan,
 		MSHRMerges:      res.MSHRMerges,
 		Metrics:         res.Metrics,
+		Energy:          gpusim.DefaultEnergyModel().Estimate(res, cfg).Total(),
 	}
 	for _, d := range res.DRAM {
 		sample.DRAMAccesses += d.Accesses

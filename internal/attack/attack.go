@@ -26,6 +26,7 @@ import (
 	"rcoal/internal/aes"
 	"rcoal/internal/core"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/rng"
 	"rcoal/internal/stats"
 )
@@ -39,11 +40,11 @@ const KeyBytes = 16
 // attacks use aes.LastRoundDecIndex (over recovered plaintext bytes).
 type IndexFunc func(observedByte, keyGuess byte) byte
 
-// Attacker runs correlation attacks under an assumed defense policy.
-// It is not safe for concurrent use (the per-sample plan cache grows
-// lazily) — create one per goroutine.
+// Attacker runs correlation attacks under an assumed defense
+// mechanism. It is not safe for concurrent use (the per-sample plan
+// cache grows lazily) — create one per goroutine.
 type Attacker struct {
-	policy  core.Config
+	mech    mechanism.Mechanism
 	seed    uint64
 	indexFn IndexFunc
 
@@ -65,47 +66,53 @@ type Attacker struct {
 	estBuf, dyBuf []float64
 }
 
-// New builds an attacker that assumes the GPU runs the given
-// coalescing policy, targeting an encryption service. For randomized
-// policies the seed drives the attacker's *own* simulation of the
-// defense randomness; it is unrelated to (and cannot match) the
-// victim's hardware stream.
-func New(policy core.Config, seed uint64) (*Attacker, error) {
-	return NewWithIndex(policy, seed, aes.LastRoundIndex)
+// New builds an attacker that assumes the GPU runs the given defense
+// mechanism — the "corresponding attack" of Section IV-E — targeting
+// an encryption service. For randomized mechanisms the seed drives the
+// attacker's *own* simulation of the defense randomness; it is
+// unrelated to (and cannot match) the victim's hardware stream.
+// Mechanisms that do not randomize the subwarp plan (delay, shuffle,
+// no-coalescing) realize the whole-warp plan, so their corresponding
+// attack degenerates to the original attack of Jiang et al.
+func New(m mechanism.Mechanism, seed uint64) (*Attacker, error) {
+	return NewWithIndex(m, seed, aes.LastRoundIndex)
 }
 
 // NewDecrypt builds an attacker targeting a GPU *decryption* service:
 // the observed lines are recovered plaintexts and the recovered key
 // bytes are the equivalent inverse cipher's final round key — which
 // for AES is the original key itself.
-func NewDecrypt(policy core.Config, seed uint64) (*Attacker, error) {
-	return NewWithIndex(policy, seed, aes.LastRoundDecIndex)
+func NewDecrypt(m mechanism.Mechanism, seed uint64) (*Attacker, error) {
+	return NewWithIndex(m, seed, aes.LastRoundDecIndex)
 }
 
 // NewWithIndex builds an attacker with a custom final-round index
 // derivation.
-func NewWithIndex(policy core.Config, seed uint64, fn IndexFunc) (*Attacker, error) {
-	if err := policy.Validate(); err != nil {
-		return nil, fmt.Errorf("attack: invalid assumed policy: %w", err)
+func NewWithIndex(m mechanism.Mechanism, seed uint64, fn IndexFunc) (*Attacker, error) {
+	if m == nil {
+		return nil, fmt.Errorf("attack: nil mechanism")
+	}
+	if err := m.ValidateFor(core.DefaultWarpSize); err != nil {
+		return nil, fmt.Errorf("attack: invalid assumed mechanism: %w", err)
 	}
 	if fn == nil {
 		return nil, fmt.Errorf("attack: nil index function")
 	}
-	return &Attacker{policy: policy, seed: seed, indexFn: fn}, nil
+	return &Attacker{mech: m, seed: seed, indexFn: fn}, nil
 }
 
 // Baseline returns the original attack of Jiang et al.: whole-warp
 // coalescing assumed (num-subwarp = 1).
 func Baseline(seed uint64) *Attacker {
-	a, err := New(core.Baseline(), seed)
+	a, err := New(mechanism.Baseline(), seed)
 	if err != nil {
-		panic(err) // baseline policy is always valid
+		panic(err) // baseline mechanism is always valid
 	}
 	return a
 }
 
 // Name describes the attack, e.g. "attack[RSS+RTS(8)]".
-func (a *Attacker) Name() string { return "attack[" + a.policy.Name() + "]" }
+func (a *Attacker) Name() string { return "attack[" + a.mech.Name() + "]" }
 
 // Warm precomputes the plan cache for n samples. Warming before
 // Clone lets sibling workers share the derivation cost: clones copy
@@ -116,9 +123,9 @@ func (a *Attacker) Warm(n int) {
 	}
 }
 
-// Clone returns an independent attacker with the same assumed policy,
-// seed, and index function, plus a copy of the plan cache derived so
-// far. Because plans are a pure function of (seed, sample index),
+// Clone returns an independent attacker with the same assumed
+// mechanism, seed, and index function, plus a copy of the plan cache
+// derived so far. Because plans are a pure function of (seed, sample index),
 // a clone's estimates are byte-identical to its parent's — but each
 // clone owns its cache growth, so clones may run on sibling
 // goroutines while the parent and other clones stay untouched. The
@@ -126,7 +133,7 @@ func (a *Attacker) Warm(n int) {
 // scoring scratch buffers are never shared.
 func (a *Attacker) Clone() *Attacker {
 	return &Attacker{
-		policy:    a.policy,
+		mech:      a.mech,
 		seed:      a.seed,
 		indexFn:   a.indexFn,
 		planCache: append([]core.Plan(nil), a.planCache...),
@@ -153,7 +160,13 @@ func (a *Attacker) nibbleTable() *[256][256]uint8 {
 func (a *Attacker) plan(n int) core.Plan {
 	for len(a.planCache) <= n {
 		r := rng.New(a.seed).Split(uint64(len(a.planCache)) + 1)
-		a.planCache = append(a.planCache, a.policy.NewPlan(r))
+		l, err := a.mech.NewLaunch(core.DefaultWarpSize, r)
+		if err != nil {
+			// The mechanism was validated at construction; a failure here
+			// is a programming error, not untrusted input.
+			panic(fmt.Sprintf("attack: drawing plan %d: %v", len(a.planCache), err))
+		}
+		a.planCache = append(a.planCache, l.Plan)
 	}
 	return a.planCache[n]
 }

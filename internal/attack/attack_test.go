@@ -8,6 +8,7 @@ import (
 	"rcoal/internal/aes"
 	"rcoal/internal/core"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/rng"
 )
 
@@ -16,7 +17,7 @@ func randomLines(seed uint64, n int) []kernels.Line {
 }
 
 func TestNewRejectsInvalidPolicy(t *testing.T) {
-	if _, err := New(core.Config{NumSubwarps: 3}, 1); err == nil {
+	if _, err := New(mechanism.FSS(3), 1); err == nil {
 		t.Fatal("invalid policy accepted")
 	}
 }
@@ -118,7 +119,7 @@ func TestAlgorithm1PanicsOnBadSplit(t *testing.T) {
 }
 
 func TestAttackerPlanStableAcrossCalls(t *testing.T) {
-	a, err := New(core.RSSRTS(4), 7)
+	a, err := New(mechanism.RSSRTS(4), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestKeyResultScoring(t *testing.T) {
 }
 
 func TestAttackerName(t *testing.T) {
-	a, _ := New(core.RSSRTS(8), 1)
+	a, _ := New(mechanism.RSSRTS(8), 1)
 	if a.Name() != "attack[RSS+RTS(8)]" {
 		t.Errorf("Name = %q", a.Name())
 	}
@@ -314,7 +315,7 @@ func TestDecryptAttackOnSyntheticChannel(t *testing.T) {
 		times = append(times, float64(total))
 	}
 
-	a, err := NewDecrypt(core.Baseline(), 5)
+	a, err := NewDecrypt(mechanism.Baseline(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestDecryptAttackOnSyntheticChannel(t *testing.T) {
 }
 
 func TestNewWithIndexValidation(t *testing.T) {
-	if _, err := NewWithIndex(core.Baseline(), 1, nil); err == nil {
+	if _, err := NewWithIndex(mechanism.Baseline(), 1, nil); err == nil {
 		t.Error("nil index function accepted")
 	}
 }

@@ -4,8 +4,8 @@ import (
 	"sync"
 	"testing"
 
-	"rcoal/internal/core"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 )
 
 // TestCloneMatchesParent: clones derive exactly the plans and
@@ -16,7 +16,7 @@ func TestCloneMatchesParent(t *testing.T) {
 		cts[n] = randomLines(uint64(n+1), 32)
 	}
 	for _, warm := range []int{0, 5, 20} {
-		parent, err := New(core.RSSRTS(8), 0xC10)
+		parent, err := New(mechanism.RSSRTS(8), 0xC10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -24,7 +24,7 @@ func TestCloneMatchesParent(t *testing.T) {
 		clone := parent.Clone()
 
 		// Reference from a fresh attacker with the same seed.
-		ref, err := New(core.RSSRTS(8), 0xC10)
+		ref, err := New(mechanism.RSSRTS(8), 0xC10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func TestCloneRaceRegression(t *testing.T) {
 	for n := range cts {
 		cts[n] = randomLines(uint64(n+1), 32)
 	}
-	parent, err := New(core.RSSRTS(4), 0xACE)
+	parent, err := New(mechanism.RSSRTS(4), 0xACE)
 	if err != nil {
 		t.Fatal(err)
 	}

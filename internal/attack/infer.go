@@ -6,8 +6,8 @@ import (
 	"sort"
 
 	"rcoal/internal/aesgpu"
-	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/stats"
 )
 
@@ -29,10 +29,10 @@ import (
 type Calibration map[int]float64
 
 // CalibrateSubwarps builds a timing profile by running the given
-// mechanism at each candidate M on an attacker-controlled replica of
-// the victim GPU. The key is arbitrary: mean timing over random
-// plaintexts is key-independent.
-func CalibrateSubwarps(base gpusim.Config, mechanism func(int) core.Config,
+// mechanism family at each candidate M on an attacker-controlled
+// replica of the victim GPU. The key is arbitrary: mean timing over
+// random plaintexts is key-independent.
+func CalibrateSubwarps(base gpusim.Config, family func(int) mechanism.Mechanism,
 	candidates []int, samples, lines int, seed uint64) (Calibration, error) {
 	if samples < 1 || lines < 1 {
 		return nil, fmt.Errorf("attack: calibration needs positive samples (%d) and lines (%d)", samples, lines)
@@ -40,7 +40,7 @@ func CalibrateSubwarps(base gpusim.Config, mechanism func(int) core.Config,
 	cal := Calibration{}
 	for _, m := range candidates {
 		cfg := base
-		cfg.Coalescing = mechanism(m)
+		cfg.Defense = family(m)
 		srv, err := aesgpu.NewServer(cfg, []byte("calibration-key!"))
 		if err != nil {
 			return nil, fmt.Errorf("attack: calibrating M=%d: %w", m, err)

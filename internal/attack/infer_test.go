@@ -5,12 +5,12 @@ import (
 	"testing"
 
 	"rcoal/internal/aesgpu"
-	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
+	"rcoal/internal/mechanism"
 )
 
 func TestCalibrationValidation(t *testing.T) {
-	if _, err := CalibrateSubwarps(gpusim.DefaultConfig(), core.FSS, []int{1}, 0, 32, 1); err == nil {
+	if _, err := CalibrateSubwarps(gpusim.DefaultConfig(), mechanism.FSS, []int{1}, 0, 32, 1); err == nil {
 		t.Error("zero samples accepted")
 	}
 }
@@ -49,13 +49,13 @@ func TestInferSubwarpsEndToEnd(t *testing.T) {
 	// The paper's claim: execution-time differences across num-subwarp
 	// are large enough to identify the victim's M remotely.
 	candidates := []int{1, 2, 4, 8, 16, 32}
-	cal, err := CalibrateSubwarps(gpusim.DefaultConfig(), core.FSS, candidates, 8, 32, 0xCA1)
+	cal, err := CalibrateSubwarps(gpusim.DefaultConfig(), mechanism.FSS, candidates, 8, 32, 0xCA1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, trueM := range candidates {
 		cfg := gpusim.DefaultConfig()
-		cfg.Coalescing = core.FSS(trueM)
+		cfg.Defense = mechanism.FSS(trueM)
 		// Victim uses its own secret key and seed.
 		srv, err := aesgpu.NewServer(cfg, []byte("victims own key!"))
 		if err != nil {

@@ -173,8 +173,8 @@ func TestCoalesceGroupSizesMatchThreadLists(t *testing.T) {
 func TestCoalesceGroupSizesLengthMismatchPanics(t *testing.T) {
 	p := fullWarpPlan()
 	for name, fn := range map[string]func(){
-		"short blocks": func() { p.CoalesceGroupSizes(make([]uint64, 3), nil, nil) },
-		"short active": func() { p.CoalesceGroupSizes(make([]uint64, len(p.SID)), make([]bool, 2), nil) },
+		"short blocks":       func() { p.CoalesceGroupSizes(make([]uint64, 3), nil, nil) },
+		"short active":       func() { p.CoalesceGroupSizes(make([]uint64, len(p.SID)), make([]bool, 2), nil) },
 		"fused short blocks": func() { p.CoalesceBlocksSizes(make([]uint64, 3), nil, nil, nil) },
 		"fused lockstep": func() {
 			p.CoalesceBlocksSizes(make([]uint64, len(p.SID)), nil, make([]uint64, 1), nil)

@@ -151,10 +151,23 @@ func (c Config) Validate() error {
 // NewPlan draws one realized subwarp plan from the policy using the
 // supplied random source (the hardware RNG of Figure 11, or the
 // attacker's own stream in a corresponding attack). It panics on an
-// invalid configuration; call Validate first on untrusted input.
+// invalid configuration; untrusted input must go through Plan (or the
+// mechanism registry, which validates end-to-end) instead.
 func (c Config) NewPlan(r *rng.Source) Plan {
-	if err := c.Validate(); err != nil {
+	p, err := c.Plan(r)
+	if err != nil {
 		panic(err)
+	}
+	return p
+}
+
+// Plan is the non-panicking form of NewPlan: it validates the policy
+// and reports an error instead of panicking, so callers reached from
+// untrusted input (CLI mechanism specs, config files) degrade to a
+// clean usage error.
+func (c Config) Plan(r *rng.Source) (Plan, error) {
+	if err := c.Validate(); err != nil {
+		return Plan{}, err
 	}
 	w := c.warpSize()
 	m := c.NumSubwarps
@@ -195,7 +208,7 @@ func (c Config) NewPlan(r *rng.Source) Plan {
 			}
 		}
 	}
-	return Plan{Sizes: sizes, SID: sid}
+	return Plan{Sizes: sizes, SID: sid}, nil
 }
 
 // Plan is one realized thread→subwarp assignment for a warp: the

@@ -23,16 +23,16 @@ import (
 	"reflect"
 
 	"rcoal/internal/aesgpu"
-	"rcoal/internal/core"
 	"rcoal/internal/experiments"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 )
 
-// Grid parameterizes the exact-equivalence sweeps: every policy is
+// Grid parameterizes the exact-equivalence sweeps: every mechanism is
 // exercised at every seed.
 type Grid struct {
-	Policies []core.Config
+	Policies []mechanism.Mechanism
 	Seeds    []uint64
 	Samples  int
 	Lines    int
@@ -48,15 +48,15 @@ var equivSeeds = []uint64{1, 42, 0xdecaf}
 // six mechanism families (FSS, FSS+RTS, RSS skewed, RSS normal,
 // RSS+RTS, and FSS at M=1 — the degenerate single-subwarp point) at
 // each subwarp count in ms.
-func policies(ms []int) []core.Config {
-	ps := []core.Config{core.Baseline(), core.FSS(1)}
+func policies(ms []int) []mechanism.Mechanism {
+	ps := []mechanism.Mechanism{mechanism.Baseline(), mechanism.FSS(1)}
 	for _, m := range ms {
 		ps = append(ps,
-			core.FSS(m),
-			core.FSSRTS(m),
-			core.RSS(m),
-			core.RSSNormal(m, 1.5),
-			core.RSSRTS(m),
+			mechanism.FSS(m),
+			mechanism.FSSRTS(m),
+			mechanism.RSS(m),
+			mechanism.RSSNormal(m, 1.5),
+			mechanism.RSSRTS(m),
 		)
 	}
 	return ps
@@ -96,7 +96,7 @@ func TraceCacheExact(g Grid, key []byte) error {
 	tc := kernels.NewTraceCache()
 	for _, p := range g.Policies {
 		cfg := g.config()
-		cfg.Coalescing = p
+		cfg.Defense = p
 		for _, seed := range g.Seeds {
 			plain, err := aesgpu.NewServer(cfg, key)
 			if err != nil {
@@ -136,7 +136,7 @@ func ForkExact(g Grid, key []byte, tc *kernels.TraceCache) error {
 		want := make([]*aesgpu.Dataset, len(g.Policies))
 		for i, p := range g.Policies {
 			vcfg := cfg
-			vcfg.Coalescing = p
+			vcfg.Defense = p
 			srv, err := aesgpu.NewServer(vcfg, key)
 			if err != nil {
 				return err

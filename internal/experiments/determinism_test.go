@@ -79,20 +79,21 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 // silently orphan the published datasets.
 func TestCSVSchemasMatchCommittedData(t *testing.T) {
 	headers := map[string]CSVer{
-		"fig5":            &Fig5Result{},
-		"fig7":            &Fig7Result{},
-		"fig8":            &ScatterResult{},
-		"fig12":           &ScatterResult{},
-		"fig13":           &ScatterResult{},
-		"fig14":           &ScatterResult{},
-		"fig9":            &Fig9Result{Normal: []int{0}, Skewed: []int{0}},
-		"fig15":           &Fig15Result{Sweep: &SweepResult{}},
-		"fig16":           &Fig16Result{Sweep: &SweepResult{}},
-		"fig17":           &Fig17Result{},
-		"fig18":           &Fig18Result{},
-		"table2":          &Table2Result{},
-		"ext-sensitivity": &ExtSensitivityResult{},
-		"ext-workloads":   &ExtWorkloadsResult{},
+		"fig5":                 &Fig5Result{},
+		"fig7":                 &Fig7Result{},
+		"fig8":                 &ScatterResult{},
+		"fig12":                &ScatterResult{},
+		"fig13":                &ScatterResult{},
+		"fig14":                &ScatterResult{},
+		"fig9":                 &Fig9Result{Normal: []int{0}, Skewed: []int{0}},
+		"fig15":                &Fig15Result{Sweep: &SweepResult{}},
+		"fig16":                &Fig16Result{Sweep: &SweepResult{}},
+		"fig17":                &Fig17Result{},
+		"fig18":                &Fig18Result{},
+		"table2":               &Table2Result{},
+		"ext-sensitivity":      &ExtSensitivityResult{},
+		"ext-workloads":        &ExtWorkloadsResult{},
+		"ext-defense-frontier": &FrontierResult{},
 	}
 	for id, res := range headers {
 		path := filepath.Join("..", "..", "data", id+".csv")

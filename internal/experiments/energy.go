@@ -7,9 +7,9 @@ import (
 
 	"rcoal/internal/aes"
 	"rcoal/internal/attack"
-	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 	"rcoal/internal/rng"
 	"rcoal/internal/stats"
@@ -56,19 +56,17 @@ func ExtEnergy(o Options) (*ExtEnergyResult, error) {
 		reps = 3
 	}
 	for _, cc := range []struct {
-		label    string
-		policy   core.Config
-		disabled bool
+		label   string
+		defense mechanism.Mechanism
 	}{
-		{"baseline", core.Baseline(), false},
-		{"FSS(8)", core.FSS(8), false},
-		{"RSS+RTS(8)", core.RSSRTS(8), false},
-		{"FSS(32)", core.FSS(32), false},
-		{"coalescing disabled", core.Baseline(), true},
+		{"baseline", mechanism.Baseline()},
+		{"FSS(8)", mechanism.FSS(8)},
+		{"RSS+RTS(8)", mechanism.RSSRTS(8)},
+		{"FSS(32)", mechanism.FSS(32)},
+		{"coalescing disabled", mechanism.NoCoal()},
 	} {
 		cfg := o.gpuConfig()
-		cfg.Coalescing = cc.policy
-		cfg.CoalescingDisabled = cc.disabled
+		cfg.Defense = cc.defense
 		g, err := gpusim.New(cfg)
 		if err != nil {
 			return nil, err

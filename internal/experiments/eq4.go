@@ -7,6 +7,7 @@ import (
 	"rcoal/internal/attack"
 	"rcoal/internal/core"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 	"rcoal/internal/rng"
 	"rcoal/internal/stats"
@@ -59,13 +60,14 @@ func ExtEq4(o Options) (*ExtEq4Result, error) {
 	res := &ExtEq4Result{Alpha: alpha}
 
 	cases := []struct {
-		policy core.Config
-		rho    float64
+		defense mechanism.Mechanism
+		m       int
+		rho     float64
 	}{
-		{core.FSSRTS(2), md.RhoFSSRTS(2)},
-		{core.FSSRTS(4), md.RhoFSSRTS(4)},
-		{core.RSSRTS(2), md.RhoRSSRTS(2)},
-		{core.RSSRTS(4), md.RhoRSSRTS(4)},
+		{mechanism.FSSRTS(2), 2, md.RhoFSSRTS(2)},
+		{mechanism.FSSRTS(4), 4, md.RhoFSSRTS(4)},
+		{mechanism.RSSRTS(2), 2, md.RhoRSSRTS(2)},
+		{mechanism.RSSRTS(4), 4, md.RhoRSSRTS(4)},
 	}
 	trials := o.Samples / 10
 	if trials < 5 {
@@ -74,8 +76,8 @@ func ExtEq4(o Options) (*ExtEq4Result, error) {
 	for _, c := range cases {
 		predicted := stats.SamplesForAttack(c.rho, alpha)
 		row := ExtEq4Row{
-			Mechanism:  c.policy.Name(),
-			M:          c.policy.NumSubwarps,
+			Mechanism:  c.defense.Name(),
+			M:          c.m,
 			Rho:        c.rho,
 			PredictedS: predicted,
 		}
@@ -85,7 +87,7 @@ func ExtEq4(o Options) (*ExtEq4Result, error) {
 				s = 4
 			}
 			row.Samples = append(row.Samples, s)
-			row.SuccessRate = append(row.SuccessRate, eq4SuccessRate(c.policy, s, trials, o.Seed))
+			row.SuccessRate = append(row.SuccessRate, eq4SuccessRate(c.defense, s, trials, o.Seed))
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -96,7 +98,7 @@ func ExtEq4(o Options) (*ExtEq4Result, error) {
 // counting channel: the victim counts its true last-round accesses for
 // byte 0 under hardware plans; the attacker mounts the corresponding
 // 256-guess attack.
-func eq4SuccessRate(policy core.Config, samples, trials int, seed uint64) float64 {
+func eq4SuccessRate(defense mechanism.Mechanism, samples, trials int, seed uint64) float64 {
 	wins := 0
 	for trial := 0; trial < trials; trial++ {
 		base := rng.New(seed).Split(uint64(trial) + 0xE4)
@@ -111,10 +113,13 @@ func eq4SuccessRate(policy core.Config, samples, trials int, seed uint64) float6
 			cts[n] = lines
 			// The victim's true per-byte access count under its own
 			// (hardware) plan for this launch.
-			plan := policy.NewPlan(hw)
-			meas[n] = float64(attack.EstimateSample(plan, lines, 0, keyByte))
+			launch, err := defense.NewLaunch(core.DefaultWarpSize, hw)
+			if err != nil {
+				return 0
+			}
+			meas[n] = float64(attack.EstimateSample(launch.Plan, lines, 0, keyByte))
 		}
-		atk, err := attack.New(policy, seed^uint64(trial)*0xA7)
+		atk, err := attack.New(defense, seed^uint64(trial)*0xA7)
 		if err != nil {
 			return 0
 		}
@@ -171,7 +176,7 @@ type ExtRealisticResult struct {
 // ExtRealistic runs the baseline attack over the three measurement
 // channels on one dataset.
 func ExtRealistic(o Options) (*ExtRealisticResult, error) {
-	srv, ds, err := collect(o, core.Baseline(), false)
+	srv, ds, err := collect(o, mechanism.Baseline())
 	if err != nil {
 		return nil, err
 	}

@@ -19,9 +19,9 @@ import (
 	"rcoal/internal/aesgpu"
 	"rcoal/internal/attack"
 	"rcoal/internal/checkpoint"
-	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/runner"
 	"rcoal/internal/stats"
 )
@@ -103,6 +103,12 @@ type Options struct {
 	// experiments whose cells are selective-RCoal with shared
 	// plaintext streams (ext-selective-sweep); byte-identical results.
 	ForkPrefix bool
+	// Mechanisms, when non-empty, restricts mechanism-enumerating
+	// experiments (currently ext-defense-frontier) to the given defense
+	// specs (mechanism.Parse grammar, e.g. "rss+rts:8", "delay:64").
+	// Empty means the registry's full frontier set. Specs are part of
+	// the result-determining fingerprint.
+	Mechanisms []string
 	// Hybrid replaces simulation of analytically decisive sweep cells
 	// with the Section V model's ρ prediction (see hybrid.go),
 	// reserving cycle-accurate simulation for cells near the decision
@@ -191,31 +197,30 @@ func (m Mechanism) String() string {
 	return "unknown"
 }
 
-// Policy returns the coalescing policy of this mechanism with m
-// subwarps.
-func (m Mechanism) Policy(subwarps int) core.Config {
+// Policy returns the subwarp-coalescing defense of this mechanism
+// family with m subwarps.
+func (m Mechanism) Policy(subwarps int) mechanism.Mechanism {
 	switch m {
 	case MechFSS:
-		return core.FSS(subwarps)
+		return mechanism.FSS(subwarps)
 	case MechFSSRTS:
-		return core.FSSRTS(subwarps)
+		return mechanism.FSSRTS(subwarps)
 	case MechRSS:
-		return core.RSS(subwarps)
+		return mechanism.RSS(subwarps)
 	case MechRSSRTS:
-		return core.RSSRTS(subwarps)
+		return mechanism.RSSRTS(subwarps)
 	}
 	panic("experiments: unknown mechanism")
 }
 
-// collect runs the encryption server under the given policy and
+// collect runs the encryption server under the given defense and
 // gathers the attacker's dataset.
-func collect(o Options, policy core.Config, coalescingDisabled bool) (*aesgpu.Server, *aesgpu.Dataset, error) {
+func collect(o Options, defense mechanism.Mechanism) (*aesgpu.Server, *aesgpu.Dataset, error) {
 	if err := o.validate(); err != nil {
 		return nil, nil, err
 	}
 	cfg := o.gpuConfig()
-	cfg.Coalescing = policy
-	cfg.CoalescingDisabled = coalescingDisabled
+	cfg.Defense = defense
 	srv, err := aesgpu.NewServer(cfg, o.Key)
 	if err != nil {
 		return nil, nil, err

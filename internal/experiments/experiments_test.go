@@ -40,7 +40,7 @@ func TestMechanismNaming(t *testing.T) {
 			t.Errorf("%d.String() = %q", mech, mech.String())
 		}
 		p := mech.Policy(4)
-		if err := p.Validate(); err != nil {
+		if err := p.ValidateFor(0); err != nil {
 			t.Errorf("%s policy invalid: %v", want, err)
 		}
 	}
@@ -53,7 +53,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-selective", "ext-hierarchy", "ext-inferm", "ext-scheduler",
 		"ext-planperwarp", "ext-rssdist", "ext-modes", "ext-workloads",
 		"ext-eq4", "ext-realistic", "ext-sensitivity", "ext-energy", "ext-noise",
-		"ext-sharedmem", "ext-selective-sweep"}
+		"ext-sharedmem", "ext-selective-sweep", "ext-defense-frontier"}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
 			t.Errorf("experiment %q not registered", id)

@@ -8,6 +8,7 @@ import (
 	"rcoal/internal/attack"
 	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 	"rcoal/internal/rng"
 	"rcoal/internal/stats"
@@ -69,19 +70,19 @@ type ExtSelectiveResult struct {
 // ExtSelective compares undefended, full-RCoal, and selective-RCoal
 // configurations.
 func ExtSelective(o Options) (*ExtSelectiveResult, error) {
-	policy := core.RSSRTS(8)
+	policy := mechanism.RSSRTS(8)
 	configs := []struct {
 		label string
 		mut   func(*gpusim.Config)
 	}{
 		{"baseline (no defense)", func(c *gpusim.Config) {}},
-		{"full RCoal RSS+RTS(8)", func(c *gpusim.Config) { c.Coalescing = policy }},
+		{"full RCoal RSS+RTS(8)", func(c *gpusim.Config) { c.Defense = policy }},
 		{"selective: round 10 only", func(c *gpusim.Config) {
-			c.Coalescing = policy
+			c.Defense = policy
 			c.VulnerableRounds = []int{10}
 		}},
 		{"selective: rounds 1+10", func(c *gpusim.Config) {
-			c.Coalescing = policy
+			c.Defense = policy
 			c.VulnerableRounds = []int{1, 10}
 		}},
 	}
@@ -103,8 +104,7 @@ func ExtSelective(o Options) (*ExtSelectiveResult, error) {
 			baseCycles = mean
 		}
 
-		atkPolicy := cfg.Coalescing
-		atk, err := attack.New(atkPolicy, o.Seed^0x5E1)
+		atk, err := attack.New(cfg.Defense, o.Seed^0x5E1)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +253,7 @@ func ExtInferM(o Options) (*ExtInferMResult, error) {
 		return nil, err
 	}
 	candidates := []int{1, 2, 4, 8, 16, 32}
-	cal, err := attack.CalibrateSubwarps(o.gpuConfig(), core.FSS, candidates,
+	cal, err := attack.CalibrateSubwarps(o.gpuConfig(), mechanism.FSS, candidates,
 		o.Samples/4+2, o.Lines, o.Seed^0xCA1)
 	if err != nil {
 		return nil, err
@@ -261,7 +261,7 @@ func ExtInferM(o Options) (*ExtInferMResult, error) {
 	res := &ExtInferMResult{}
 	for _, trueM := range candidates {
 		cfg := o.gpuConfig()
-		cfg.Coalescing = core.FSS(trueM)
+		cfg.Defense = mechanism.FSS(trueM)
 		_, ds, err := collectCfg(o, cfg)
 		if err != nil {
 			return nil, err
@@ -323,11 +323,11 @@ func ExtScheduler(o Options) (*ExtSchedulerResult, error) {
 	o.Lines = 256 // 8 warps over 2 SMs: 2 warps per scheduler
 	res := &ExtSchedulerResult{}
 	for _, sched := range []gpusim.SchedulerKind{gpusim.LRR, gpusim.GTO} {
-		for _, policy := range []core.Config{core.Baseline(), core.RSSRTS(8)} {
+		for _, policy := range []mechanism.Mechanism{mechanism.Baseline(), mechanism.RSSRTS(8)} {
 			cfg := o.gpuConfig()
 			cfg.NumSMs = 2
 			cfg.Scheduler = sched
-			cfg.Coalescing = policy
+			cfg.Defense = policy
 			_, ds, err := collectCfg(o, cfg)
 			if err != nil {
 				return nil, err
@@ -399,7 +399,11 @@ func ExtPlanPerWarp(o Options) (*ExtPlanPerWarpResult, error) {
 	res := &ExtPlanPerWarpResult{}
 	for _, perWarp := range []bool{false, true} {
 		for _, m := range []int{4, 8} {
-			policy := core.RSSRTS(m)
+			policy := mechanism.RSSRTS(m)
+			drawPlan := func(r *rng.Source) (core.Plan, error) {
+				launch, err := policy.NewLaunch(core.DefaultWarpSize, r)
+				return launch.Plan, err
+			}
 			hw := rng.New(o.Seed).Split(0x9A1)
 			atkRNG := rng.New(o.Seed).Split(0x9A2)
 			data := rng.New(o.Seed).Split(0x9A3)
@@ -407,15 +411,23 @@ func ExtPlanPerWarp(o Options) (*ExtPlanPerWarpResult, error) {
 			est := make([]float64, samples)
 			blocks := make([]int, core.DefaultWarpSize)
 			for n := 0; n < samples; n++ {
-				launchPlan := policy.NewPlan(hw)
-				attackerPlan := policy.NewPlan(atkRNG)
+				launchPlan, err := drawPlan(hw)
+				if err != nil {
+					return nil, err
+				}
+				attackerPlan, err := drawPlan(atkRNG)
+				if err != nil {
+					return nil, err
+				}
 				for w := 0; w < warps; w++ {
 					for i := range blocks {
 						blocks[i] = data.Intn(16)
 					}
 					hwPlan := launchPlan
 					if perWarp && w > 0 {
-						hwPlan = policy.NewPlan(hw)
+						if hwPlan, err = drawPlan(hw); err != nil {
+							return nil, err
+						}
 					}
 					obs[n] += float64(hwPlan.CountSmallBlocks(blocks))
 					est[n] += float64(attackerPlan.CountSmallBlocks(blocks))
@@ -474,15 +486,15 @@ func ExtRSSDist(o Options) (*ExtRSSDistResult, error) {
 	const m = 4
 	res := &ExtRSSDistResult{}
 	for _, pc := range []struct {
-		label  string
-		policy core.Config
+		label   string
+		defense mechanism.Mechanism
 	}{
-		{"FSS (fixed sizes)", core.FSS(m)},
-		{"RSS normal sizing", core.RSSNormal(m, 1.5)},
-		{"RSS skewed sizing", core.RSS(m)},
+		{"FSS (fixed sizes)", mechanism.FSS(m)},
+		{"RSS normal sizing", mechanism.RSSNormal(m, 1.5)},
+		{"RSS skewed sizing", mechanism.RSS(m)},
 	} {
 		cfg := o.gpuConfig()
-		cfg.Coalescing = pc.policy
+		cfg.Defense = pc.defense
 		srv, ds, err := collectCfg(o, cfg)
 		if err != nil {
 			return nil, err
@@ -493,7 +505,7 @@ func ExtRSSDist(o Options) (*ExtRSSDistResult, error) {
 		}
 		row.MeanTx /= float64(len(ds.Samples))
 
-		atk, err := attack.New(pc.policy, o.Seed^0xD157)
+		atk, err := attack.New(pc.defense, o.Seed^0xD157)
 		if err != nil {
 			return nil, err
 		}

@@ -77,7 +77,7 @@ func Fig18(o Options) (*Fig18Result, error) {
 		},
 		func(_ context.Context, _ int, jb job) (out, error) {
 			if jb.baseline {
-				_, base, err := collect(o, MechFSS.Policy(1), false)
+				_, base, err := collect(o, MechFSS.Policy(1))
 				if err != nil {
 					return out{}, err
 				}
@@ -87,7 +87,7 @@ func Fig18(o Options) (*Fig18Result, error) {
 				}
 				return out{BaseCycles: baseCycles / float64(len(base.Samples))}, nil
 			}
-			srv, ds, err := collect(o, jb.mech.Policy(jb.m), false)
+			srv, ds, err := collect(o, jb.mech.Policy(jb.m))
 			if err != nil {
 				return out{}, err
 			}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 	"rcoal/internal/stats"
 )
@@ -32,7 +32,7 @@ type Fig5Result struct {
 
 // Fig5 runs the baseline server and measures the timing relationships.
 func Fig5(o Options) (*Fig5Result, error) {
-	_, ds, err := collect(o, core.Baseline(), false)
+	_, ds, err := collect(o, mechanism.Baseline())
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,7 @@ import (
 	"strings"
 
 	"rcoal/internal/attack"
-	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 )
 
@@ -39,7 +39,11 @@ type Fig6Result struct {
 func Fig6(o Options) (*Fig6Result, error) {
 	res := &Fig6Result{}
 	for _, enabled := range []bool{true, false} {
-		srv, ds, err := collect(o, core.Baseline(), !enabled)
+		defense := mechanism.Baseline()
+		if !enabled {
+			defense = mechanism.NoCoal()
+		}
+		srv, ds, err := collect(o, defense)
 		if err != nil {
 			return nil, err
 		}

@@ -6,7 +6,7 @@ import (
 	"strings"
 
 	"rcoal/internal/attack"
-	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 )
 
@@ -40,7 +40,7 @@ func Fig7(o Options) (*Fig7Result, error) {
 	rows, err := runCells(o, Fig7Subwarps,
 		func(_ int, m int) string { return fmt.Sprintf("fss/%d", m) },
 		func(_ context.Context, _ int, m int) (Fig7Row, error) {
-			srv, ds, err := collect(o, core.FSS(m), false)
+			srv, ds, err := collect(o, mechanism.FSS(m))
 			if err != nil {
 				return Fig7Row{}, err
 			}

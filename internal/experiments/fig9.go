@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 	"rcoal/internal/rng"
 )
@@ -34,13 +35,21 @@ func Fig9(o Options) (*Fig9Result, error) {
 		Normal: make([]int, 33), Skewed: make([]int, 33), Width: o.Width}
 	rNorm := rng.New(o.Seed).Split(901)
 	rSkew := rng.New(o.Seed).Split(902)
-	normal := core.RSSNormal(m, 1.5)
-	skewed := core.RSS(m)
+	normal := mechanism.RSSNormal(m, 1.5)
+	skewed := mechanism.RSS(m)
 	for d := 0; d < Fig9Draws; d++ {
-		for _, s := range normal.NewPlan(rNorm).Sizes {
+		nl, err := normal.NewLaunch(core.DefaultWarpSize, rNorm)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range nl.Plan.Sizes {
 			res.Normal[s]++
 		}
-		for _, s := range skewed.NewPlan(rSkew).Sizes {
+		sl, err := skewed.NewLaunch(core.DefaultWarpSize, rSkew)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sl.Plan.Sizes {
 			res.Skewed[s]++
 		}
 	}

@@ -4,7 +4,7 @@ import (
 	"strings"
 
 	"rcoal/internal/aesgpu"
-	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 )
 
@@ -80,7 +80,7 @@ func SelectiveSweep(o Options, ms []int) (*SelectiveSweepResult, error) {
 	}
 	// policies[0] is the undefended baseline reference; the rest are
 	// the grid, mechanism-major.
-	policies := []core.Config{MechFSS.Policy(1)}
+	policies := []mechanism.Mechanism{MechFSS.Policy(1)}
 	for _, mech := range AllMechanisms {
 		for _, m := range ms {
 			policies = append(policies, mech.Policy(m))
@@ -102,7 +102,7 @@ func SelectiveSweep(o Options, ms []int) (*SelectiveSweepResult, error) {
 		dss = make([]*aesgpu.Dataset, len(policies))
 		for i, p := range policies {
 			c := cfg
-			c.Coalescing = p
+			c.Defense = p
 			_, ds, err := collectCfg(o, c)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"rcoal/internal/attack"
+	"rcoal/internal/mechanism"
+	"rcoal/internal/report"
+)
+
+// This file implements the defense-frontier experiment: every defense
+// in the mechanism registry — the paper's subwarp mechanisms, the
+// obfuscation defenses of Karimi et al. (randomized delay injection,
+// access-pattern shuffling), and the Section III no-coalescing
+// strawman — is swept through the correlation timing attack and the
+// performance/energy accounting, producing the three-axis
+// security/performance/energy frontier the paper's Figure 15-17
+// comparison implies but never draws across defense *families*.
+
+func init() {
+	Registry["ext-defense-frontier"] = func(o Options) (Result, error) { return DefenseFrontier(o) }
+}
+
+// FrontierCell is one defense's point on the frontier.
+type FrontierCell struct {
+	// Name is the mechanism's display name, Spec its canonical parse
+	// spec (ParseMechanism(Spec) reconstructs the mechanism).
+	Name string
+	Spec string
+	// AvgCorrectCorr is the corresponding attack's average correct-byte
+	// correlation against last-round time — the security axis (lower is
+	// safer). For mechanisms that leave the subwarp plan whole-warp
+	// (delay, shuffle, nocoal) the corresponding attack degenerates to
+	// the baseline attack of Jiang et al.
+	AvgCorrectCorr float64
+	// MeanCycles / MeanTx / MeanEnergy are per-encryption averages;
+	// energy is in picojoules under the default GPUWattch-style model.
+	MeanCycles float64
+	MeanTx     float64
+	MeanEnergy float64
+	// NormCycles / NormTx / NormEnergy are normalized to the baseline
+	// cell.
+	NormCycles float64
+	NormTx     float64
+	NormEnergy float64
+}
+
+// FrontierResult is the security/performance/energy frontier over the
+// registered defense zoo.
+type FrontierResult struct {
+	Samples int
+	Rows    []FrontierCell // baseline first, then registry order
+}
+
+// Cell returns the row with the given canonical spec, or nil.
+func (r *FrontierResult) Cell(spec string) *FrontierCell {
+	for i := range r.Rows {
+		if r.Rows[i].Spec == spec {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// frontierSpecs resolves the experiment's defense grid: the explicit
+// Options.Mechanisms filter when given, otherwise every registered
+// mechanism's example specs. The baseline is always included (it is
+// the normalization reference) and always first. Specs are canonical:
+// each parses, and parsing then re-speccing is the identity.
+func frontierSpecs(o Options) ([]string, error) {
+	specs := o.Mechanisms
+	if len(specs) == 0 {
+		specs = mechanism.FrontierSpecs()
+	}
+	out := []string{"baseline"}
+	seen := map[string]bool{"baseline": true}
+	for _, s := range specs {
+		m, err := mechanism.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: frontier: %w", err)
+		}
+		canon := m.Spec()
+		if seen[canon] {
+			continue
+		}
+		seen[canon] = true
+		out = append(out, canon)
+	}
+	return out, nil
+}
+
+// DefenseFrontier sweeps every selected defense through the
+// correlation attack and the performance/energy accounting. Cells fan
+// out over Options.Workers (or Options.Exec) exactly like the other
+// grid experiments: each cell re-parses its own spec and derives all
+// randomness from (o.Seed, spec), so results are byte-identical at any
+// worker count and across distributed executors, and cells journal,
+// cache, and resume through the usual checkpoint machinery.
+func DefenseFrontier(o Options) (*FrontierResult, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	specs, err := frontierSpecs(o)
+	if err != nil {
+		return nil, err
+	}
+
+	// Exported fields: cells round-trip through the checkpoint journal
+	// as JSON when Options.Journal is attached.
+	type out struct{ Cell FrontierCell }
+	outs, err := runCells(o, specs,
+		func(_ int, spec string) string { return spec },
+		func(_ context.Context, _ int, spec string) (out, error) {
+			// Parse inside the cell: cells must be self-contained so a
+			// distributed worker can run them from the key alone.
+			mech, err := mechanism.Parse(spec)
+			if err != nil {
+				return out{}, err
+			}
+			srv, ds, err := collect(o, mech)
+			if err != nil {
+				return out{}, err
+			}
+			cell := FrontierCell{Name: mech.Name(), Spec: mech.Spec()}
+			for _, s := range ds.Samples {
+				cell.MeanCycles += float64(s.TotalCycles)
+				cell.MeanTx += float64(s.TotalTx)
+				cell.MeanEnergy += s.Energy
+			}
+			n := float64(len(ds.Samples))
+			cell.MeanCycles /= n
+			cell.MeanTx /= n
+			cell.MeanEnergy /= n
+
+			atk, err := attack.New(mech, o.Seed^0x5EC)
+			if err != nil {
+				return out{}, err
+			}
+			// The grid saturates the pool, so the per-key-byte loop
+			// inside each cell stays serial (workers = 1).
+			cell.AvgCorrectCorr, err = avgCorrectCorrelation(
+				atk, ciphertexts(ds), ds.LastRoundTimes(), srv.LastRoundKey(), 1)
+			if err != nil {
+				return out{}, err
+			}
+			return out{Cell: cell}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FrontierResult{Samples: o.Samples}
+	base := outs[0].Cell // specs[0] is always "baseline"
+	for _, ot := range outs {
+		cell := ot.Cell
+		cell.NormCycles = cell.MeanCycles / base.MeanCycles
+		cell.NormTx = cell.MeanTx / base.MeanTx
+		cell.NormEnergy = cell.MeanEnergy / base.MeanEnergy
+		res.Rows = append(res.Rows, cell)
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *FrontierResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: defense frontier — every registered mechanism through the\n"+
+		"correlation attack (%d samples; cycles/tx/energy normalized to baseline)\n\n", r.Samples)
+	t := &report.Table{Headers: []string{"defense", "spec", "attack corr", "time (x)", "tx (x)", "energy (x)"}}
+	for _, c := range r.Rows {
+		t.AddRow(c.Name, c.Spec, c.AvgCorrectCorr,
+			fmt.Sprintf("%.2f", c.NormCycles), fmt.Sprintf("%.2f", c.NormTx), fmt.Sprintf("%.2f", c.NormEnergy))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nReading the frontier: a defense dominates when it sits lower (attack\n" +
+		"corr) AND further left (time/energy). Delay injection hides timing\n" +
+		"without touching data movement; shuffling perturbs DRAM order only;\n" +
+		"disabling coalescing pays the worst energy bill (the paper's §III\n" +
+		"argument); subwarp randomization trades the axes smoothly via M.\n")
+	return b.String()
+}
+
+// CSV implements CSVer: one row per defense with all three axes.
+func (r *FrontierResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("mechanism,spec,avg_correct_corr,mean_cycles,norm_cycles,mean_tx,norm_tx,energy_pj,norm_energy\n")
+	for _, c := range r.Rows {
+		b.WriteString(csvJoin(c.Name, c.Spec, c.AvgCorrectCorr,
+			c.MeanCycles, c.NormCycles, c.MeanTx, c.NormTx, c.MeanEnergy, c.NormEnergy))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

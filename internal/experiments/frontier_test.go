@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// frontierOptions is the reduced-scale defense grid the frontier golden
+// is pinned at: one representative per defense family, so the test
+// exercises subwarp plans, both obfuscation hooks, and the per-thread
+// strawman without sweeping the whole registry.
+func frontierOptions() Options {
+	o := goldenOptions()
+	o.Mechanisms = []string{"fss:4", "rss+rts:8", "delay:16", "shuffle", "nocoal"}
+	return o
+}
+
+// TestFrontierSpecs pins the grid-resolution rules: baseline is always
+// present and first, specs are canonicalized and deduplicated, and a
+// bad spec is a clean error.
+func TestFrontierSpecs(t *testing.T) {
+	// Default grid: the registry's examples, baseline first.
+	specs, err := frontierSpecs(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0] != "baseline" {
+		t.Fatalf("default grid starts with %q, want baseline", specs[0])
+	}
+	for _, want := range []string{"fss:4", "rss+rts:8", "delay:64", "shuffle", "nocoal"} {
+		found := false
+		for _, s := range specs {
+			found = found || s == want
+		}
+		if !found {
+			t.Errorf("default grid missing %q: %v", want, specs)
+		}
+	}
+
+	// Explicit filter: canonicalized (aliases fold), deduplicated,
+	// baseline prepended exactly once.
+	o := DefaultOptions()
+	o.Mechanisms = []string{"rssrts:8", "rss+rts:8", "baseline", "no-coalescing"}
+	specs, err = frontierSpecs(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"baseline", "rss+rts:8", "nocoal"}
+	if !reflect.DeepEqual(specs, want) {
+		t.Errorf("filtered grid = %v, want %v", specs, want)
+	}
+
+	o.Mechanisms = []string{"fss:3"}
+	if _, err := frontierSpecs(o); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// TestFrontierDeterminismAndGolden: the frontier CSV is byte-identical
+// at any worker count and matches the committed golden (regenerate with
+// `go test ./internal/experiments -run Frontier -update`).
+func TestFrontierDeterminismAndGolden(t *testing.T) {
+	var ref string
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		o := frontierOptions()
+		o.Workers = workers
+		res, err := DefenseFrontier(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		csv := res.CSV()
+		if ref == "" {
+			ref = csv
+			continue
+		}
+		if csv != ref {
+			t.Errorf("workers=%d: output differs from workers=1 baseline:\n%s\nvs\n%s",
+				workers, csv, ref)
+		}
+	}
+
+	golden := filepath.Join("testdata", "frontier_small.golden.csv")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(ref), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if ref != string(want) {
+		t.Errorf("output diverged from %s:\n got:\n%s\nwant:\n%s", golden, ref, want)
+	}
+}
+
+// TestFrontierResultShape checks the row invariants on a small run: the
+// baseline row normalizes to exactly 1.0 on every axis, every requested
+// defense is present and locatable via Cell, and the strawman rows show
+// the paper's qualitative ordering (no coalescing costs the most
+// transactions; obfuscation defenses keep baseline transaction counts).
+func TestFrontierResultShape(t *testing.T) {
+	o := frontierOptions()
+	res, err := DefenseFrontier(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != o.Samples {
+		t.Errorf("Samples = %d, want %d", res.Samples, o.Samples)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (baseline + 5 defenses)", len(res.Rows))
+	}
+	base := res.Cell("baseline")
+	if base == nil || base != &res.Rows[0] {
+		t.Fatal("baseline row missing or not first")
+	}
+	if base.NormCycles != 1 || base.NormTx != 1 || base.NormEnergy != 1 {
+		t.Errorf("baseline row not normalized to 1: %+v", base)
+	}
+	for _, spec := range []string{"fss:4", "rss+rts:8", "delay:16", "shuffle", "nocoal"} {
+		c := res.Cell(spec)
+		if c == nil {
+			t.Errorf("row for %q missing", spec)
+			continue
+		}
+		if c.Name == "" || c.MeanCycles <= 0 || c.MeanTx <= 0 || c.MeanEnergy <= 0 {
+			t.Errorf("%q: degenerate row %+v", spec, c)
+		}
+	}
+	if res.Cell("unknown") != nil {
+		t.Error("Cell returned a row for an unknown spec")
+	}
+
+	// Transaction counts: nocoal must cost the most; delay and shuffle
+	// leave coalescing (and so tx counts) exactly at baseline.
+	nocoal := res.Cell("nocoal")
+	for _, spec := range []string{"fss:4", "rss+rts:8", "delay:16", "shuffle"} {
+		if c := res.Cell(spec); c != nil && nocoal.MeanTx <= c.MeanTx {
+			t.Errorf("nocoal tx %f not above %s tx %f", nocoal.MeanTx, spec, c.MeanTx)
+		}
+	}
+	for _, spec := range []string{"delay:16", "shuffle"} {
+		if c := res.Cell(spec); c != nil && c.MeanTx != base.MeanTx {
+			t.Errorf("%s perturbed transaction counts: %f vs baseline %f", spec, c.MeanTx, base.MeanTx)
+		}
+	}
+	// Delay injection must cost cycles over baseline (it stalls every
+	// memory issue); subwarping must cost transactions over baseline.
+	if c := res.Cell("delay:16"); c != nil && c.MeanCycles <= base.MeanCycles {
+		t.Errorf("delay:16 cycles %f not above baseline %f", c.MeanCycles, base.MeanCycles)
+	}
+	if c := res.Cell("rss+rts:8"); c != nil && c.MeanTx <= base.MeanTx {
+		t.Errorf("rss+rts:8 tx %f not above baseline %f", c.MeanTx, base.MeanTx)
+	}
+
+	// Render includes every row; CSV header matches the exporter schema.
+	text := res.Render()
+	for _, row := range res.Rows {
+		if !strings.Contains(text, row.Name) {
+			t.Errorf("Render missing row %q", row.Name)
+		}
+	}
+	if !strings.HasPrefix(res.CSV(), "mechanism,spec,avg_correct_corr,") {
+		t.Errorf("CSV header changed: %q", strings.SplitN(res.CSV(), "\n", 2)[0])
+	}
+}
+
+// TestFrontierJournalRoundTrip: a frontier run with a journal attached
+// restores every cell on resume and reproduces the same result.
+func TestFrontierJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	o := frontierOptions()
+	o.Mechanisms = []string{"fss:4", "nocoal"}
+	path := filepath.Join(dir, "frontier.journal")
+
+	j, err := OpenJournal(path, "ext-defense-frontier", o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Journal = j
+	first, err := DefenseFrontier(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, "ext-defense-frontier", o, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 3 {
+		t.Fatalf("journal has %d cells, want 3", j2.Len())
+	}
+	o.Journal = j2
+	o.faultHook = func(int) error { t.Fatal("resume recomputed a journaled cell"); return nil }
+	again, err := DefenseFrontier(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Error("journaled resume produced a different frontier")
+	}
+}

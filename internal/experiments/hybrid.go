@@ -60,32 +60,17 @@ func hybridTheoryModel() (*theory.Model, error) {
 }
 
 // hybridPredict returns the analytical ρ for (mech, m) when the
-// Section V model covers that point. RSS without RTS has no
-// closed-form model in the paper (the skewed-size distribution breaks
-// the composition-class enumeration), and FSS variants require M to
-// divide the warp size — those cells report ok=false and always
-// simulate.
+// Section V model covers that point (theory.Model.RhoFor). RSS
+// without RTS has no closed-form model in the paper (the skewed-size
+// distribution breaks the composition-class enumeration), and FSS
+// variants require M to divide the warp size — those cells report
+// ok=false and always simulate.
 func hybridPredict(mech Mechanism, m int) (rho float64, ok bool) {
 	md, err := hybridTheoryModel()
 	if err != nil {
 		return 0, false
 	}
-	if m < 1 || m > md.N {
-		return 0, false
-	}
-	switch mech {
-	case MechFSS:
-		if md.N%m == 0 {
-			return md.RhoFSS(m), true
-		}
-	case MechFSSRTS:
-		if md.N%m == 0 {
-			return md.RhoFSSRTS(m), true
-		}
-	case MechRSSRTS:
-		return md.RhoRSSRTS(m), true
-	}
-	return 0, false
+	return md.RhoFor(mech.Policy(m))
 }
 
 // hybridScore returns the score to substitute for (mech, m) under

@@ -30,6 +30,11 @@ type journalMeta struct {
 	// KeyHash fingerprints the AES key without writing it to disk.
 	KeyHash string `json:"keyHash"`
 	Hybrid  bool   `json:"hybrid,omitempty"`
+	// Mechanisms is the explicit defense-spec filter of mechanism-
+	// enumerating experiments. omitempty keeps the fingerprints of
+	// every pre-existing experiment (and of default frontier runs)
+	// unchanged.
+	Mechanisms []string `json:"mechanisms,omitempty"`
 }
 
 func metaFor(id string, o Options) journalMeta {
@@ -42,6 +47,7 @@ func metaFor(id string, o Options) journalMeta {
 		Seed:       o.Seed,
 		KeyHash:    fmt.Sprintf("%016x", h.Sum64()),
 		Hybrid:     o.Hybrid,
+		Mechanisms: o.Mechanisms,
 	}
 }
 

@@ -6,8 +6,8 @@ import (
 
 	"rcoal/internal/aesgpu"
 	"rcoal/internal/attack"
-	"rcoal/internal/core"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 	"rcoal/internal/rng"
 )
@@ -44,9 +44,9 @@ func ExtModes(o Options) (*ExtModesResult, error) {
 		return nil, err
 	}
 	res := &ExtModesResult{}
-	for _, defense := range []core.Config{core.Baseline(), core.RSSRTS(8)} {
+	for _, defense := range []mechanism.Mechanism{mechanism.Baseline(), mechanism.RSSRTS(8)} {
 		cfg := o.gpuConfig()
-		cfg.Coalescing = defense
+		cfg.Defense = defense
 		srv, err := aesgpu.NewServer(cfg, o.Key)
 		if err != nil {
 			return nil, err
@@ -69,7 +69,7 @@ func ExtModes(o Options) (*ExtModesResult, error) {
 	return res, nil
 }
 
-func attackDecryption(o Options, srv *aesgpu.Server, defense core.Config) (*ExtModesRow, error) {
+func attackDecryption(o Options, srv *aesgpu.Server, defense mechanism.Mechanism) (*ExtModesRow, error) {
 	src := rng.New(o.Seed).Split(0xDEC)
 	var outputs [][]kernels.Line
 	var times []float64
@@ -100,7 +100,7 @@ func attackDecryption(o Options, srv *aesgpu.Server, defense core.Config) (*ExtM
 	}, nil
 }
 
-func attackCTR(o Options, srv *aesgpu.Server, defense core.Config) (*ExtModesRow, error) {
+func attackCTR(o Options, srv *aesgpu.Server, defense mechanism.Mechanism) (*ExtModesRow, error) {
 	src := rng.New(o.Seed).Split(0xC7)
 	var keystreams [][]kernels.Line
 	var times []float64

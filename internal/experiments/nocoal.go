@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 )
 
@@ -33,11 +33,11 @@ func NoCoal(o Options) (*NoCoalResult, error) {
 	for _, lines := range []int{32, 1024} {
 		opt := o
 		opt.Lines = lines
-		_, on, err := collect(opt, core.Baseline(), false)
+		_, on, err := collect(opt, mechanism.Baseline())
 		if err != nil {
 			return nil, err
 		}
-		_, off, err := collect(opt, core.Baseline(), true)
+		_, off, err := collect(opt, mechanism.NoCoal())
 		if err != nil {
 			return nil, err
 		}

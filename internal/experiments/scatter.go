@@ -61,7 +61,7 @@ func ScatterExperiment(o Options, mech Mechanism, id string) (*ScatterResult, er
 	panels, err := runCells(o, ScatterSubwarps,
 		func(_ int, m int) string { return fmt.Sprintf("%s/%d", mech, m) },
 		func(_ context.Context, _ int, m int) (ScatterPanel, error) {
-			srv, ds, err := collect(o, mech.Policy(m), false)
+			srv, ds, err := collect(o, mech.Policy(m))
 			if err != nil {
 				return ScatterPanel{}, err
 			}

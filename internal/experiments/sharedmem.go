@@ -6,8 +6,8 @@ import (
 
 	"rcoal/internal/aesgpu"
 	"rcoal/internal/attack"
-	"rcoal/internal/core"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 	"rcoal/internal/rng"
 )
@@ -46,9 +46,9 @@ func ExtSharedMem(o Options) (*ExtSharedMemResult, error) {
 		return nil, err
 	}
 	res := &ExtSharedMemResult{Samples: o.Samples}
-	for _, defense := range []core.Config{core.Baseline(), core.RSSRTS(8)} {
+	for _, defense := range []mechanism.Mechanism{mechanism.Baseline(), mechanism.RSSRTS(8)} {
 		cfg := o.gpuConfig()
-		cfg.Coalescing = defense
+		cfg.Defense = defense
 		srv, err := aesgpu.NewServer(cfg, o.Key)
 		if err != nil {
 			return nil, err

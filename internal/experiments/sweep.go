@@ -88,7 +88,7 @@ func Sweep(o Options, ms []int) (*SweepResult, error) {
 		},
 		func(_ context.Context, _ int, jb job) (out, error) {
 			if jb.baseline {
-				_, base, err := collect(o, MechFSS.Policy(1), false)
+				_, base, err := collect(o, MechFSS.Policy(1))
 				if err != nil {
 					return out{}, err
 				}
@@ -101,7 +101,7 @@ func Sweep(o Options, ms []int) (*SweepResult, error) {
 				ot.BaseTx /= float64(len(base.Samples))
 				return ot, nil
 			}
-			srv, ds, err := collect(o, jb.mech.Policy(jb.m), false)
+			srv, ds, err := collect(o, jb.mech.Policy(jb.m))
 			if err != nil {
 				return out{}, err
 			}

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"strings"
 
-	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/report"
 	"rcoal/internal/runner"
 )
@@ -47,7 +47,7 @@ func ExtWorkloads(o Options) (*ExtWorkloadsResult, error) {
 		return nil, err
 	}
 	const warps, loads = 4, 64
-	policies := []core.Config{core.Baseline(), core.FSS(8), core.RSS(8), core.RSSRTS(8), core.FSS(32)}
+	policies := []mechanism.Mechanism{mechanism.Baseline(), mechanism.FSS(8), mechanism.RSS(8), mechanism.RSSRTS(8), mechanism.FSS(32)}
 	reps := o.Samples / 10
 	if reps < 3 {
 		reps = 3
@@ -55,7 +55,7 @@ func ExtWorkloads(o Options) (*ExtWorkloadsResult, error) {
 
 	type job struct {
 		pattern kernels.Pattern
-		policy  core.Config
+		policy  mechanism.Mechanism
 	}
 	jobs := make([]job, 0, len(kernels.AllPatterns)*len(policies))
 	for _, p := range kernels.AllPatterns {
@@ -70,7 +70,7 @@ func ExtWorkloads(o Options) (*ExtWorkloadsResult, error) {
 		func(_ int, jb job) string { return jb.pattern.String() + "/" + jb.policy.Name() },
 		func(_ context.Context, _ int, jb job) (raw, error) {
 			cfg := o.gpuConfig()
-			cfg.Coalescing = jb.policy
+			cfg.Defense = jb.policy
 			g, err := gpusim.New(cfg)
 			if err != nil {
 				return raw{}, err
@@ -101,7 +101,7 @@ func ExtWorkloads(o Options) (*ExtWorkloadsResult, error) {
 	res := &ExtWorkloadsResult{}
 	var baseCycles, baseTx float64
 	for i, jb := range jobs {
-		if jb.policy.NumSubwarps == 1 {
+		if jb.policy.Spec() == "baseline" {
 			baseCycles, baseTx = raws[i].Cycles, raws[i].Tx
 		}
 		res.Cells = append(res.Cells, ExtWorkloadsCell{

@@ -19,11 +19,11 @@ package gpusim
 import (
 	"fmt"
 
-	"rcoal/internal/core"
 	"rcoal/internal/faultinject"
 	"rcoal/internal/gpusim/cache"
 	"rcoal/internal/gpusim/dram"
 	"rcoal/internal/gpusim/mem"
+	"rcoal/internal/mechanism"
 )
 
 // Config is the simulated GPU configuration. DefaultConfig returns
@@ -60,13 +60,12 @@ type Config struct {
 	// DRAMQueueCap bounds each controller's request queue (0 =
 	// unbounded).
 	DRAMQueueCap int
-	// Coalescing is the RCoal policy installed in the MCU: Baseline,
-	// FSS/RSS with or without RTS.
-	Coalescing core.Config
-	// CoalescingDisabled bypasses the coalescer entirely: one
-	// transaction per active thread (the strawman defense of Section
-	// III).
-	CoalescingDisabled bool
+	// Defense is the installed timing-channel defense: an RCoal subwarp
+	// coalescing policy (mechanism.Baseline/FSS/RSS... or any
+	// mechanism.Subwarp wrapping a core.Config), an obfuscation defense
+	// (mechanism.Delay, mechanism.Shuffle), or the no-coalescing
+	// strawman (mechanism.NoCoal). nil means the undefended baseline.
+	Defense mechanism.Mechanism
 	// MCURate is the number of coalesced transactions the LD/ST unit
 	// injects into the interconnect per cycle (Table I: one subwarp
 	// per coalescing unit per cycle; we inject one transaction per
@@ -199,7 +198,7 @@ func DefaultConfig() Config {
 		AddressMap:      mem.DefaultAddressMap(),
 		DRAMTiming:      dram.HynixGDDR5(),
 		DRAMQueueCap:    64,
-		Coalescing:      core.Baseline(),
+		Defense:         mechanism.Baseline(),
 		MCURate:         1,
 		SharedBanks:     32,
 		SharedLatency:   2,
@@ -279,14 +278,12 @@ func (c Config) Validate() error {
 			return fmt.Errorf("gpusim: vulnerable round %d outside [1,%d]", r, MaxRounds)
 		}
 	}
-	cc := c.Coalescing
-	if cc.WarpSize == 0 {
-		cc.WarpSize = c.WarpSize
+	if c.Defense != nil {
+		if err := c.Defense.ValidateFor(c.WarpSize); err != nil {
+			return fmt.Errorf("gpusim: defense %s: %w", c.Defense.Spec(), err)
+		}
 	}
-	if cc.WarpSize != c.WarpSize {
-		return fmt.Errorf("gpusim: coalescing warp size %d != GPU warp size %d", cc.WarpSize, c.WarpSize)
-	}
-	return cc.Validate()
+	return nil
 }
 
 // clockRatio returns core cycles per memory cycle.

@@ -5,7 +5,7 @@ import (
 	"reflect"
 	"testing"
 
-	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/rng"
 )
 
@@ -75,20 +75,20 @@ func ffVariants() []ffVariant {
 			c.CacheRandomized = true
 		}},
 		{"gto", func(c *Config) { c.Scheduler = GTO }},
-		{"nocoal", func(c *Config) { c.CoalescingDisabled = true }},
+		{"nocoal", func(c *Config) { c.Defense = mechanism.NoCoal() }},
 		{"selective", func(c *Config) { c.VulnerableRounds = []int{1, 4} }},
 		{"planperwarp", func(c *Config) { c.PlanPerWarp = true }},
 	}
 }
 
-func ffMechanisms() []core.Config {
-	return []core.Config{
-		core.Baseline(),
-		core.FSS(8),
-		core.FSSRTS(4),
-		core.RSS(8),
-		core.RSSRTS(8),
-		core.RSSNormal(4, 1.5),
+func ffMechanisms() []mechanism.Mechanism {
+	return []mechanism.Mechanism{
+		mechanism.Baseline(),
+		mechanism.FSS(8),
+		mechanism.FSSRTS(4),
+		mechanism.RSS(8),
+		mechanism.RSSRTS(8),
+		mechanism.RSSNormal(4, 1.5),
 	}
 }
 
@@ -102,7 +102,7 @@ func TestFastForwardByteIdenticalResults(t *testing.T) {
 		for _, mech := range ffMechanisms() {
 			t.Run(fmt.Sprintf("%s/%s", variant.name, mech.Name()), func(t *testing.T) {
 				cfg := DefaultConfig()
-				cfg.Coalescing = mech
+				cfg.Defense = mech
 				variant.mut(&cfg)
 
 				slow := cfg
@@ -143,7 +143,7 @@ func TestFastForwardByteIdenticalResults(t *testing.T) {
 // single-use GPUs, fast-forwarded or not.
 func TestFastForwardIdenticalAcrossReuse(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.Coalescing = core.RSSRTS(8)
+	cfg.Defense = mechanism.RSSRTS(8)
 	shared, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 )
 
 // aesLikeKernel builds a warp that re-reads a small table region every
@@ -184,7 +184,7 @@ func TestSchedulerKindString(t *testing.T) {
 
 func TestVulnerableRoundsSelective(t *testing.T) {
 	full := DefaultConfig()
-	full.Coalescing = core.FSS(8)
+	full.Defense = mechanism.FSS(8)
 	gFull := mustGPU(t, full)
 	fres, err := gFull.Run(aesLikeKernel(1, 10), 1)
 	if err != nil {
@@ -192,7 +192,7 @@ func TestVulnerableRoundsSelective(t *testing.T) {
 	}
 
 	sel := DefaultConfig()
-	sel.Coalescing = core.FSS(8)
+	sel.Defense = mechanism.FSS(8)
 	sel.VulnerableRounds = []int{10}
 	gSel := mustGPU(t, sel)
 	sres, err := gSel.Run(aesLikeKernel(1, 10), 1)
@@ -239,7 +239,7 @@ func TestPlanPerWarpDiversifies(t *testing.T) {
 	// produce identical access counts; with per-warp plans they split.
 	mk := func(perWarp bool) *Result {
 		cfg := DefaultConfig()
-		cfg.Coalescing = core.RSSRTS(8)
+		cfg.Defense = mechanism.RSSRTS(8)
 		cfg.PlanPerWarp = perWarp
 		g := mustGPU(t, cfg)
 		res, err := g.Run(aesLikeKernel(6, 10), 9)
@@ -424,7 +424,7 @@ func TestEnergyModelEstimate(t *testing.T) {
 	}
 	// More transactions -> more energy.
 	cfg := DefaultConfig()
-	cfg.Coalescing = core.FSS(32)
+	cfg.Defense = mechanism.FSS(32)
 	g32 := mustGPU(t, cfg)
 	res32, err := g32.Run(aesLikeKernel(1, 10), 1)
 	if err != nil {

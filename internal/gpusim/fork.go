@@ -8,6 +8,7 @@ import (
 	"rcoal/internal/gpusim/dram"
 	"rcoal/internal/gpusim/icnt"
 	"rcoal/internal/gpusim/mem"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/rng"
 )
 
@@ -15,8 +16,9 @@ import (
 // RCoal sweeps. Under VulnerableRounds only the listed rounds use the
 // mechanism's subwarp plan; every other instruction coalesces with the
 // whole-warp basePlan, whose derivation consumes zero RNG draws
-// (core.Config.NewPlan only touches the RNG for skewed/normal sizes
-// and RandomThreads, none of which Baseline sets). The timing prefix
+// (mechanism.WholeWarpPlan never touches a stream, and plan-only
+// mechanisms — the only ones forkable() admits — draw nothing at
+// per-request time). The timing prefix
 // up to the first vulnerable-round instruction is therefore a pure
 // function of (kernel, seed), independent of the mechanism under test:
 // RunPrefix simulates it once, snapshots the complete simulator state,
@@ -105,24 +107,29 @@ func (g *GPU) forkable() error {
 		return fmt.Errorf("gpusim: prefix forking is incompatible with metrics")
 	case g.cfg.Faults != nil:
 		return fmt.Errorf("gpusim: prefix forking is incompatible with fault injection")
+	case !mechanism.PlanOnly(g.cfg.Defense, g.cfg.WarpSize):
+		// Per-request hooks (delay, shuffle) and the coalescer bypass
+		// consume defense randomness — or change timing — inside the
+		// prefix, so the prefix is no longer mechanism-independent.
+		return fmt.Errorf("gpusim: prefix forking requires a plan-only defense, not %s", g.cfg.Defense.Spec())
 	}
 	return nil
 }
 
 // forkCompatible reports whether two configurations may share a prefix
-// snapshot: identical in every respect except the coalescing mechanism
+// snapshot: identical in every respect except the defense mechanism
 // under test.
 func forkCompatible(a, b Config) bool {
-	a.Coalescing = core.Config{}
-	b.Coalescing = core.Config{}
+	a.Defense = nil
+	b.Defense = nil
 	return reflect.DeepEqual(a, b)
 }
 
 // RunPrefix simulates the mechanism-independent prefix of the kernel —
 // everything before the first vulnerable-round instruction issues —
-// and returns a reusable snapshot. The GPU's own Coalescing config is
-// irrelevant to the prefix (conventionally core.Baseline()); what
-// matters is that every other Config field matches the fork GPUs'.
+// and returns a reusable snapshot. The GPU's own Defense is irrelevant
+// to the prefix (conventionally mechanism.Baseline()); what matters is
+// that every other Config field matches the fork GPUs'.
 func (g *GPU) RunPrefix(k *Kernel, seed uint64) (*PrefixSnapshot, error) {
 	if err := g.forkable(); err != nil {
 		return nil, err
@@ -224,7 +231,7 @@ func (g *GPU) snapshotPrefix(st *runState, k *Kernel, seed uint64) *PrefixSnapsh
 	return snap
 }
 
-// RunFork resumes a prefix snapshot under this GPU's coalescing
+// RunFork resumes a prefix snapshot under this GPU's defense
 // mechanism and runs the vulnerable suffix to completion. The result
 // is byte-identical to g.Run(snap kernel, snap seed). The snapshot is
 // not consumed: it may be forked again, by this or another
@@ -238,16 +245,18 @@ func (g *GPU) RunFork(snap *PrefixSnapshot) (*Result, error) {
 	}
 	k := snap.kernel // validated by RunPrefix under an identical WarpSize
 
-	// Re-derive the launch plans exactly as setup would: the fork's
-	// mechanism plan comes from the same hardware stream position
-	// because the basePlan draw between them consumes nothing.
+	// Re-derive the launch exactly as setup would: the fork's mechanism
+	// plan comes from the same hardware stream position because the
+	// basePlan derivation between them consumes nothing.
 	hwRNG := rng.New(snap.seed).Split(0xC0A1)
-	launchPlan := g.cfg.Coalescing.NewPlan(hwRNG)
+	launch, err := g.cfg.Defense.NewLaunch(g.cfg.WarpSize, hwRNG)
+	if err != nil {
+		return nil, err
+	}
 	cacheRNG := rng.New(snap.seed).Split(0xCAC8E)
 
 	st := g.rt
 	if st == nil || len(st.runs) != len(k.Warps) {
-		var err error
 		if st, err = g.build(len(k.Warps)); err != nil {
 			return nil, err
 		}
@@ -268,11 +277,13 @@ func (g *GPU) RunFork(snap *PrefixSnapshot) (*Result, error) {
 
 	res := snap.res
 	res.Warps = append([]WarpStats(nil), snap.res.Warps...)
-	res.Plan = launchPlan
+	res.Plan = launch.Plan
 	st.res = &res
 	st.reqID = snap.reqID
 	st.remaining = snap.remaining
 	st.progress = snap.progress
+	st.launch = launch
+	st.defRNG = nil // forkable() admits plan-only defenses exclusively
 	st.basePlan = snap.basePlan
 	st.roundMask = [MaxRounds + 1]bool{}
 	st.selective = true
@@ -286,7 +297,7 @@ func (g *GPU) RunFork(snap *PrefixSnapshot) (*Result, error) {
 		*w = warpRun{
 			prog: wp, pc: ws.pc, readyAt: ws.readyAt, pending: ws.pending,
 			blocked: ws.blocked, curRound: ws.curRound, done: ws.done,
-			plan: launchPlan, stats: ws.stats,
+			plan: launch.Plan, delayedPC: -1, stats: ws.stats,
 		}
 	}
 	for i, sm := range st.sms {

@@ -5,7 +5,7 @@ import (
 	"reflect"
 	"testing"
 
-	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 )
 
 // This file enforces the copy-on-write prefix-fork determinism
@@ -15,16 +15,16 @@ import (
 // forkMechanisms spans the mechanism × subwarp-count grid the
 // acceptance criteria require: ≥ 6 mechanism families × ≥ 3 subwarp
 // counts.
-func forkMechanisms() []core.Config {
-	var out []core.Config
-	out = append(out, core.Baseline())
+func forkMechanisms() []mechanism.Mechanism {
+	var out []mechanism.Mechanism
+	out = append(out, mechanism.Baseline())
 	for _, m := range []int{2, 4, 8} {
 		out = append(out,
-			core.FSS(m),
-			core.FSSRTS(m),
-			core.RSS(m),
-			core.RSSRTS(m),
-			core.RSSNormal(m, 1.5),
+			mechanism.FSS(m),
+			mechanism.FSSRTS(m),
+			mechanism.RSS(m),
+			mechanism.RSSRTS(m),
+			mechanism.RSSNormal(m, 1.5),
 		)
 	}
 	return out
@@ -32,9 +32,9 @@ func forkMechanisms() []core.Config {
 
 // forkConfig returns a fork-eligible selective config with the given
 // mechanism and vulnerable rounds.
-func forkConfig(mech core.Config, vulnerable []int, mut func(*Config)) Config {
+func forkConfig(mech mechanism.Mechanism, vulnerable []int, mut func(*Config)) Config {
 	cfg := DefaultConfig()
-	cfg.Coalescing = mech
+	cfg.Defense = mech
 	cfg.VulnerableRounds = vulnerable
 	if mut != nil {
 		mut(&cfg)
@@ -62,7 +62,7 @@ func TestForkByteIdenticalResults(t *testing.T) {
 
 	for _, variant := range variants {
 		t.Run(variant.name, func(t *testing.T) {
-			prefixGPU, err := New(forkConfig(core.Baseline(), vulnerable, variant.mut))
+			prefixGPU, err := New(forkConfig(mechanism.Baseline(), vulnerable, variant.mut))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,7 +75,7 @@ func TestForkByteIdenticalResults(t *testing.T) {
 					t.Fatalf("seed %d: prefix ran to completion; kernel should reach round 4", seed)
 				}
 				for _, mech := range forkMechanisms() {
-					t.Run(fmt.Sprintf("%s-m%d/seed%d", mech.Name(), mech.NumSubwarps, seed), func(t *testing.T) {
+					t.Run(fmt.Sprintf("%s/seed%d", mech.Name(), seed), func(t *testing.T) {
 						cfg := forkConfig(mech, vulnerable, variant.mut)
 						vanilla, err := New(cfg)
 						if err != nil {
@@ -112,7 +112,7 @@ func TestForkByteIdenticalResults(t *testing.T) {
 func TestForkSnapshotImmutable(t *testing.T) {
 	kern := randomKernel(3, 3, 4)
 	vulnerable := []int{4}
-	prefixGPU, err := New(forkConfig(core.Baseline(), vulnerable, nil))
+	prefixGPU, err := New(forkConfig(mechanism.Baseline(), vulnerable, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestForkSnapshotImmutable(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	mechA, mechB := core.RSSRTS(8), core.FSS(4)
+	mechA, mechB := mechanism.RSSRTS(8), mechanism.FSS(4)
 	gA, err := New(forkConfig(mechA, vulnerable, nil))
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +164,7 @@ func TestForkSnapshotImmutable(t *testing.T) {
 func TestForkFinishedPrefix(t *testing.T) {
 	kern := randomKernel(5, 2, 3) // rounds 1..3 only
 	vulnerable := []int{9}
-	prefixGPU, err := New(forkConfig(core.Baseline(), vulnerable, nil))
+	prefixGPU, err := New(forkConfig(mechanism.Baseline(), vulnerable, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestForkFinishedPrefix(t *testing.T) {
 	if !snap.Finished() {
 		t.Fatal("prefix should have run to completion")
 	}
-	mech := core.RSSRTS(4)
+	mech := mechanism.RSSRTS(4)
 	cfg := forkConfig(mech, vulnerable, nil)
 	vanilla, err := New(cfg)
 	if err != nil {
@@ -205,10 +205,10 @@ func TestForkGates(t *testing.T) {
 		name string
 		cfg  Config
 	}{
-		{"no-vulnerable-rounds", forkConfig(core.RSS(4), nil, nil)},
-		{"plan-per-warp", forkConfig(core.RSS(4), []int{3}, func(c *Config) { c.PlanPerWarp = true })},
-		{"l1", forkConfig(core.RSS(4), []int{3}, func(c *Config) { c.L1Enabled, c.L1 = true, DefaultL1() })},
-		{"l2", forkConfig(core.RSS(4), []int{3}, func(c *Config) { c.L2Enabled, c.L2 = true, DefaultL2() })},
+		{"no-vulnerable-rounds", forkConfig(mechanism.RSS(4), nil, nil)},
+		{"plan-per-warp", forkConfig(mechanism.RSS(4), []int{3}, func(c *Config) { c.PlanPerWarp = true })},
+		{"l1", forkConfig(mechanism.RSS(4), []int{3}, func(c *Config) { c.L1Enabled, c.L1 = true, DefaultL1() })},
+		{"l2", forkConfig(mechanism.RSS(4), []int{3}, func(c *Config) { c.L2Enabled, c.L2 = true, DefaultL2() })},
 	}
 	for _, tc := range reject {
 		t.Run(tc.name, func(t *testing.T) {
@@ -224,7 +224,7 @@ func TestForkGates(t *testing.T) {
 
 	// Fork-incompatibility beyond the mechanism: differing
 	// VulnerableRounds must be refused.
-	prefixGPU, err := New(forkConfig(core.Baseline(), []int{3}, nil))
+	prefixGPU, err := New(forkConfig(mechanism.Baseline(), []int{3}, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestForkGates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	other, err := New(forkConfig(core.RSS(4), []int{2}, nil))
+	other, err := New(forkConfig(mechanism.RSS(4), []int{2}, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

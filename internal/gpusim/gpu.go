@@ -9,6 +9,7 @@ import (
 	"rcoal/internal/gpusim/dram"
 	"rcoal/internal/gpusim/icnt"
 	"rcoal/internal/gpusim/mem"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/ringbuf"
 	"rcoal/internal/rng"
 )
@@ -55,11 +56,11 @@ type GPU struct {
 
 // New validates the configuration and returns a simulator.
 func New(cfg Config) (*GPU, error) {
+	if cfg.Defense == nil {
+		cfg.Defense = mechanism.Baseline()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if cfg.Coalescing.WarpSize == 0 {
-		cfg.Coalescing.WarpSize = cfg.WarpSize
 	}
 	return &GPU{cfg: cfg, timing: cfg.DRAMTiming.Scale(cfg.clockRatio())}, nil
 }
@@ -105,12 +106,16 @@ type warpRun struct {
 	curRound int
 	done     bool
 	plan     core.Plan // this warp's subwarp plan
-	stats    WarpStats
+	// delayedPC marks the pc whose randomized issue delay (the defense's
+	// Delay hook) has already been drawn, so a retried instruction does
+	// not stall twice; -1 when no draw is pending.
+	delayedPC int
+	stats     WarpStats
 }
 
 // reset prepares the warp state for a new launch.
 func (w *warpRun) reset(prog *WarpProgram, plan core.Plan) {
-	*w = warpRun{prog: prog, plan: plan}
+	*w = warpRun{prog: prog, plan: plan, delayedPC: -1}
 	for r := 0; r <= MaxRounds; r++ {
 		w.stats.RoundStart[r] = -1
 		w.stats.RoundEnd[r] = -1
@@ -166,6 +171,14 @@ type runState struct {
 	// progress watchdog trips when it stops advancing while warps
 	// remain unfinished; it never influences simulation behavior.
 	progress uint64
+	// launch is the realized defense state for this launch: the subwarp
+	// plan behind res.Plan plus the per-request hooks (delay, shuffle)
+	// and the coalescer bypass.
+	launch mechanism.Launch
+	// defRNG feeds the launch's per-request defense hooks; nil when the
+	// defense has none, so plan-only mechanisms consume exactly the
+	// streams they did before the Mechanism seam existed.
+	defRNG    *rng.Source
 	basePlan  core.Plan // whole-warp plan for non-vulnerable rounds
 	roundMask [MaxRounds + 1]bool
 	selective bool
@@ -374,17 +387,20 @@ func (g *GPU) nextEvent(st *runState, now int64) int64 {
 // previous launch when the warp count matches; per-launch state (the
 // Result, the plans) is always fresh because it escapes to the caller.
 func (g *GPU) setup(k *Kernel, seed uint64) (*runState, error) {
-	// The subwarp-id mapping is set by the hardware logic at the
-	// beginning of the execution and stays fixed for the launch
-	// (Section IV-D): one plan shared by every warp of the launch,
-	// unless PlanPerWarp asks for per-warp randomization.
+	// The defense's launch state (for subwarp mechanisms, the
+	// subwarp-id mapping) is set by the hardware logic at the beginning
+	// of the execution and stays fixed for the launch (Section IV-D):
+	// one realization shared by every warp of the launch, unless
+	// PlanPerWarp asks for per-warp randomization.
 	hwRNG := rng.New(seed).Split(0xC0A1) // hardware stream; attackers never see it
-	launchPlan := g.cfg.Coalescing.NewPlan(hwRNG)
+	launch, err := g.cfg.Defense.NewLaunch(g.cfg.WarpSize, hwRNG)
+	if err != nil {
+		return nil, err
+	}
 	cacheRNG := rng.New(seed).Split(0xCAC8E)
 
 	st := g.rt
 	if st == nil || len(st.runs) != len(k.Warps) {
-		var err error
 		if st, err = g.build(len(k.Warps)); err != nil {
 			return nil, err
 		}
@@ -399,24 +415,34 @@ func (g *GPU) setup(k *Kernel, seed uint64) (*runState, error) {
 		m.reset() // each Run reports exactly its own launch
 	}
 
-	st.res = &Result{Plan: launchPlan, Warps: make([]WarpStats, len(k.Warps))}
+	st.res = &Result{Plan: launch.Plan, Warps: make([]WarpStats, len(k.Warps))}
 	st.reqID = 0
 	st.remaining = len(st.runs)
+	st.launch = launch
+	st.defRNG = nil
+	if launch.HasHooks() {
+		// Dedicated stream for the per-request hooks: drawn lazily here
+		// so plan-only mechanisms touch exactly the streams they did
+		// before the Mechanism seam existed (the byte-identity contract).
+		st.defRNG = rng.New(seed).Split(0xDE1A)
+	}
 	st.roundMask = [MaxRounds + 1]bool{}
 	st.basePlan = core.Plan{}
 	st.selective = len(g.cfg.VulnerableRounds) > 0
 	if st.selective {
-		wholeWarp := core.Baseline()
-		wholeWarp.WarpSize = g.cfg.WarpSize
-		st.basePlan = wholeWarp.NewPlan(hwRNG)
+		st.basePlan = mechanism.WholeWarpPlan(g.cfg.WarpSize)
 		for _, r := range g.cfg.VulnerableRounds {
 			st.roundMask[r] = true
 		}
 	}
 	for i, wp := range k.Warps {
-		plan := launchPlan
+		plan := launch.Plan
 		if g.cfg.PlanPerWarp {
-			plan = g.cfg.Coalescing.NewPlan(hwRNG)
+			wl, err := g.cfg.Defense.NewLaunch(g.cfg.WarpSize, hwRNG)
+			if err != nil {
+				return nil, err
+			}
+			plan = wl.Plan
 		}
 		st.runs[i].reset(wp, plan)
 	}
@@ -867,6 +893,9 @@ func (g *GPU) tryIssue(st *runState, sm *smState, smID int, w *warpRun, now int6
 		w.pc++
 		st.res.ALUOps++
 	case Load, Store:
+		if g.delayIssue(st, w, now) {
+			break // randomized-delay defense: slot consumed, pc unchanged
+		}
 		g.issueMemory(st, sm, smID, w, ins, now)
 		w.pc++
 	case SharedLoad:
@@ -875,6 +904,25 @@ func (g *GPU) tryIssue(st *runState, sm *smState, smID int, w *warpRun, now int6
 	}
 	st.progress++
 	return true
+}
+
+// delayIssue is the issue-stage seam for the randomized-delay defense:
+// when the launch carries a Delay hook, every memory instruction draws
+// one stall from the defense stream the first time it reaches the
+// front of its warp. A positive draw holds the warp for that many
+// cycles and reports true (the instruction retries after the stall);
+// delayedPC remembers the draw so the retry — and a zero draw — issues
+// immediately.
+func (g *GPU) delayIssue(st *runState, w *warpRun, now int64) bool {
+	if st.launch.Delay == nil || w.delayedPC == w.pc {
+		return false
+	}
+	w.delayedPC = w.pc
+	if d := st.launch.Delay(st.defRNG); d > 0 {
+		w.readyAt = now + d
+		return true
+	}
+	return false
 }
 
 // issueShared models a shared-memory access: requests to the same bank
@@ -954,8 +1002,9 @@ func (g *GPU) issueMemory(st *runState, sm *smState, smID int, w *warpRun, ins *
 	txBlocks := g.txScratch[:0]
 	m := g.cfg.Metrics
 	switch {
-	case g.cfg.CoalescingDisabled:
-		// One transaction per active thread, duplicates included.
+	case st.launch.PerThread:
+		// Coalescer bypassed (the no-coalescing strawman): one
+		// transaction per active thread, duplicates included.
 		for t, b := range blocks {
 			if ins.Active == nil || ins.Active[t] {
 				txBlocks = append(txBlocks, b)
@@ -973,6 +1022,13 @@ func (g *GPU) issueMemory(st *runState, sm *smState, smID int, w *warpRun, ins *
 		m.sizeScratch = sizes
 	default:
 		txBlocks = g.planFor(st, w, ins.Round).CoalesceBlocks(blocks, ins.Active, txBlocks)
+	}
+	if st.launch.Shuffle != nil && len(txBlocks) > 1 {
+		// Access-pattern shuffling: transaction count (the coalescing
+		// channel) is untouched, but the order the LD/ST unit queues
+		// them — and therefore DRAM arrival order and row locality — is
+		// freshly randomized per request.
+		st.launch.Shuffle(st.defRNG, txBlocks)
 	}
 	if g.cfg.Trace != nil {
 		g.cfg.Trace.Emit(Event{Cycle: now, Kind: EvCoalesce, SM: smID, Warp: w.prog.ID,

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 )
 
 // testKernel builds a one-warp kernel: `loads` global loads whose 32
@@ -48,14 +49,14 @@ func TestConfigValidate(t *testing.T) {
 		t.Error("non-dividing SIMTLanes accepted")
 	}
 	bad = DefaultConfig()
-	bad.Coalescing = core.Config{NumSubwarps: 3} // FSS(3) invalid for warp 32
+	bad.Defense = mechanism.FSS(3) // FSS(3) invalid for warp 32
 	if bad.Validate() == nil {
-		t.Error("invalid coalescing config accepted")
+		t.Error("invalid defense mechanism accepted")
 	}
 	bad = DefaultConfig()
-	bad.Coalescing.WarpSize = 16
+	bad.Defense = mechanism.Subwarp(core.Config{NumSubwarps: 2, WarpSize: 16})
 	if bad.Validate() == nil {
-		t.Error("mismatched coalescing warp size accepted")
+		t.Error("mismatched defense warp size accepted")
 	}
 }
 
@@ -122,7 +123,7 @@ func TestSubwarpsIncreaseTransactionsAndTime(t *testing.T) {
 	var prevCycles int64
 	for _, m := range []int{1, 4, 16, 32} {
 		cfg := DefaultConfig()
-		cfg.Coalescing = core.FSS(m)
+		cfg.Defense = mechanism.FSS(m)
 		g := mustGPU(t, cfg)
 		res, err := g.Run(testKernel(8, 8), 7)
 		if err != nil {
@@ -140,7 +141,7 @@ func TestSubwarpsIncreaseTransactionsAndTime(t *testing.T) {
 
 func TestCoalescingDisabledWorstCase(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.CoalescingDisabled = true
+	cfg.Defense = mechanism.NoCoal()
 	g := mustGPU(t, cfg)
 	res, err := g.Run(testKernel(4, 8), 1)
 	if err != nil {
@@ -287,7 +288,7 @@ func TestTimeTracksTransactions(t *testing.T) {
 
 func TestRunSeedChangesPlanForRSS(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.Coalescing = core.RSSRTS(4)
+	cfg.Defense = mechanism.RSSRTS(4)
 	g := mustGPU(t, cfg)
 	a, err := g.Run(testKernel(2, 8), 1)
 	if err != nil {

@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"testing"
 
-	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
 )
 
 func metricsConfig() Config {
 	cfg := DefaultConfig()
-	cfg.Coalescing = core.RSS(4)
+	cfg.Defense = mechanism.RSS(4)
 	cfg.Metrics = NewMetrics()
 	return cfg
 }
@@ -142,7 +142,7 @@ func TestMetricsOffLeavesResultNil(t *testing.T) {
 
 func TestMetricsCoalescingDisabledGroupsOfOne(t *testing.T) {
 	cfg := metricsConfig()
-	cfg.CoalescingDisabled = true
+	cfg.Defense = mechanism.NoCoal()
 	g := mustGPU(t, cfg)
 	res, err := g.Run(aesLikeKernel(2, 2), 3)
 	if err != nil {

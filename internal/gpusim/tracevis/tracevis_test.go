@@ -8,9 +8,9 @@ import (
 	"testing"
 
 	"rcoal/internal/aes"
-	"rcoal/internal/core"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/rng"
 )
 
@@ -128,7 +128,7 @@ func TestExportFromSimulation(t *testing.T) {
 	}
 	x := New()
 	cfg := gpusim.DefaultConfig()
-	cfg.Coalescing = core.RSS(4)
+	cfg.Defense = mechanism.RSS(4)
 	cfg.Trace = x
 	g, err := gpusim.New(cfg)
 	if err != nil {

@@ -1,0 +1,128 @@
+// The non-RCoal citizens of the defense zoo: the obfuscation defenses
+// of Karimi et al., "Hardware/Software Obfuscation against Timing
+// Side-channel Attack on a GPU" (arXiv 2007.16175) — randomized delay
+// injection and memory-access shuffling — plus the no-coalescing
+// strawman the RCoal paper uses as its security upper bound /
+// performance lower bound (Section III).
+//
+// None of these randomize the subwarp plan, so all three return the
+// whole-warp plan and consume zero launch-time draws; their randomness
+// (if any) flows through the per-request Launch hooks, fed by the
+// simulator's dedicated defense stream.
+
+package mechanism
+
+import (
+	"fmt"
+
+	"rcoal/internal/rng"
+)
+
+// DefaultDelayCycles is the default bound for the randomized-delay
+// defense when the spec gives none: comparable to one DRAM access
+// (Table I row-miss latency), enough to drown per-transaction timing
+// differences without stalling the pipeline for thousands of cycles.
+const DefaultDelayCycles = 64
+
+// delayMech injects a uniform random stall before every memory
+// instruction issues.
+type delayMech struct {
+	max  int
+	hook func(*rng.Source) int64
+}
+
+// Delay returns the randomized-delay-injection defense: every memory
+// instruction stalls an extra uniform [0, maxCycles] cycles at the
+// issue stage, decorrelating observed latency from the coalescing
+// degree. Coalescing itself is untouched, so (unlike RCoal) the
+// defense costs latency even when the secret leaks nothing.
+func Delay(maxCycles int) Mechanism {
+	d := &delayMech{max: maxCycles}
+	// The hook closure is built once here, not per launch, so NewLaunch
+	// stays allocation-free (the simulator's steady-state alloc guards
+	// count launch setup).
+	d.hook = func(r *rng.Source) int64 { return int64(r.Intn(d.max + 1)) }
+	return d
+}
+
+func (d *delayMech) Spec() string { return fmt.Sprintf("delay:%d", d.max) }
+func (d *delayMech) Name() string { return fmt.Sprintf("Delay(%d)", d.max) }
+
+func (d *delayMech) ValidateFor(warpSize int) error {
+	if warpSize < 0 {
+		return fmt.Errorf("mechanism: negative warp size %d", warpSize)
+	}
+	if d.max < 1 {
+		return fmt.Errorf("mechanism: delay bound %d cycles, need >= 1", d.max)
+	}
+	return nil
+}
+
+func (d *delayMech) NewLaunch(warpSize int, r *rng.Source) (Launch, error) {
+	if err := d.ValidateFor(warpSize); err != nil {
+		return Launch{}, err
+	}
+	return Launch{Plan: WholeWarpPlan(warpSize), Delay: d.hook}, nil
+}
+
+// shuffleMech permutes coalesced transaction order per request.
+type shuffleMech struct {
+	hook func(*rng.Source, []uint64)
+}
+
+// Shuffle returns the access-pattern-shuffling defense: the coalesced
+// transactions of each memory request are issued in a fresh random
+// order (Fisher–Yates per request). Transaction counts — RCoal's
+// channel — are unchanged, but DRAM row locality and bank order are
+// perturbed, obfuscating latency-shape side channels.
+func Shuffle() Mechanism {
+	return &shuffleMech{hook: func(r *rng.Source, tx []uint64) {
+		for i := len(tx) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			tx[i], tx[j] = tx[j], tx[i]
+		}
+	}}
+}
+
+func (s *shuffleMech) Spec() string { return "shuffle" }
+func (s *shuffleMech) Name() string { return "Shuffle" }
+
+func (s *shuffleMech) ValidateFor(warpSize int) error {
+	if warpSize < 0 {
+		return fmt.Errorf("mechanism: negative warp size %d", warpSize)
+	}
+	return nil
+}
+
+func (s *shuffleMech) NewLaunch(warpSize int, r *rng.Source) (Launch, error) {
+	return Launch{Plan: WholeWarpPlan(warpSize), Shuffle: s.hook}, nil
+}
+
+// noCoal disables the coalescer outright.
+type noCoal struct{}
+
+// NoCoal returns the no-coalescing strawman: the MCU is bypassed and
+// every active thread's access becomes its own transaction, duplicates
+// included. Timing no longer depends on address overlap at all —
+// maximum security, and the paper's motivating worst case for
+// performance.
+func NoCoal() Mechanism { return noCoal{} }
+
+func (noCoal) Spec() string { return "nocoal" }
+func (noCoal) Name() string { return "NoCoalescing" }
+
+func (noCoal) ValidateFor(warpSize int) error {
+	if warpSize < 0 {
+		return fmt.Errorf("mechanism: negative warp size %d", warpSize)
+	}
+	return nil
+}
+
+func (noCoal) NewLaunch(warpSize int, r *rng.Source) (Launch, error) {
+	return Launch{Plan: WholeWarpPlan(warpSize), PerThread: true}, nil
+}
+
+// The delay/shuffle/nocoal registry entries live in registry.go's init
+// so registration (and therefore frontier-grid) order is subwarp
+// families first, obfuscation defenses after — independent of package
+// file initialization order.

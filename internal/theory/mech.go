@@ -1,0 +1,47 @@
+package theory
+
+import (
+	"rcoal/internal/core"
+	"rcoal/internal/mechanism"
+)
+
+// RhoFor maps a defense mechanism to the Section V model's analytical
+// correlation ρ, when the model covers it. Coverage:
+//
+//   - the undefended baseline is deterministic: ρ = 1;
+//   - FSS and FSS+RTS require M to divide N (equal subwarps);
+//   - RSS+RTS with skewed sizing is Equation 6;
+//   - RSS without RTS and normal-sized RSS have no closed form in the
+//     paper (the size distribution breaks the composition-class
+//     enumeration) — ok is false;
+//   - non-subwarp mechanisms (delay injection, access shuffling, the
+//     no-coalescing strawman) perturb *timing*, not the coalesced
+//     access counts the model describes — ok is false and their
+//     security must be measured empirically (the defense-frontier
+//     experiment does exactly that).
+func (md *Model) RhoFor(m mechanism.Mechanism) (rho float64, ok bool) {
+	cfg, isSubwarp := mechanism.SubwarpConfig(m)
+	if !isSubwarp {
+		return 0, false
+	}
+	sw := cfg.NumSubwarps
+	if sw < 1 || sw > md.N {
+		return 0, false
+	}
+	if sw == 1 && !cfg.RandomThreads {
+		return 1, true
+	}
+	switch {
+	case cfg.SizeDist == core.SizeFixed && !cfg.RandomThreads:
+		if md.N%sw == 0 {
+			return md.RhoFSS(sw), true
+		}
+	case cfg.SizeDist == core.SizeFixed && cfg.RandomThreads:
+		if md.N%sw == 0 {
+			return md.RhoFSSRTS(sw), true
+		}
+	case cfg.SizeDist == core.SizeSkewed && cfg.RandomThreads:
+		return md.RhoRSSRTS(sw), true
+	}
+	return 0, false
+}

@@ -24,10 +24,6 @@
 package rcoal
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
-
 	"rcoal/internal/aes"
 	"rcoal/internal/aesgpu"
 	"rcoal/internal/attack"
@@ -35,72 +31,73 @@ import (
 	"rcoal/internal/experiments"
 	"rcoal/internal/gpusim"
 	"rcoal/internal/kernels"
+	"rcoal/internal/mechanism"
 	"rcoal/internal/rng"
 	"rcoal/internal/stats"
 	"rcoal/internal/theory"
 )
 
-// --- Coalescing mechanisms (the paper's contribution) -----------------------
+// --- Defense mechanisms (the paper's contribution, plus the zoo) -------------
 
-// CoalescingConfig is a coalescing policy: mechanism family plus
-// num-subwarp. Build one with Baseline/FSS/RSS/... or ParseMechanism.
-type CoalescingConfig = core.Config
+// Mechanism is a pluggable coalescing-stage defense: it validates
+// against a warp size and realizes per-launch behavior (a subwarp plan
+// plus optional per-request hooks). The paper's subwarp mechanisms
+// (FSS, RSS, RTS combinations), the obfuscation defenses of Karimi et
+// al. (randomized delay, access shuffling), and the no-coalescing
+// strawman all implement it. Build one with the constructors below or
+// ParseMechanism.
+type Mechanism = mechanism.Mechanism
+
+// MechanismInfo describes one registered mechanism family (its CLI
+// keyword, usage, and example specs).
+type MechanismInfo = mechanism.Info
 
 // SubwarpPlan is one realized thread→subwarp mapping (drawn per kernel
 // launch).
 type SubwarpPlan = core.Plan
 
 // Baseline returns the undefended whole-warp coalescing policy.
-func Baseline() CoalescingConfig { return core.Baseline() }
+func Baseline() Mechanism { return mechanism.Baseline() }
 
 // FSS returns fixed-sized subwarps with m subwarps per warp.
-func FSS(m int) CoalescingConfig { return core.FSS(m) }
+func FSS(m int) Mechanism { return mechanism.FSS(m) }
 
 // FSSRTS returns FSS with random thread allocation.
-func FSSRTS(m int) CoalescingConfig { return core.FSSRTS(m) }
+func FSSRTS(m int) Mechanism { return mechanism.FSSRTS(m) }
 
 // RSS returns random-sized (skewed) subwarps.
-func RSS(m int) CoalescingConfig { return core.RSS(m) }
+func RSS(m int) Mechanism { return mechanism.RSS(m) }
 
 // RSSRTS returns RSS with random thread allocation.
-func RSSRTS(m int) CoalescingConfig { return core.RSSRTS(m) }
+func RSSRTS(m int) Mechanism { return mechanism.RSSRTS(m) }
 
 // RSSNormal returns the normal-sized RSS variant of Figure 9.
-func RSSNormal(m int, sigma float64) CoalescingConfig { return core.RSSNormal(m, sigma) }
+func RSSNormal(m int, sigma float64) Mechanism { return mechanism.RSSNormal(m, sigma) }
 
-// ParseMechanism parses a "mechanism:subwarps" spec such as
-// "baseline", "fss:4", "fss+rts:8", "rss:2", or "rss+rts:16".
-func ParseMechanism(spec string) (CoalescingConfig, error) {
-	name, mStr, found := strings.Cut(strings.ToLower(strings.TrimSpace(spec)), ":")
-	m := 1
-	if found {
-		var err error
-		if m, err = strconv.Atoi(mStr); err != nil {
-			return CoalescingConfig{}, fmt.Errorf("rcoal: bad subwarp count %q in %q", mStr, spec)
-		}
-	}
-	var cfg CoalescingConfig
-	switch name {
-	case "baseline":
-		cfg = core.Baseline()
-	case "fss":
-		cfg = core.FSS(m)
-	case "fss+rts", "fssrts":
-		cfg = core.FSSRTS(m)
-	case "rss":
-		cfg = core.RSS(m)
-	case "rss+rts", "rssrts":
-		cfg = core.RSSRTS(m)
-	case "rss-normal", "rssnormal":
-		cfg = core.RSSNormal(m, 0)
-	default:
-		return CoalescingConfig{}, fmt.Errorf("rcoal: unknown mechanism %q (want baseline|fss|fss+rts|rss|rss+rts[:M])", spec)
-	}
-	if err := cfg.Validate(); err != nil {
-		return CoalescingConfig{}, err
-	}
-	return cfg, nil
-}
+// Delay returns the randomized-delay obfuscation defense (Karimi et
+// al.): each memory instruction's issue is stalled by a uniform random
+// 0..maxCycles cycles.
+func Delay(maxCycles int) Mechanism { return mechanism.Delay(maxCycles) }
+
+// Shuffle returns the access-pattern-shuffling obfuscation defense
+// (Karimi et al.): coalesced transactions leave the MCU in a random
+// order.
+func Shuffle() Mechanism { return mechanism.Shuffle() }
+
+// NoCoal returns the Section III strawman: coalescing disabled, one
+// transaction per active thread.
+func NoCoal() Mechanism { return mechanism.NoCoal() }
+
+// ParseMechanism parses a defense spec such as "baseline", "fss:4",
+// "rss+rts:8", "rss-normal:4:1.5", "delay:64", "shuffle", or
+// "nocoal". The grammar is keyword[:arg[:arg]]; ListMechanisms
+// enumerates the registered keywords. Specs round-trip:
+// ParseMechanism(m.Spec()) reconstructs m.
+func ParseMechanism(spec string) (Mechanism, error) { return mechanism.Parse(spec) }
+
+// ListMechanisms returns the registered mechanism families in
+// registration order (the defense zoo's table of contents).
+func ListMechanisms() []MechanismInfo { return mechanism.List() }
 
 // --- Simulated GPU and encryption service -----------------------------------
 
@@ -139,13 +136,14 @@ type TraceCache = kernels.TraceCache
 // NewTraceCache returns an empty trace cache, safe for concurrent use.
 func NewTraceCache() *TraceCache { return kernels.NewTraceCache() }
 
-// ForkedCollect gathers nSamples timing samples under EACH policy,
+// ForkedCollect gathers nSamples timing samples under EACH mechanism,
 // simulating the mechanism-independent prefix of every sample once and
-// forking it per policy (copy-on-write prefix forking). Requires
-// selective RCoal (cfg.VulnerableRounds non-empty); the datasets are
-// byte-identical to per-policy Server.Collect runs. tc may be nil.
-func ForkedCollect(cfg GPUConfig, key []byte, policies []CoalescingConfig, nSamples, linesPer int, seed uint64, tc *TraceCache) ([]*Dataset, error) {
-	return aesgpu.ForkedCollect(cfg, key, policies, nSamples, linesPer, seed, tc)
+// forking it per mechanism (copy-on-write prefix forking). Requires
+// selective RCoal (cfg.VulnerableRounds non-empty) and plan-only
+// mechanisms (no per-request hooks); the datasets are byte-identical
+// to per-mechanism Server.Collect runs. tc may be nil.
+func ForkedCollect(cfg GPUConfig, key []byte, mechs []Mechanism, nSamples, linesPer int, seed uint64, tc *TraceCache) ([]*Dataset, error) {
+	return aesgpu.ForkedCollect(cfg, key, mechs, nSamples, linesPer, seed, tc)
 }
 
 // RandomPlaintext draws n random plaintext lines from the seed.
@@ -180,9 +178,9 @@ type KeyResult = attack.KeyResult
 type ByteResult = attack.ByteResult
 
 // NewAttacker builds a "corresponding attack" for the given assumed
-// policy; the seed drives the attacker's own defense simulation.
-func NewAttacker(policy CoalescingConfig, seed uint64) (*Attacker, error) {
-	return attack.New(policy, seed)
+// defense; the seed drives the attacker's own defense simulation.
+func NewAttacker(defense Mechanism, seed uint64) (*Attacker, error) {
+	return attack.New(defense, seed)
 }
 
 // BaselineAttacker returns the original attack of Jiang et al.
@@ -192,8 +190,8 @@ func BaselineAttacker(seed uint64) *Attacker { return attack.Baseline(seed) }
 // NewDecryptAttacker builds a corresponding attack against a GPU
 // *decryption* service: the observed lines are recovered plaintexts
 // and the recovered bytes form round key 0 — the original AES key.
-func NewDecryptAttacker(policy CoalescingConfig, seed uint64) (*Attacker, error) {
-	return attack.NewDecrypt(policy, seed)
+func NewDecryptAttacker(defense Mechanism, seed uint64) (*Attacker, error) {
+	return attack.NewDecrypt(defense, seed)
 }
 
 // CTRSample is a CTR-mode encryption response (ciphertexts plus the

@@ -38,7 +38,7 @@ func TestParseMechanism(t *testing.T) {
 func TestFacadeEndToEnd(t *testing.T) {
 	// The quickstart flow through the public API only.
 	cfg := DefaultGPUConfig()
-	cfg.Coalescing = RSSRTS(8)
+	cfg.Defense = RSSRTS(8)
 	srv, err := NewServer(cfg, []byte("facade test key!"))
 	if err != nil {
 		t.Fatal(err)

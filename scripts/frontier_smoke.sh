@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Defense-frontier smoke test, mirrored by the CI "Frontier smoke"
+# step. Runs the ext-defense-frontier experiment end to end through the
+# real binary — registry resolution, the -mechanisms filter, cell
+# fan-out, CSV export — at the same reduced grid the package golden is
+# pinned at, and diffs the CSV byte-for-byte against
+# internal/experiments/testdata/frontier_small.golden.csv.
+#
+# A mismatch means either a real regression in a defense mechanism /
+# the attack / the energy model, or an intentional change that must
+# regenerate the golden:
+#   go test ./internal/experiments -run Frontier -update
+#
+# Run from the repo root: bash scripts/frontier_smoke.sh
+set -euo pipefail
+
+GOLDEN=internal/experiments/testdata/frontier_small.golden.csv
+MECHS='fss:4,rss+rts:8,delay:16,shuffle,nocoal'
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== frontier smoke: rcoal-experiments -run ext-defense-frontier =="
+go run ./cmd/rcoal-experiments -run ext-defense-frontier \
+  -samples 10 -mechanisms "$MECHS" -csv "$TMP"
+
+echo "== golden CSV diff =="
+if ! diff -u "$GOLDEN" "$TMP/ext-defense-frontier.csv"; then
+  echo "frontier_smoke: CSV diverged from $GOLDEN (regenerate with: go test ./internal/experiments -run Frontier -update)" >&2
+  exit 1
+fi
+echo "frontier_smoke: OK (CSV byte-identical to golden)"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Mechanism-API boundary vet, mirrored by the CI "Mechanism boundary"
+# step. Since the defense-zoo refactor, every package outside
+# internal/core and internal/mechanism must construct defenses through
+# the mechanism registry (mechanism.FSS, mechanism.Parse, ...) — never
+# by building a core.Config coalescing policy directly. Direct
+# construction bypasses the registry's validation (satellite: no panic
+# path from a bad config) and would let a defense exist that the CLI
+# spec grammar, the frontier grid, and `rcoal list-mechanisms` cannot
+# name.
+#
+# Plan-level types stay open: core.Plan, core.DefaultWarpSize, and the
+# other non-constructor identifiers are part of the simulator's data
+# plane. Tests are exempt — the differential harnesses compare against
+# core.Config plans on purpose.
+#
+# Run from the repo root: bash scripts/vet_mechanism.sh
+set -euo pipefail
+
+pattern='core\.(Config\{|Baseline\(|FSS\(|FSSRTS\(|RSS\(|RSSRTS\(|RSSNormal\()'
+
+hits=$(grep -rnE --include='*.go' "$pattern" . \
+  | grep -v '_test\.go:' \
+  | grep -v '^\./internal/core/' \
+  | grep -v '^\./internal/mechanism/' \
+  || true)
+
+if [ -n "$hits" ]; then
+  echo "vet_mechanism: direct core.Config construction outside internal/{core,mechanism}:" >&2
+  echo "$hits" >&2
+  echo "use the mechanism package (mechanism.FSS, mechanism.Parse, ...) instead" >&2
+  exit 1
+fi
+echo "vet_mechanism: OK (no direct core.Config construction outside internal/{core,mechanism})"
