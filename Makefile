@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench bench-json ci equiv experiments examples fuzz dist-smoke frontier vet-mechanism clean
+.PHONY: all build test test-race cover bench bench-json ci equiv experiments examples fuzz dist-smoke chaos frontier vet-mechanism clean
 
 all: build test
 
@@ -17,6 +17,7 @@ ci: build test
 	$(MAKE) equiv EQUIV_SHORT=1
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
 	$(MAKE) dist-smoke
+	$(MAKE) chaos
 	$(MAKE) frontier
 
 # Defense-frontier smoke: the ext-defense-frontier experiment through
@@ -36,6 +37,14 @@ vet-mechanism:
 # and a warm-cache rerun must be >= 10x faster.
 dist-smoke:
 	bash scripts/dist_smoke.sh
+
+# Chaos soak: the chaos e2e suite under the race detector, then the
+# frontier grid through real processes on a seeded-fault loopback
+# network (worker killed, coordinator restarted mid-sweep) — the CSV
+# must stay byte-identical to the single-process golden.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/
+	bash scripts/chaos_smoke.sh
 
 # Differential-equivalence harness for the simulation accelerators
 # (trace cache, copy-on-write prefix forking, hybrid analytical

@@ -17,13 +17,18 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rcoal/internal/atomicio"
@@ -48,7 +53,8 @@ func main() {
 		par     = flag.Int("parallel", 1, "experiments whose grids are open for leasing concurrently")
 		accel   = flag.Bool("accel", false, "lease cells with the exact accelerators enabled on workers (results are byte-identical)")
 		hybrid  = flag.Bool("hybrid", false, "lease cells with the hybrid analytical substitution (scores may differ within HybridScoreBound)")
-		leaseTO = flag.Duration("lease-timeout", 2*time.Minute, "silence budget per lease before the cell is re-issued to another worker")
+		mechs   = flag.String("mechanisms", "", "comma-separated defense specs restricting mechanism-enumerating experiments (ext-defense-frontier), e.g. \"baseline,rss+rts:8,delay:64\"; empty = full registry; the filter travels in each lease")
+		leaseTO = flag.Duration("lease-timeout", 2*time.Minute, "silence budget per lease before the cell is re-issued to another worker; holders renew long computations via /lease/renew")
 		hb      = flag.Duration("heartbeat", 0, "period of the live status line on stderr (cells done, cache hit/miss, workers, rate, eta); 0 = off")
 		drain   = flag.Duration("drain-wait", 2*time.Second, "grace period after the last grid completes so polling workers see Done and exit")
 	)
@@ -69,6 +75,11 @@ func main() {
 	opts.Seed = *seed
 	opts.Key = []byte(*key)
 	opts.Hybrid = *hybrid
+	if *mechs != "" {
+		for _, spec := range strings.Split(*mechs, ",") {
+			opts.Mechanisms = append(opts.Mechanisms, strings.TrimSpace(spec))
+		}
+	}
 	if *accel {
 		// The coordinator never simulates, but a non-nil trace cache is
 		// how Options carries "accelerate" to dist.WireFrom; workers
@@ -82,7 +93,16 @@ func main() {
 	mux.Handle("/", s.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	expvar.Publish("rcoal_dist", expvar.Func(func() any { return s.Status() }))
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// A client that stalls mid-request (or a chaos-injected partial
+		// delivery) must not pin a handler goroutine forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "rcoal-coordinator: serve: %v\n", err)
@@ -90,6 +110,24 @@ func main() {
 		}
 	}()
 	fmt.Fprintf(os.Stderr, "rcoal-coordinator: serving on %s (status: http://%s/status)\n", *addr, *addr)
+
+	// Graceful shutdown on SIGINT/SIGTERM: close the lease server so
+	// the experiment goroutines return (their defers flush and close
+	// the journals — every granted lease and accepted completion is
+	// already fsynced), then drain in-flight HTTP exchanges. A second
+	// signal exits immediately.
+	var interrupted atomic.Bool
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "rcoal-coordinator: signal received; flushing journals and shutting down (restart with -resume to continue)")
+		s.Close()
+		<-sig
+		fmt.Fprintln(os.Stderr, "rcoal-coordinator: second signal, exiting immediately")
+		os.Exit(1)
+	}()
 
 	if *hb > 0 {
 		stop := s.Heartbeat(os.Stderr, *hb)
@@ -159,10 +197,17 @@ func main() {
 	wg.Wait()
 
 	// Tell polling workers the sweep is over, give them one poll cycle
-	// to hear it, then stop serving.
-	s.Drain()
-	time.Sleep(*drain)
-	srv.Close()
+	// to hear it, then stop serving — gracefully, so responses in
+	// flight complete instead of being cut mid-body.
+	if !interrupted.Load() {
+		s.Drain()
+		time.Sleep(*drain)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+	}
+	cancel()
 
 	exit := 0
 	for i, id := range ids {

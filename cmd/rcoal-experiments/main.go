@@ -22,13 +22,16 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"rcoal/internal/atomicio"
+	"rcoal/internal/chaos"
 	"rcoal/internal/dist"
 	"rcoal/internal/experiments"
 	"rcoal/internal/gpusim/tracevis"
@@ -61,6 +64,10 @@ func main() {
 		mechs    = flag.String("mechanisms", "", "comma-separated defense specs restricting mechanism-enumerating experiments (ext-defense-frontier), e.g. \"baseline,rss+rts:8,delay:64\"; empty = full registry")
 		worker   = flag.String("worker", "", "run as a distributed worker for the rcoal-coordinator at this base URL (e.g. http://host:8077) instead of running experiments locally; -workers bounds concurrent cells")
 		workerID = flag.String("worker-id", "", "worker name in the coordinator's ledger and status page; default host:pid")
+		chaosSee = flag.Uint64("chaos-seed", 0, "worker mode: inject deterministic network faults on every coordinator request from this seed's schedule (internal/chaos; testing only); 0 = off")
+		degrade  = flag.String("degraded-journal", "", "worker mode: local checkpoint journal for degraded standalone mode — completions undeliverable for -degraded-after park here instead of being lost and replay on the next run")
+		degAfter = flag.Duration("degraded-after", 30*time.Second, "worker mode: delivery-failure window before a completion is parked (requires -degraded-journal)")
+		reqTO    = flag.Duration("request-timeout", 30*time.Second, "worker mode: per-request HTTP timeout toward the coordinator")
 	)
 	flag.Parse()
 
@@ -70,7 +77,11 @@ func main() {
 	}
 
 	if *worker != "" {
-		os.Exit(runWorker(*worker, *workerID, *workers, *prog))
+		os.Exit(runWorker(workerConfig{
+			coordinator: *worker, id: *workerID, concurrency: *workers, verbose: *prog,
+			chaosSeed: *chaosSee, degradedPath: *degrade, degradedAfter: *degAfter,
+			requestTimeout: *reqTO,
+		}))
 	}
 
 	if *list {
@@ -219,9 +230,24 @@ func max(a, b int) int {
 	return b
 }
 
+// workerConfig bundles the worker-mode flags.
+type workerConfig struct {
+	coordinator    string
+	id             string
+	concurrency    int
+	verbose        bool
+	chaosSeed      uint64
+	degradedPath   string
+	degradedAfter  time.Duration
+	requestTimeout time.Duration
+}
+
 // runWorker attaches this process to a coordinator as a cell-compute
-// worker until the coordinator drains.
-func runWorker(coordinator, id string, concurrency int, verbose bool) int {
+// worker until the coordinator drains, the first SIGTERM/SIGINT drains
+// this worker (finish and report the in-flight cell, then exit clean),
+// or a second signal kills it hard.
+func runWorker(cfg workerConfig) int {
+	id := cfg.id
 	if id == "" {
 		host, _ := os.Hostname()
 		if host == "" {
@@ -229,22 +255,55 @@ func runWorker(coordinator, id string, concurrency int, verbose bool) int {
 		}
 		id = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
+	concurrency := cfg.concurrency
 	if concurrency <= 0 {
 		concurrency = runtime.GOMAXPROCS(0)
 	}
 	w := &dist.Worker{
-		Coordinator: coordinator,
-		ID:          id,
-		Concurrency: concurrency,
+		Coordinator:    cfg.coordinator,
+		ID:             id,
+		Concurrency:    concurrency,
+		RequestTimeout: cfg.requestTimeout,
+		DegradedPath:   cfg.degradedPath,
+		DegradedAfter:  cfg.degradedAfter,
 	}
-	if verbose {
+	if cfg.verbose {
 		w.Log = os.Stderr
 	}
+	if cfg.chaosSeed != 0 {
+		plan := chaos.NewPlan(cfg.chaosSeed, chaos.DefaultProfile())
+		in := chaos.NewInjector(plan)
+		if cfg.verbose {
+			in.Log = os.Stderr
+		}
+		w.Client = &http.Client{Transport: chaos.NewTransport(in, nil)}
+		fmt.Fprintf(os.Stderr, "rcoal-experiments: %s\n", plan.Describe())
+		defer func() { fmt.Fprintf(os.Stderr, "rcoal-experiments: %s\n", in.Summary()) }()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s draining (finishing in-flight cells; signal again to kill)\n", id)
+		w.Drain()
+		<-sig
+		fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s killed\n", id)
+		cancel()
+	}()
+
 	fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s attaching to %s (%d concurrent cells)\n",
-		id, coordinator, concurrency)
-	if err := w.Run(context.Background()); err != nil {
+		id, cfg.coordinator, concurrency)
+	if err := w.Run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "rcoal-experiments: worker: %v\n", err)
 		return 1
+	}
+	if n := w.Parked(); n > 0 {
+		fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s degraded: %d completion(s) parked in %s; rerun with the same -degraded-journal once the coordinator is back\n",
+			id, n, cfg.degradedPath)
+		return 0
 	}
 	fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s done (%d cells computed)\n", id, w.Completed())
 	return 0

@@ -1,0 +1,342 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Injector applies a Plan to live traffic: it keeps the per-endpoint
+// request counters that index into the plan's decision stream and the
+// arm time the partition windows are measured from. One Injector may
+// back any number of Transports and Middlemen — they then share one
+// fault schedule, exactly like machines sharing one flaky network.
+type Injector struct {
+	plan *Plan
+	// Log, when non-nil, receives one line per injected fault.
+	Log io.Writer
+	// now overrides time.Now (tests).
+	now func() time.Time
+
+	mu     sync.Mutex
+	armed  time.Time
+	counts map[string]uint64
+	faults map[string]uint64 // per-kind injected-fault counters
+}
+
+// NewInjector arms plan: partition windows start counting now.
+func NewInjector(plan *Plan) *Injector {
+	in := &Injector{
+		plan:   plan,
+		now:    time.Now,
+		counts: make(map[string]uint64),
+		faults: make(map[string]uint64),
+	}
+	in.armed = in.now()
+	return in
+}
+
+// Plan returns the injector's compiled plan.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// Next consumes the next decision for endpoint, folding in the
+// partition schedule: inside a window every request drops. The
+// returned fault has already been counted and logged.
+func (in *Injector) Next(endpoint string) Fault {
+	in.mu.Lock()
+	n := in.counts[endpoint]
+	in.counts[endpoint] = n + 1
+	partitioned := in.plan.Partitioned(in.now().Sub(in.armed))
+	in.mu.Unlock()
+
+	f := in.plan.Decide(endpoint, n)
+	if partitioned {
+		f = Fault{Kind: DropRequest}
+	}
+	if f.Kind != None {
+		in.mu.Lock()
+		in.faults[f.Kind.String()]++
+		in.mu.Unlock()
+		if in.Log != nil {
+			suffix := ""
+			if partitioned {
+				suffix = " (partition)"
+			}
+			fmt.Fprintf(in.Log, "chaos: %s #%d: %s%s\n", endpoint, n, f.Kind, suffix)
+		}
+	}
+	return f
+}
+
+// Counters snapshots how many faults of each kind were injected.
+func (in *Injector) Counters() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.faults))
+	for k, v := range in.faults {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary renders the injected-fault counters on one line.
+func (in *Injector) Summary() string {
+	c := in.Counters()
+	if len(c) == 0 {
+		return "chaos: no faults injected"
+	}
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, c[k])
+	}
+	return "chaos: injected " + strings.Join(parts, " ")
+}
+
+// errDropped is the transport error surfaced for lost traffic; it
+// contains "chaos" so worker logs attribute the failure.
+type errDropped struct{ kind Kind }
+
+func (e errDropped) Error() string { return fmt.Sprintf("chaos: injected fault: %s", e.kind) }
+
+// Transport is a fault-injecting http.RoundTripper — the worker-side
+// middleman. Install it on dist.Worker.Client to make that worker's
+// whole view of the coordinator flaky under the injector's plan.
+type Transport struct {
+	Injector *Injector
+	// Base performs the real round trips; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+// NewTransport returns a chaos client transport over base.
+func NewTransport(in *Injector, base http.RoundTripper) *Transport {
+	return &Transport{Injector: in, Base: base}
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.Injector.Next(req.URL.Path)
+	switch f.Kind {
+	case DropRequest:
+		// The request never reaches the wire. Close the body as the
+		// transport contract requires.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errDropped{f.Kind}
+	case Err5xx:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return synthesized503(req), nil
+	case Delay:
+		time.Sleep(f.Delay)
+		return t.base().RoundTrip(req)
+	case Dup:
+		first, err := t.replay(req)
+		if err == nil {
+			// First delivery succeeded; discard it and deliver again.
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+		return t.base().RoundTrip(req)
+	case DropResponse:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, errDropped{f.Kind}
+	case Torn:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = io.NopCloser(&tornReader{data: body[:len(body)/2]})
+		return resp, nil
+	default:
+		return t.base().RoundTrip(req)
+	}
+}
+
+// replay performs one extra delivery of req, rebuilding the body via
+// GetBody (set for the bytes.Reader bodies the worker sends).
+func (t *Transport) replay(req *http.Request) (*http.Response, error) {
+	clone := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		clone.Body = body
+	}
+	return t.base().RoundTrip(clone)
+}
+
+// tornReader yields its data then fails with io.ErrUnexpectedEOF —
+// the reader-visible shape of a connection cut mid-body.
+type tornReader struct {
+	data []byte
+	off  int
+}
+
+func (r *tornReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func synthesized503(req *http.Request) *http.Response {
+	body := "chaos: injected 503\n"
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/plain"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Middleman is a fault-injecting HTTP proxy: it forwards every
+// request to the target coordinator, applying the injector's schedule
+// on the way. Point workers (or a whole smoke-test fleet) at the
+// middleman's address instead of the coordinator's. The target is
+// mutable so a test can follow a restarted coordinator to its new
+// address — the healed side of a partition.
+type Middleman struct {
+	inj    *Injector
+	client *http.Client
+
+	mu     sync.Mutex
+	target string
+}
+
+// NewMiddleman proxies to target (a base URL such as
+// http://host:port) under in's fault schedule.
+func NewMiddleman(target string, in *Injector) *Middleman {
+	return &Middleman{
+		inj:    in,
+		target: strings.TrimSuffix(target, "/"),
+		// The proxy's own upstream requests are bounded so a wedged
+		// coordinator cannot pin proxy goroutines forever.
+		client: &http.Client{Timeout: 2 * time.Minute},
+	}
+}
+
+// SetTarget repoints the proxy (a coordinator restarted elsewhere).
+func (m *Middleman) SetTarget(target string) {
+	m.mu.Lock()
+	m.target = strings.TrimSuffix(target, "/")
+	m.mu.Unlock()
+}
+
+// Target returns the current upstream base URL.
+func (m *Middleman) Target() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.target
+}
+
+// ServeHTTP implements http.Handler.
+func (m *Middleman) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 64<<20))
+	if err != nil {
+		http.Error(rw, fmt.Sprintf("chaos middleman: reading request: %v", err), http.StatusBadRequest)
+		return
+	}
+	f := m.inj.Next(req.URL.Path)
+	switch f.Kind {
+	case DropRequest:
+		// Cut the connection without a response: the client sees a
+		// transport error, the coordinator saw nothing.
+		panic(http.ErrAbortHandler)
+	case Err5xx:
+		http.Error(rw, "chaos: injected 503", http.StatusServiceUnavailable)
+		return
+	case Delay:
+		time.Sleep(f.Delay)
+	case Dup:
+		if resp, err := m.forward(req, body); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	resp, err := m.forward(req, body)
+	if err != nil {
+		// The upstream really is unreachable (e.g. a restarting
+		// coordinator): surface it as a cut connection, like a router
+		// with no route.
+		panic(http.ErrAbortHandler)
+	}
+	defer resp.Body.Close()
+	upstream, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	switch f.Kind {
+	case DropResponse:
+		panic(http.ErrAbortHandler)
+	case Torn:
+		// Advertise the full length, deliver half, cut the connection:
+		// the client's decoder sees an unexpected EOF.
+		copyHeader(rw.Header(), resp.Header)
+		rw.Header().Set("Content-Length", fmt.Sprint(len(upstream)))
+		rw.WriteHeader(resp.StatusCode)
+		rw.Write(upstream[:len(upstream)/2])
+		if fl, ok := rw.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	default:
+		copyHeader(rw.Header(), resp.Header)
+		rw.WriteHeader(resp.StatusCode)
+		rw.Write(upstream)
+	}
+}
+
+func (m *Middleman) forward(req *http.Request, body []byte) (*http.Response, error) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, m.Target()+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	out.Header = req.Header.Clone()
+	return m.client.Do(out)
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

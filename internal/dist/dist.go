@@ -30,8 +30,16 @@
 //
 //	POST /lease         LeaseRequest  -> LeaseResponse
 //	POST /complete      CompleteRequest -> CompleteResponse
+//	POST /lease/renew   RenewRequest  -> RenewResponse
 //	POST /leases/cancel CancelRequest -> CancelResponse
 //	GET  /status        -> Status
+//
+// Every mutating endpoint is idempotent under duplicated and replayed
+// deliveries: a duplicated lease poll grants a second (independent)
+// cell or none, a duplicated completion is rejected first-writer-wins,
+// a duplicated renewal extends an already-extended deadline, and a
+// duplicated cancel finds the lease already revoked. The chaos layer
+// (internal/chaos) soaks the protocol under exactly those faults.
 //
 // The AES key under attack travels in the lease payload (hex). The
 // protocol is designed for trusted lab networks (localhost, a private
@@ -65,17 +73,24 @@ type WireOptions struct {
 	// contract, so it is NOT part of the fingerprint — an accelerated
 	// distributed sweep must match a vanilla single-process one.
 	Accel bool `json:"accel,omitempty"`
+	// Mechanisms is the defense-spec filter of mechanism-enumerating
+	// experiments (ext-defense-frontier). It must travel with the
+	// lease: a filter may name specs outside the default registry
+	// enumeration (e.g. "rss+rts:8"), and a worker recomputing by key
+	// only finds such a cell if it enumerates the same grid.
+	Mechanisms []string `json:"mechanisms,omitempty"`
 }
 
 // WireFrom extracts the wire options from an experiment configuration.
 func WireFrom(o experiments.Options) WireOptions {
 	return WireOptions{
-		Samples: o.Samples,
-		Lines:   o.Lines,
-		Seed:    o.Seed,
-		KeyHex:  hex.EncodeToString(o.Key),
-		Hybrid:  o.Hybrid,
-		Accel:   o.TraceCache != nil || o.ForkPrefix,
+		Samples:    o.Samples,
+		Lines:      o.Lines,
+		Seed:       o.Seed,
+		KeyHex:     hex.EncodeToString(o.Key),
+		Hybrid:     o.Hybrid,
+		Accel:      o.TraceCache != nil || o.ForkPrefix,
+		Mechanisms: o.Mechanisms,
 	}
 }
 
@@ -95,6 +110,7 @@ func (w WireOptions) Options() (experiments.Options, error) {
 	o.Key = key
 	o.Hybrid = w.Hybrid
 	o.ForkPrefix = w.Accel
+	o.Mechanisms = w.Mechanisms
 	o.Workers = 1
 	return o, nil
 }
@@ -114,6 +130,37 @@ type LeaseGrant struct {
 	// stale holders of a canceled or re-issued lease are recognized.
 	Seq     int64       `json:"seq"`
 	Options WireOptions `json:"options"`
+	// LeaseTimeoutMS is the lease's silence budget: the authoritative
+	// deadline is set once at grant time (coordinator clock) and the
+	// grant carries the budget so the holder can renew before expiry —
+	// an honest computation that outlasts the budget keeps its lease
+	// instead of being wastefully recomputed elsewhere.
+	LeaseTimeoutMS int64 `json:"lease_timeout_ms,omitempty"`
+	// DeadlineUnixNano is that authoritative deadline on the
+	// coordinator's clock (informational for the worker — clocks may
+	// skew; renewal scheduling uses LeaseTimeoutMS).
+	DeadlineUnixNano int64 `json:"deadline_unix_nano,omitempty"`
+}
+
+// RenewRequest extends an in-flight lease: the holder is alive and
+// still computing. Renewal resets the cell's deadline to a full
+// LeaseTimeout from now; a stale or finished lease is not renewable.
+type RenewRequest struct {
+	Worker     string `json:"worker"`
+	Experiment string `json:"experiment"`
+	Key        string `json:"key"`
+	Seq        int64  `json:"seq"`
+}
+
+// RenewResponse reports whether the lease was extended. Renewed=false
+// tells the holder its lease is gone (re-issued, canceled, or already
+// complete) — it may abandon the computation or finish and let
+// first-writer-wins sort the completion out.
+type RenewResponse struct {
+	Renewed bool   `json:"renewed"`
+	Reason  string `json:"reason,omitempty"`
+	// DeadlineUnixNano is the new authoritative deadline when renewed.
+	DeadlineUnixNano int64 `json:"deadline_unix_nano,omitempty"`
 }
 
 // LeaseResponse answers a lease poll. Exactly one of the three shapes
@@ -178,6 +225,17 @@ type Status struct {
 	// ETASeconds extrapolates CellsPerSec over unfinished cells; 0
 	// when unknown.
 	ETASeconds float64 `json:"eta_seconds"`
+	// PendingCells is the total unfinished work (pending + leased)
+	// across every registered experiment.
+	PendingCells int `json:"pending_cells"`
+	// LiveWorkers counts workers seen within the liveness window
+	// (ServerConfig.LivenessWindow).
+	LiveWorkers int `json:"live_workers"`
+	// BacklogSeconds is the autoscaling hint: pending cells divided by
+	// the aggregate completion rate of live workers — how far behind
+	// the current fleet is. Scale workers up when it stays high, down
+	// when it approaches zero. 0 when no live worker has a rate yet.
+	BacklogSeconds float64 `json:"backlog_seconds"`
 	// Metrics is the coordinator's counter registry snapshot
 	// (dist_cache_hits, dist_cache_misses, dist_leases_issued, ...).
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
@@ -201,4 +259,8 @@ type WorkerStatus struct {
 	Completed        int     `json:"completed"`
 	CellsPerSec      float64 `json:"cells_per_sec"`
 	LastSeenUnixNano int64   `json:"last_seen_unix_nano"`
+	// Live reports whether the worker was seen (poll, renew, or
+	// completion) within the liveness window; dead workers keep their
+	// history but drop out of the autoscaling-hint aggregate.
+	Live bool `json:"live"`
 }

@@ -270,8 +270,9 @@ func TestWorkerGivesUpOnDeadCoordinator(t *testing.T) {
 	w := &Worker{
 		Coordinator:  "http://127.0.0.1:1", // reserved port: connection refused
 		ID:           "lost",
-		MaxErrors:    2,
-		ErrorBackoff: time.Millisecond,
+		MaxErrors:   2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
 	}
 	if err := w.Run(context.Background()); err == nil {
 		t.Fatal("worker kept running against a dead coordinator")

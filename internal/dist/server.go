@@ -72,13 +72,20 @@ type workerState struct {
 type ServerConfig struct {
 	// LeaseTimeout bounds how long a granted lease may stay silent
 	// before the cell is re-issued to another worker. 0 means the
-	// default (2 minutes). A cell whose honest computation outlasts
-	// the timeout is recomputed elsewhere — wasteful but harmless,
-	// since completions are first-writer-wins over identical bytes.
+	// default (2 minutes). The deadline is computed once at grant time
+	// and carried in the grant (the one authoritative deadline); a
+	// holder whose honest computation outlasts the budget renews via
+	// /lease/renew instead of having its cell wastefully recomputed
+	// elsewhere. Un-renewed expiry stays harmless either way, since
+	// completions are first-writer-wins over identical bytes.
 	LeaseTimeout time.Duration
 	// PollWait is the retry hint returned when no cell is pending.
 	// 0 means the default (250ms).
 	PollWait time.Duration
+	// LivenessWindow is how recently a worker must have been seen
+	// (poll, renewal, or completion) to count as live in /status and
+	// the autoscaling-hint aggregate. 0 means the default (15s).
+	LivenessWindow time.Duration
 	// Clock overrides time.Now (tests).
 	Clock func() time.Time
 }
@@ -110,6 +117,9 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.PollWait <= 0 {
 		cfg.PollWait = 250 * time.Millisecond
 	}
+	if cfg.LivenessWindow <= 0 {
+		cfg.LivenessWindow = 15 * time.Second
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     metrics.NewRegistry(),
@@ -134,6 +144,7 @@ const (
 	cntRestored       = "dist_cells_restored"
 	cntLeasesIssued   = "dist_leases_issued"
 	cntLeasesExpired  = "dist_leases_expired"
+	cntLeasesRenewed  = "dist_leases_renewed"
 	cntLeasesCanceled = "dist_leases_canceled"
 	cntCompletions    = "dist_completions"
 	cntDuplicates     = "dist_completions_duplicate"
@@ -281,6 +292,8 @@ func (s *Server) grantLease(w *workerState, now time.Time) (*LeaseGrant, error) 
 			}
 			c.phase = cellLeased
 			c.worker = w.id
+			// The one authoritative deadline: set here, carried in the
+			// grant, moved only by /lease/renew.
 			c.deadline = now.Add(s.cfg.LeaseTimeout)
 			e.pending--
 			e.leased++
@@ -289,7 +302,11 @@ func (s *Server) grantLease(w *workerState, now time.Time) (*LeaseGrant, error) 
 			if s.firstLease.IsZero() {
 				s.firstLease = now
 			}
-			return &LeaseGrant{Experiment: e.id, Key: c.key, Seq: c.seq, Options: e.wire}, nil
+			return &LeaseGrant{
+				Experiment: e.id, Key: c.key, Seq: c.seq, Options: e.wire,
+				LeaseTimeoutMS:   s.cfg.LeaseTimeout.Milliseconds(),
+				DeadlineUnixNano: c.deadline.UnixNano(),
+			}, nil
 		}
 	}
 	return nil, nil
@@ -424,6 +441,45 @@ func (s *Server) handleComplete(rw http.ResponseWriter, req *http.Request) {
 	writeJSON(rw, CompleteResponse{Accepted: true})
 }
 
+// handleRenew serves POST /lease/renew: an alive holder extends its
+// lease's deadline by a full LeaseTimeout, so honest computations
+// that outlast the silence budget are not recomputed elsewhere.
+// Idempotent: a duplicated renewal extends an already-extended
+// deadline by the same amount from the later arrival.
+func (s *Server) handleRenew(rw http.ResponseWriter, req *http.Request) {
+	var rr RenewRequest
+	if err := decodeJSON(rw, req, &rr); err != nil {
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rr.Worker != "" {
+		s.worker(rr.Worker, now)
+	}
+	e := s.byID[rr.Experiment]
+	if e == nil {
+		writeJSON(rw, RenewResponse{Renewed: false, Reason: "unknown experiment"})
+		return
+	}
+	c := e.byKey[rr.Key]
+	if c == nil {
+		writeJSON(rw, RenewResponse{Renewed: false, Reason: "unknown cell"})
+		return
+	}
+	if c.phase == cellDone {
+		writeJSON(rw, RenewResponse{Renewed: false, Reason: "already complete"})
+		return
+	}
+	if c.phase != cellLeased || rr.Seq != c.seq {
+		writeJSON(rw, RenewResponse{Renewed: false, Reason: "stale lease"})
+		return
+	}
+	c.deadline = now.Add(s.cfg.LeaseTimeout)
+	s.reg.Counter(cntLeasesRenewed).Inc()
+	writeJSON(rw, RenewResponse{Renewed: true, DeadlineUnixNano: c.deadline.UnixNano()})
+}
+
 // handleCancel serves POST /leases/cancel.
 func (s *Server) handleCancel(rw http.ResponseWriter, req *http.Request) {
 	var cr CancelRequest
@@ -489,16 +545,29 @@ func (s *Server) Status() Status {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	liveRate := 0.0
 	for _, id := range ids {
 		w := s.workers[id]
 		ws := WorkerStatus{
 			ID: w.id, Active: w.active, Completed: w.completed,
 			LastSeenUnixNano: w.lastSeen.UnixNano(),
+			Live:             now.Sub(w.lastSeen) <= s.cfg.LivenessWindow,
 		}
 		if d := now.Sub(w.firstSeen).Seconds(); d > 0 {
 			ws.CellsPerSec = float64(w.completed) / d
 		}
+		if ws.Live {
+			st.LiveWorkers++
+			liveRate += ws.CellsPerSec
+		}
 		st.Workers = append(st.Workers, ws)
+	}
+	st.PendingCells = totalPending + totalLeased
+	if liveRate > 0 {
+		// The autoscaling hint: seconds of backlog at the live fleet's
+		// aggregate rate. Persistently high => add workers; near zero
+		// with many live workers => shrink.
+		st.BacklogSeconds = float64(st.PendingCells) / liveRate
 	}
 	if !s.firstLease.IsZero() {
 		if d := now.Sub(s.firstLease).Seconds(); d > 0 && fresh > 0 {
@@ -513,6 +582,7 @@ func (s *Server) Status() Status {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lease", methodHandler(http.MethodPost, s.handleLease))
+	mux.HandleFunc("/lease/renew", methodHandler(http.MethodPost, s.handleRenew))
 	mux.HandleFunc("/complete", methodHandler(http.MethodPost, s.handleComplete))
 	mux.HandleFunc("/leases/cancel", methodHandler(http.MethodPost, s.handleCancel))
 	mux.HandleFunc("/status", methodHandler(http.MethodGet, func(rw http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rcoal/internal/checkpoint"
+	"rcoal/internal/faultinject"
+)
+
+// TestTornLeaseLineResume tortures the coordinator ledger with a
+// crash-mid-append (the journal's tail bytes vanish): the torn lease
+// line is discarded on resume, its cell re-issues fresh, intact lease
+// lines still seed their seqs, and completed cells stay completed.
+func TestTornLeaseLineResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.journal")
+	meta := map[string]string{"id": "exp"}
+	j1, err := checkpoint.Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.RecordLease(checkpoint.Lease{Key: "cell/0", Worker: "A", Seq: 4, IssuedUnixNano: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.RecordOnce("cell/1", "finished"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.RecordLease(checkpoint.Lease{Key: "cell/2", Worker: "B", Seq: 7, IssuedUnixNano: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	// The crash tears the tail: the cell/2 lease line loses its end.
+	if err := faultinject.TornTail(path, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := checkpoint.Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Discarded != 1 {
+		t.Fatalf("Discarded = %d, want 1 (the torn lease line)", j2.Discarded)
+	}
+	leases := j2.Leases()
+	if _, ok := leases["cell/0"]; !ok {
+		t.Error("intact lease line lost on resume")
+	}
+	if _, ok := leases["cell/2"]; ok {
+		t.Error("torn lease line resurrected")
+	}
+
+	s := NewServer(ServerConfig{LeaseTimeout: time.Hour})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	done := startBatch(s, "exp", j2, nil, "cell/0", "cell/1", "cell/2")
+
+	// cell/0's pre-crash holder reports at its journaled seq: accepted.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var resp CompleteResponse
+		postJSON(t, srv.URL+"/complete", CompleteRequest{
+			Worker: "A", Experiment: "exp", Key: "cell/0", Seq: 4,
+			Value: json.RawMessage(`"pre-crash"`),
+		}, &resp)
+		if resp.Accepted {
+			break
+		}
+		if resp.Reason == "unknown experiment" && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		t.Fatalf("journaled-lease completion rejected: %s", resp.Reason)
+	}
+
+	// cell/2's lease was torn away, so it re-issues as a fresh seq-1
+	// lease (cell/1 is complete and never grantable).
+	g := lease(t, srv.URL, "C")
+	if g.Key != "cell/2" || g.Seq != 1 {
+		t.Fatalf("post-torture grant = %+v, want cell/2 seq 1", g)
+	}
+	if resp := complete(t, srv.URL, g, "C", `"rerun"`); !resp.Accepted {
+		t.Fatalf("completion rejected: %s", resp.Reason)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	want := []string{`"pre-crash"`, `"finished"`, `"rerun"`}
+	for i, v := range want {
+		if string(res.raws[i]) != v {
+			t.Errorf("cell %d = %s, want %s", i, res.raws[i], v)
+		}
+	}
+	if n := s.Status().Experiments[0].Restored; n != 1 {
+		t.Errorf("restored = %d, want 1 (the completed cell)", n)
+	}
+}
+
+// TestCorruptedResultLineRerun tortures the ledger with bit-rot in a
+// completed cell's line: the checksum rejects it on resume and the
+// cell simply re-runs — first-writer-wins then applies to the rerun.
+func TestCorruptedResultLineRerun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.journal")
+	meta := map[string]string{"id": "exp"}
+	j1, err := checkpoint.Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.RecordOnce("cell/0", "rotted"); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	// Line 0 is the meta fingerprint; line 1 is the result.
+	if err := faultinject.CorruptJournalLine(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := checkpoint.Resume(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Discarded != 1 || j2.Len() != 0 {
+		t.Fatalf("resume kept %d cells with %d discarded, want 0 kept / 1 discarded", j2.Len(), j2.Discarded)
+	}
+
+	s := NewServer(ServerConfig{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	done := startBatch(s, "exp", j2, nil, "cell/0")
+	g := lease(t, srv.URL, "A")
+	if resp := complete(t, srv.URL, g, "A", `"recomputed"`); !resp.Accepted {
+		t.Fatalf("rerun completion rejected: %s", resp.Reason)
+	}
+	// Duplicate delivery of the rerun (a chaos DropResponse retry):
+	// rejected, bytes unchanged.
+	if resp := complete(t, srv.URL, g, "A", `"recomputed"`); resp.Accepted {
+		t.Error("duplicate rerun completion accepted")
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if string(res.raws[0]) != `"recomputed"` {
+		t.Errorf("result = %s", res.raws[0])
+	}
+	if raw, _ := j2.Lookup("cell/0"); string(raw) != `"recomputed"` {
+		t.Errorf("journal holds %s", raw)
+	}
+}

@@ -5,14 +5,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"rcoal/internal/checkpoint"
 	"rcoal/internal/experiments"
 	"rcoal/internal/kernels"
+	"rcoal/internal/rng"
 )
 
 // Worker pulls leases from a coordinator, recomputes each leased cell
@@ -20,14 +24,29 @@ import (
 // value drives Concurrency goroutines sharing a single trace cache, so
 // accelerated leases amortize kernel construction across cells exactly
 // as a local accelerated sweep does.
+//
+// The transport is hardened for hostile networks (see internal/chaos
+// for the fault layer that soaks it): every request carries a timeout,
+// transient failures — transport errors and 5xx responses alike —
+// retry under capped exponential backoff with deterministic jitter,
+// completions are redelivered until the coordinator acknowledges them,
+// long computations renew their lease, SIGTERM-style draining finishes
+// and reports the in-flight cell before exiting, and a coordinator
+// unreachable past DegradedAfter fails the worker over to degraded
+// standalone mode: the already-computed completion is checkpointed to
+// a local journal (DegradedPath) instead of being lost, and a later
+// run replays it.
 type Worker struct {
 	// Coordinator is the coordinator's base URL (http://host:port).
 	Coordinator string
-	// ID names this worker in the ledger and the status page.
+	// ID names this worker in the ledger and the status page. It also
+	// seeds the deterministic backoff jitter, so two workers sharing a
+	// flaky network do not retry in lockstep.
 	ID string
 	// Concurrency is the number of cells computed at once; 0 means 1.
 	Concurrency int
-	// Client overrides http.DefaultClient.
+	// Client overrides http.DefaultClient (e.g. to install
+	// chaos.Transport).
 	Client *http.Client
 	// PollInterval bounds lease-poll backoff when the coordinator has
 	// nothing pending and gave no hint; 0 means 250ms.
@@ -36,9 +55,26 @@ type Worker struct {
 	// failures (coordinator unreachable); 0 means 25. Rejected
 	// completions (duplicate/stale) are not errors.
 	MaxErrors int
-	// ErrorBackoff is the pause after a transport failure; 0 means
-	// 400ms.
-	ErrorBackoff time.Duration
+	// BackoffBase is the first pause after a transport failure; the
+	// pause doubles per consecutive failure up to BackoffCap, scaled
+	// by a jitter factor in [0.5, 1.0) drawn from a stream seeded by
+	// the worker ID, and floored at the coordinator's last PollWait
+	// hint. 0 means 100ms.
+	BackoffBase time.Duration
+	// BackoffCap caps the exponential growth; 0 means 5s.
+	BackoffCap time.Duration
+	// RequestTimeout bounds each HTTP round trip; 0 means 30s,
+	// negative means no per-request timeout.
+	RequestTimeout time.Duration
+	// DegradedPath, when non-empty, is the local checkpoint journal
+	// for degraded standalone mode: a computed completion that cannot
+	// be delivered within DegradedAfter is parked there instead of
+	// lost, the worker exits cleanly, and the next Run with the same
+	// path replays parked completions to the coordinator first.
+	DegradedPath string
+	// DegradedAfter is the delivery-failure window before a completion
+	// is parked (only meaningful with DegradedPath); 0 means 30s.
+	DegradedAfter time.Duration
 	// Log, when non-nil, receives one line per lease lifecycle event.
 	Log io.Writer
 	// Compute overrides cell computation (tests). nil means
@@ -50,9 +86,32 @@ type Worker struct {
 	cacheOnce  sync.Once
 	traceCache *kernels.TraceCache
 
+	// pollWaitMS is the coordinator's last PollWait hint, the floor
+	// for error backoff.
+	pollWaitMS atomic.Int64
+	// draining, once set, stops the loops from taking new leases;
+	// in-flight cells finish and report first.
+	draining atomic.Bool
+	// degraded counts completions parked to the local journal this
+	// run; nonzero means the worker exited in degraded mode.
+	degraded atomic.Int64
+
 	mu        sync.Mutex
+	drainCh   chan struct{}
+	parked    *checkpoint.Journal
 	completed int
 }
+
+// degradedMeta fingerprints the parked-completion journal. It is
+// constant: parked completions carry their own experiment identity in
+// the value, so any worker run may append to (and replay from) the
+// same file.
+type degradedMeta struct {
+	Format string `json:"format"`
+	V      int    `json:"v"`
+}
+
+func parkedMeta() degradedMeta { return degradedMeta{Format: "rcoal-degraded-completions", V: 1} }
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.Log != nil {
@@ -68,12 +127,100 @@ func (w *Worker) Completed() int {
 	return w.completed
 }
 
+// Parked returns how many completions this run checkpointed to the
+// degraded journal instead of delivering.
+func (w *Worker) Parked() int { return int(w.degraded.Load()) }
+
+// Drain asks the worker to stop taking new leases: each loop finishes
+// and reports its in-flight cell, then exits. Run then returns nil —
+// a drained worker is a clean exit, and its completed cells leave no
+// orphaned leases behind. Safe to call from a signal handler
+// goroutine, any number of times.
+func (w *Worker) Drain() {
+	w.draining.Store(true)
+	w.mu.Lock()
+	if w.drainCh == nil {
+		w.drainCh = make(chan struct{})
+	}
+	select {
+	case <-w.drainCh:
+	default:
+		close(w.drainCh)
+	}
+	w.mu.Unlock()
+}
+
+// drainChan returns the channel closed by Drain, creating it lazily.
+func (w *Worker) drainChan() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.drainCh == nil {
+		w.drainCh = make(chan struct{})
+	}
+	return w.drainCh
+}
+
+func (w *Worker) maxErrors() int {
+	if w.MaxErrors > 0 {
+		return w.MaxErrors
+	}
+	return 25
+}
+
+// backoff returns the pause before retry attempt n (1-based):
+// min(BackoffCap, BackoffBase<<(n-1)) scaled by a deterministic
+// jitter in [0.5, 1.0) from src, floored at the coordinator's last
+// PollWait hint so workers never hammer a coordinator that asked for
+// patience.
+func (w *Worker) backoff(src *rng.Source, attempt int) time.Duration {
+	base := w.BackoffBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := w.BackoffCap
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	d = d/2 + time.Duration(src.Intn(int(d/2)))
+	if floor := time.Duration(w.pollWaitMS.Load()) * time.Millisecond; d < floor {
+		d = floor
+	}
+	return d
+}
+
+// jitterSource seeds loop's deterministic backoff stream from the
+// worker ID: replayable per worker, decorrelated across workers.
+func (w *Worker) jitterSource(loop int) *rng.Source {
+	h := fnv.New64a()
+	h.Write([]byte(w.ID))
+	return rng.New(h.Sum64() ^ uint64(loop)*0xA3B195354A39B70D)
+}
+
 // Run polls for leases until the coordinator reports Done, the context
-// is canceled, or MaxErrors consecutive transport failures. A nil
-// error means a clean drain.
+// is canceled, Drain finishes the in-flight work, or MaxErrors
+// consecutive transport failures. A nil error means a clean drain.
+// With DegradedPath set, Run first replays completions parked by a
+// previous degraded run.
 func (w *Worker) Run(ctx context.Context) error {
 	if w.ID == "" {
 		w.ID = "worker"
+	}
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if w.DegradedPath != "" {
+		if err := w.openParked(); err != nil {
+			return err
+		}
+		w.replayParked(ctx, client)
 	}
 	conc := w.Concurrency
 	if conc <= 0 {
@@ -81,7 +228,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	errs := make(chan error, conc)
 	for i := 0; i < conc; i++ {
-		go func() { errs <- w.runLoop(ctx) }()
+		go func(loop int) { errs <- w.runLoop(ctx, client, loop) }(i)
 	}
 	var first error
 	for i := 0; i < conc; i++ {
@@ -89,30 +236,33 @@ func (w *Worker) Run(ctx context.Context) error {
 			first = err
 		}
 	}
+	w.mu.Lock()
+	if w.parked != nil {
+		w.parked.Close()
+		w.parked = nil
+	}
+	w.mu.Unlock()
+	if n := w.Parked(); n > 0 {
+		w.logf("degraded: %d completion(s) parked in %s; rerun this worker to replay them", n, w.DegradedPath)
+	}
 	return first
 }
 
-func (w *Worker) runLoop(ctx context.Context) error {
-	client := w.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
+func (w *Worker) runLoop(ctx context.Context, client *http.Client, loop int) error {
 	poll := w.PollInterval
 	if poll <= 0 {
 		poll = 250 * time.Millisecond
 	}
-	backoff := w.ErrorBackoff
-	if backoff <= 0 {
-		backoff = 400 * time.Millisecond
-	}
-	maxErrs := w.MaxErrors
-	if maxErrs <= 0 {
-		maxErrs = 25
-	}
+	maxErrs := w.maxErrors()
+	jitter := w.jitterSource(loop)
 	consecutive := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if w.draining.Load() {
+			w.logf("drained, exiting")
+			return nil
 		}
 		var resp LeaseResponse
 		err := w.post(ctx, client, "/lease", LeaseRequest{Worker: w.ID}, &resp)
@@ -122,7 +272,7 @@ func (w *Worker) runLoop(ctx context.Context) error {
 				return fmt.Errorf("dist: worker %s: %d consecutive coordinator errors, last: %w", w.ID, consecutive, err)
 			}
 			w.logf("lease poll failed (%d/%d): %v", consecutive, maxErrs, err)
-			if !sleepCtx(ctx, backoff) {
+			if !w.sleep(ctx, w.backoff(jitter, consecutive)) {
 				return ctx.Err()
 			}
 			continue
@@ -136,33 +286,43 @@ func (w *Worker) runLoop(ctx context.Context) error {
 			wait := poll
 			if resp.WaitMS > 0 {
 				wait = time.Duration(resp.WaitMS) * time.Millisecond
+				w.pollWaitMS.Store(resp.WaitMS)
 			}
-			if !sleepCtx(ctx, wait) {
+			if !w.sleep(ctx, wait) {
 				return ctx.Err()
 			}
 		default:
-			if err := w.serveLease(ctx, client, resp.Lease); err != nil {
-				consecutive++
-				if consecutive >= maxErrs {
-					return fmt.Errorf("dist: worker %s: %d consecutive coordinator errors, last: %w", w.ID, consecutive, err)
-				}
-				w.logf("completion post failed (%d/%d): %v", consecutive, maxErrs, err)
-				if !sleepCtx(ctx, backoff) {
-					return ctx.Err()
-				}
-			} else {
-				consecutive = 0
+			if err := w.serveLease(ctx, client, jitter, resp.Lease); err != nil {
+				return err
 			}
 		}
 	}
 }
 
-// serveLease computes one leased cell and reports the outcome. The
-// returned error covers transport only — a cell computation failure is
-// reported to the coordinator (which fails that experiment), not up
-// the worker loop.
-func (w *Worker) serveLease(ctx context.Context, client *http.Client, g *LeaseGrant) error {
+// sleep pauses for d, waking early on context cancellation (false) or
+// drain (true — the loop top decides what draining means).
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-w.drainChan():
+		return true
+	case <-t.C:
+		return true
+	}
+}
+
+// serveLease computes one leased cell and delivers the outcome,
+// renewing the lease while it works. The returned error means
+// delivery definitively failed (retries exhausted with no degraded
+// journal) — a cell computation failure is reported to the
+// coordinator (which fails that experiment), not up the worker loop.
+func (w *Worker) serveLease(ctx context.Context, client *http.Client, jitter *rng.Source, g *LeaseGrant) error {
 	w.logf("leased %s %s (seq %d)", g.Experiment, g.Key, g.Seq)
+	stopRenew := w.startRenewer(ctx, client, g)
+	defer stopRenew()
 	raw, err := w.compute(g)
 	req := CompleteRequest{
 		Worker: w.ID, Experiment: g.Experiment, Key: g.Key, Seq: g.Seq, Value: raw,
@@ -174,18 +334,175 @@ func (w *Worker) serveLease(ctx context.Context, client *http.Client, g *LeaseGr
 	w.mu.Lock()
 	w.completed++
 	w.mu.Unlock()
-	var resp CompleteResponse
-	if err := w.post(ctx, client, "/complete", req, &resp); err != nil {
-		return err
+	return w.deliver(ctx, client, jitter, req)
+}
+
+// deliver redelivers one completion until the coordinator
+// acknowledges it, the retry budget runs out, or — with a degraded
+// journal configured — the failure window closes and the completion
+// is parked locally instead. Delivery continues through Drain: a
+// draining worker reports its in-flight cell before exiting.
+func (w *Worker) deliver(ctx context.Context, client *http.Client, jitter *rng.Source, req CompleteRequest) error {
+	maxErrs := w.maxErrors()
+	window := w.DegradedAfter
+	if window <= 0 {
+		window = 30 * time.Second
 	}
-	if !resp.Accepted {
-		// Duplicate or stale — another holder delivered the identical
-		// bytes first. Informational, not an error.
-		w.logf("completion of %s %s rejected: %s", g.Experiment, g.Key, resp.Reason)
-	} else {
-		w.logf("completed %s %s", g.Experiment, g.Key)
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		var resp CompleteResponse
+		err := w.post(ctx, client, "/complete", req, &resp)
+		if err == nil {
+			if !resp.Accepted {
+				// Duplicate or stale — another holder (or a previous
+				// delivery of this one whose response was lost) already
+				// landed the identical bytes. Informational, not an error.
+				w.logf("completion of %s %s rejected: %s", req.Experiment, req.Key, resp.Reason)
+			} else {
+				w.logf("completed %s %s", req.Experiment, req.Key)
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.logf("completion post for %s %s failed (%d/%d): %v", req.Experiment, req.Key, attempt, maxErrs, err)
+		if w.DegradedPath != "" && time.Since(start) >= window {
+			return w.park(req)
+		}
+		if attempt >= maxErrs {
+			return fmt.Errorf("dist: worker %s: %d consecutive coordinator errors delivering %s %s, last: %w",
+				w.ID, attempt, req.Experiment, req.Key, err)
+		}
+		if !w.sleep(ctx, w.backoff(jitter, attempt)) {
+			return ctx.Err()
+		}
 	}
+}
+
+// openParked opens (or creates) the degraded journal at DegradedPath.
+func (w *Worker) openParked() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.parked != nil {
+		return nil
+	}
+	j, err := checkpoint.Resume(w.DegradedPath, parkedMeta())
+	if err != nil {
+		return fmt.Errorf("dist: opening degraded journal: %w", err)
+	}
+	w.parked = j
 	return nil
+}
+
+// park checkpoints an undeliverable completion to the degraded
+// journal and switches the worker to degraded standalone mode: the
+// loops stop polling (the coordinator is unreachable anyway) and Run
+// returns cleanly with the work preserved instead of hanging or
+// dropping it.
+func (w *Worker) park(req CompleteRequest) error {
+	w.mu.Lock()
+	j := w.parked
+	w.mu.Unlock()
+	if j == nil {
+		return fmt.Errorf("dist: worker %s: degraded journal not open", w.ID)
+	}
+	key := req.Experiment + "\x1f" + req.Key
+	if _, err := j.RecordOnce(key, req); err != nil {
+		return fmt.Errorf("dist: parking completion %s %s: %w", req.Experiment, req.Key, err)
+	}
+	w.degraded.Add(1)
+	w.logf("degraded: coordinator unreachable, parked completion of %s %s locally", req.Experiment, req.Key)
+	w.Drain()
+	return nil
+}
+
+// replayParked delivers completions a previous degraded run
+// checkpointed locally. Parked entries are never removed — replaying
+// an already-delivered completion is rejected first-writer-wins by
+// the coordinator, so replay is idempotent. Failures leave the entry
+// parked for the next run.
+func (w *Worker) replayParked(ctx context.Context, client *http.Client) {
+	w.mu.Lock()
+	j := w.parked
+	w.mu.Unlock()
+	if j == nil || j.Len() == 0 {
+		return
+	}
+	delivered, failed := 0, 0
+	j.Range(func(key string, value json.RawMessage) bool {
+		var req CompleteRequest
+		if err := json.Unmarshal(value, &req); err != nil {
+			w.logf("degraded replay: unreadable parked entry %q: %v", key, err)
+			failed++
+			return true
+		}
+		var resp CompleteResponse
+		if err := w.post(ctx, client, "/complete", req, &resp); err != nil {
+			w.logf("degraded replay: %s %s undeliverable: %v", req.Experiment, req.Key, err)
+			failed++
+			return true
+		}
+		delivered++
+		if !resp.Accepted {
+			w.logf("degraded replay: %s %s already delivered (%s)", req.Experiment, req.Key, resp.Reason)
+		} else {
+			w.logf("degraded replay: delivered parked completion of %s %s", req.Experiment, req.Key)
+		}
+		return true
+	})
+	w.logf("degraded replay: %d delivered, %d still parked", delivered, failed)
+}
+
+// startRenewer keeps g alive while its cell computes: a goroutine
+// renews the lease every third of the budget until stopped — two
+// chances before expiry, so one slow round trip on a loaded box does
+// not forfeit the lease — and honest computations that outlast
+// LeaseTimeout are not re-issued elsewhere.
+// A failed renewal is ignored (the next one may succeed; at worst the
+// lease expires and first-writer-wins makes the race benign); a
+// Renewed=false response stops renewing — the lease is gone.
+func (w *Worker) startRenewer(ctx context.Context, client *http.Client, g *LeaseGrant) (stop func()) {
+	if g.LeaseTimeoutMS <= 0 {
+		return func() {}
+	}
+	interval := time.Duration(g.LeaseTimeoutMS) * time.Millisecond / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				var resp RenewResponse
+				err := w.post(ctx, client, "/lease/renew", RenewRequest{
+					Worker: w.ID, Experiment: g.Experiment, Key: g.Key, Seq: g.Seq,
+				}, &resp)
+				if err != nil {
+					w.logf("lease renewal for %s %s failed: %v", g.Experiment, g.Key, err)
+					continue
+				}
+				if !resp.Renewed {
+					w.logf("lease %s %s no longer renewable: %s", g.Experiment, g.Key, resp.Reason)
+					return
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
 }
 
 // compute reconstructs the leased cell's options and recomputes it,
@@ -211,10 +528,22 @@ func (w *Worker) compute(g *LeaseGrant) (raw json.RawMessage, err error) {
 	return experiments.ComputeCell(g.Experiment, o, g.Key)
 }
 
+// post performs one JSON round trip under the per-request timeout.
+// A non-2xx status is an error; 5xx (and transport failures) are the
+// transient shapes the retry paths above back off on.
 func (w *Worker) post(ctx context.Context, client *http.Client, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
+	}
+	timeout := w.RequestTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
 	if err != nil {
@@ -231,15 +560,4 @@ func (w *Worker) post(ctx context.Context, client *http.Client, path string, in,
 		return fmt.Errorf("dist: %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
-}
-
-func sleepCtx(ctx context.Context, d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
 }

@@ -74,6 +74,21 @@ func CellError(target int, err error) func(cell int) error {
 	}
 }
 
+// TornTail truncates the final drop bytes of the file at path — the
+// crash-mid-append fault: the last journal line loses its tail (and
+// its newline), so a resume must discard it by checksum and terminate
+// the fragment rather than concatenating onto it.
+func TornTail(path string, drop int) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if int64(drop) >= info.Size() {
+		return fmt.Errorf("faultinject: %s has only %d bytes, cannot drop %d", path, info.Size(), drop)
+	}
+	return os.Truncate(path, info.Size()-int64(drop))
+}
+
 // CorruptJournalLine overwrites the payload of line n (0-based) of the
 // file at path with garbage of the same length, preserving the line
 // structure — the torn-write/bit-rot fault a checkpoint journal must
