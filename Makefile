@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench bench-json ci equiv experiments examples fuzz dist-smoke chaos frontier vet-mechanism clean
+.PHONY: all build test test-race cover bench bench-json ci equiv experiments examples fuzz dist-smoke chaos frontier obs-smoke vet-mechanism clean
 
 all: build test
 
@@ -19,6 +19,7 @@ ci: build test
 	$(MAKE) dist-smoke
 	$(MAKE) chaos
 	$(MAKE) frontier
+	$(MAKE) obs-smoke
 
 # Defense-frontier smoke: the ext-defense-frontier experiment through
 # the real binary, CSV diffed byte-for-byte against the committed
@@ -45,6 +46,14 @@ dist-smoke:
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/
 	bash scripts/chaos_smoke.sh
+
+# Fleet observability smoke: a 4-worker chaos-faulted sweep with
+# tracing, structured logs, and /metrics on — the Prometheus
+# expositions must lint, the merged fleet trace must validate with
+# one trace id, and the CSV must match an unobserved run byte for
+# byte.
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # Differential-equivalence harness for the simulation accelerators
 # (trace cache, copy-on-write prefix forking, hybrid analytical

@@ -12,8 +12,14 @@
 //	rcoal-experiments -worker http://coordinator:8077   # on each machine
 //
 // The control plane lives on the same address: GET /status for live
-// grid progress and per-worker rates, POST /leases/cancel to revoke
-// (and thereby retry) an in-flight lease, /debug/vars for expvar.
+// grid progress, per-worker rates, and straggler flags; GET /metrics
+// for Prometheus text exposition; POST /leases/cancel to revoke (and
+// thereby retry) an in-flight lease; /debug/vars for expvar. With
+// -trace-out the coordinator merges its own lease spans with the
+// per-cell span reports workers attach to completions into one
+// fleet-wide Chrome/Perfetto trace; -log-json emits structured
+// lease-lifecycle events; -flight-out dumps a bounded ring of recent
+// events when the sweep fails.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,6 +43,7 @@ import (
 	"rcoal/internal/dist"
 	"rcoal/internal/experiments"
 	"rcoal/internal/kernels"
+	"rcoal/internal/obs"
 )
 
 func main() {
@@ -54,9 +62,13 @@ func main() {
 		accel   = flag.Bool("accel", false, "lease cells with the exact accelerators enabled on workers (results are byte-identical)")
 		hybrid  = flag.Bool("hybrid", false, "lease cells with the hybrid analytical substitution (scores may differ within HybridScoreBound)")
 		mechs   = flag.String("mechanisms", "", "comma-separated defense specs restricting mechanism-enumerating experiments (ext-defense-frontier), e.g. \"baseline,rss+rts:8,delay:64\"; empty = full registry; the filter travels in each lease")
-		leaseTO = flag.Duration("lease-timeout", 2*time.Minute, "silence budget per lease before the cell is re-issued to another worker; holders renew long computations via /lease/renew")
-		hb      = flag.Duration("heartbeat", 0, "period of the live status line on stderr (cells done, cache hit/miss, workers, rate, eta); 0 = off")
-		drain   = flag.Duration("drain-wait", 2*time.Second, "grace period after the last grid completes so polling workers see Done and exit")
+		leaseTO  = flag.Duration("lease-timeout", 2*time.Minute, "silence budget per lease before the cell is re-issued to another worker; holders renew long computations via /lease/renew")
+		hb       = flag.Duration("heartbeat", 0, "period of the live status line on stderr (cells done, cache hit/miss, workers, rate, eta); 0 = off")
+		drain    = flag.Duration("drain-wait", 2*time.Second, "grace period after the last grid completes so polling workers see Done and exit")
+		traceOut = flag.String("trace-out", "", "write the merged fleet-wide Chrome/Perfetto trace (coordinator lease spans + per-cell worker spans) to this file after the sweep")
+		logJSON  = flag.Bool("log-json", false, "emit structured lease-lifecycle events as JSON lines on stderr")
+		logLevel = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error (with -log-json)")
+		flight   = flag.String("flight-out", "", "dump the in-memory flight recorder (last events at every level) to this file when the sweep fails")
 	)
 	flag.Parse()
 
@@ -88,7 +100,49 @@ func main() {
 		opts.ForkPrefix = true
 	}
 
-	s := dist.NewServer(dist.ServerConfig{LeaseTimeout: *leaseTO})
+	// Observability plane: one trace id for the whole sweep, minted
+	// here and propagated to every worker through the lease protocol.
+	// The structured logger tees into the flight recorder so a crash
+	// dump always holds the last ~256 events at every level.
+	traceID := obs.NewTraceID()
+	var fleetTrace *obs.FleetTrace
+	if *traceOut != "" {
+		fleetTrace = obs.NewFleetTrace(traceID)
+	}
+	var recorder *obs.FlightRecorder
+	if *flight != "" {
+		recorder = obs.NewFlightRecorder(obs.DefaultFlightCapacity)
+	}
+	var logger *obs.Logger
+	if *logJSON || recorder != nil {
+		// Recorder-only mode (flight recorder without -log-json) keeps
+		// stderr quiet but still feeds the event ring.
+		logDst := io.Writer(os.Stderr)
+		if !*logJSON {
+			logDst = io.Discard
+		}
+		logger = obs.NewLogger(logDst, obs.LogConfig{
+			JSON: true, Level: obs.ParseLevel(*logLevel), Recorder: recorder,
+		}).With("trace_id", traceID, "role", "coordinator")
+	}
+	// dumpFlight writes the ring atomically; called on failure paths.
+	dumpFlight := func(reason string) {
+		if recorder == nil {
+			return
+		}
+		if err := recorder.Dump(*flight, reason, traceID); err != nil {
+			fmt.Fprintf(os.Stderr, "rcoal-coordinator: flight dump: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "rcoal-coordinator: flight recorder dumped to %s (%s)\n", *flight, reason)
+		}
+	}
+
+	s := dist.NewServer(dist.ServerConfig{
+		LeaseTimeout: *leaseTO,
+		TraceID:      traceID,
+		Trace:        fleetTrace,
+		Log:          logger,
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -110,6 +164,7 @@ func main() {
 		}
 	}()
 	fmt.Fprintf(os.Stderr, "rcoal-coordinator: serving on %s (status: http://%s/status)\n", *addr, *addr)
+	logger.Info("coordinator serving", "addr", *addr, "run", *run)
 
 	// Graceful shutdown on SIGINT/SIGTERM: close the lease server so
 	// the experiment goroutines return (their defers flush and close
@@ -123,6 +178,8 @@ func main() {
 		<-sig
 		interrupted.Store(true)
 		fmt.Fprintln(os.Stderr, "rcoal-coordinator: signal received; flushing journals and shutting down (restart with -resume to continue)")
+		logger.Warn("shutdown signal received")
+		dumpFlight("shutdown signal")
 		s.Close()
 		<-sig
 		fmt.Fprintln(os.Stderr, "rcoal-coordinator: second signal, exiting immediately")
@@ -201,7 +258,20 @@ func main() {
 	// flight complete instead of being cut mid-body.
 	if !interrupted.Load() {
 		s.Drain()
+		logger.Info("sweep drained")
 		time.Sleep(*drain)
+	}
+
+	// Label stragglers while worker stats are still live, then write
+	// the merged fleet trace.
+	if fleetTrace != nil {
+		s.FinalizeTrace()
+		if err := fleetTrace.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rcoal-coordinator: writing fleet trace: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "rcoal-coordinator: fleet trace (%d events, trace %s) written to %s\n",
+				fleetTrace.Len(), traceID, *traceOut)
+		}
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -213,10 +283,14 @@ func main() {
 	for i, id := range ids {
 		if results[i].err != nil {
 			fmt.Fprintf(os.Stderr, "rcoal-coordinator: %s: %v\n", id, results[i].err)
+			logger.Error("experiment failed", "experiment", id, "error", results[i].err.Error())
 			exit = 1
 			continue
 		}
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, results[i].elapsed, results[i].report)
+	}
+	if exit != 0 {
+		dumpFlight("experiment failure")
 	}
 	if exit == 0 {
 		st := s.Status()

@@ -17,14 +17,17 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -34,8 +37,10 @@ import (
 	"rcoal/internal/chaos"
 	"rcoal/internal/dist"
 	"rcoal/internal/experiments"
+	"rcoal/internal/gpusim"
 	"rcoal/internal/gpusim/tracevis"
 	"rcoal/internal/kernels"
+	"rcoal/internal/obs"
 	"rcoal/internal/runner"
 )
 
@@ -68,6 +73,9 @@ func main() {
 		degrade  = flag.String("degraded-journal", "", "worker mode: local checkpoint journal for degraded standalone mode — completions undeliverable for -degraded-after park here instead of being lost and replay on the next run")
 		degAfter = flag.Duration("degraded-after", 30*time.Second, "worker mode: delivery-failure window before a completion is parked (requires -degraded-journal)")
 		reqTO    = flag.Duration("request-timeout", 30*time.Second, "worker mode: per-request HTTP timeout toward the coordinator")
+		logJSON  = flag.Bool("log-json", false, "emit structured lifecycle events as JSON lines on stderr (heartbeats, lease lifecycle in worker mode)")
+		logLevel = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error (with -log-json)")
+		flight   = flag.String("flight-out", "", "dump the in-memory flight recorder (last events at every level) to this file on watchdog trips, cell panics, or degraded-mode entry")
 	)
 	flag.Parse()
 
@@ -81,6 +89,8 @@ func main() {
 			coordinator: *worker, id: *workerID, concurrency: *workers, verbose: *prog,
 			chaosSeed: *chaosSee, degradedPath: *degrade, degradedAfter: *degAfter,
 			requestTimeout: *reqTO,
+			metricsAddr:    *maddr,
+			logJSON:        *logJSON, logLevel: *logLevel, flightOut: *flight,
 		}))
 	}
 
@@ -121,15 +131,50 @@ func main() {
 		exporter = tracevis.New()
 		opts.Trace = exporter
 	}
+	// Local-mode observability: an optional flight recorder dumped on
+	// watchdog trips and cell panics, a structured logger teeing into
+	// it, and structured heartbeats when both -log-json and -heartbeat
+	// are set.
+	var recorder *obs.FlightRecorder
+	if *flight != "" {
+		recorder = obs.NewFlightRecorder(obs.DefaultFlightCapacity)
+	}
+	var logger *obs.Logger
+	if *logJSON || recorder != nil {
+		logDst := io.Writer(os.Stderr)
+		if !*logJSON {
+			logDst = io.Discard
+		}
+		logger = obs.NewLogger(logDst, obs.LogConfig{
+			JSON: true, Level: obs.ParseLevel(*logLevel), Recorder: recorder,
+		}).With("role", "local")
+	}
 	if *hb > 0 || *maddr != "" {
 		tel := runner.NewTelemetry()
 		opts.Telemetry = tel
 		if *hb > 0 {
-			stop := tel.Heartbeat(os.Stderr, *hb)
-			defer stop()
+			if *logJSON {
+				stop := tel.HeartbeatWith(*hb, func(s runner.TelemetryStats) {
+					logger.Info("telemetry",
+						"cells_done", s.CellsDone, "cells_total", s.TotalCells,
+						"cells_failed", s.CellsFailed, "cache_hits", s.CacheHits,
+						"cells_per_sec", s.CellsPerSec, "eta_sec", s.ETA.Seconds(),
+						"utilization", s.Utilization)
+				})
+				defer stop()
+			} else {
+				stop := tel.Heartbeat(os.Stderr, *hb)
+				defer stop()
+			}
 		}
 		if *maddr != "" {
 			expvar.Publish("rcoal_telemetry", expvar.Func(func() any { return tel.Stats() }))
+			http.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+				p := obs.NewProm()
+				p.Telemetry("rcoal", tel.Stats())
+				rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+				p.WriteTo(rw)
+			})
 			go func() {
 				if err := http.ListenAndServe(*maddr, nil); err != nil {
 					fmt.Fprintf(os.Stderr, "rcoal-experiments: metrics endpoint: %v\n", err)
@@ -162,6 +207,7 @@ func main() {
 			if *prog {
 				o.Progress = func(done, total int) {
 					fmt.Fprintf(os.Stderr, "%s: %d/%d cells\n", id, done, total)
+					logger.Debug("progress", "experiment", id, "done", done, "total", total)
 				}
 			}
 			if *jdir != "" {
@@ -216,7 +262,30 @@ func main() {
 	}
 	for i, id := range ids {
 		if results[i].err != nil {
-			fmt.Fprintf(os.Stderr, "rcoal-experiments: %s: %v\n", id, results[i].err)
+			err := results[i].err
+			fmt.Fprintf(os.Stderr, "rcoal-experiments: %s: %v\n", id, err)
+			logger.Error("experiment failed", "experiment", id, "error", err.Error())
+			if recorder != nil {
+				// Classify the failure so the flight dump says why it was
+				// taken; the dump path is referenced next to the error so
+				// the diagnostic snapshot and the event ring travel
+				// together.
+				reason := "experiment failure"
+				var pe *runner.PanicError
+				switch {
+				case errors.Is(err, gpusim.ErrNoProgress):
+					reason = "watchdog: no forward progress"
+				case errors.Is(err, gpusim.ErrMaxCycles):
+					reason = "watchdog: cycle budget exhausted"
+				case errors.As(err, &pe):
+					reason = "cell panic"
+				}
+				if derr := recorder.Dump(*flight, reason, ""); derr != nil {
+					fmt.Fprintf(os.Stderr, "rcoal-experiments: flight dump: %v\n", derr)
+				} else {
+					fmt.Fprintf(os.Stderr, "rcoal-experiments: flight recorder dumped to %s (%s)\n", *flight, reason)
+				}
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, results[i].elapsed, results[i].report)
@@ -240,6 +309,10 @@ type workerConfig struct {
 	degradedPath   string
 	degradedAfter  time.Duration
 	requestTimeout time.Duration
+	metricsAddr    string
+	logJSON        bool
+	logLevel       string
+	flightOut      string
 }
 
 // runWorker attaches this process to a coordinator as a cell-compute
@@ -259,6 +332,20 @@ func runWorker(cfg workerConfig) int {
 	if concurrency <= 0 {
 		concurrency = runtime.GOMAXPROCS(0)
 	}
+	var recorder *obs.FlightRecorder
+	if cfg.flightOut != "" {
+		recorder = obs.NewFlightRecorder(obs.DefaultFlightCapacity)
+	}
+	var logger *obs.Logger
+	if cfg.logJSON || recorder != nil {
+		logDst := io.Writer(os.Stderr)
+		if !cfg.logJSON {
+			logDst = io.Discard
+		}
+		logger = obs.NewLogger(logDst, obs.LogConfig{
+			JSON: true, Level: obs.ParseLevel(cfg.logLevel), Recorder: recorder,
+		}).With("role", "worker", "worker", id)
+	}
 	w := &dist.Worker{
 		Coordinator:    cfg.coordinator,
 		ID:             id,
@@ -266,19 +353,64 @@ func runWorker(cfg workerConfig) int {
 		RequestTimeout: cfg.requestTimeout,
 		DegradedPath:   cfg.degradedPath,
 		DegradedAfter:  cfg.degradedAfter,
+		Logger:         logger,
 	}
 	if cfg.verbose {
 		w.Log = os.Stderr
 	}
+	var injector *chaos.Injector
 	if cfg.chaosSeed != 0 {
 		plan := chaos.NewPlan(cfg.chaosSeed, chaos.DefaultProfile())
 		in := chaos.NewInjector(plan)
+		injector = in
 		if cfg.verbose {
 			in.Log = os.Stderr
+		}
+		// Every injected fault becomes a trace mark on this worker's next
+		// completion and a structured warning, so faults are visible in
+		// the merged fleet trace and the event log, not just the counters.
+		in.OnFault = func(endpoint string, n uint64, f chaos.Fault, partitioned bool) {
+			w.ObserveFault(endpoint, n, f.Kind.String(), partitioned)
+			logger.Warn("chaos fault injected",
+				"endpoint", endpoint, "n", n, "kind", f.Kind.String(), "partitioned", partitioned)
 		}
 		w.Client = &http.Client{Transport: chaos.NewTransport(in, nil)}
 		fmt.Fprintf(os.Stderr, "rcoal-experiments: %s\n", plan.Describe())
 		defer func() { fmt.Fprintf(os.Stderr, "rcoal-experiments: %s\n", in.Summary()) }()
+	}
+	if cfg.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			st := w.Stats()
+			p := obs.NewProm()
+			p.Gauge("rcoal_worker_cells_completed", "Cells this worker delivered (accepted or not).", float64(st.Completed))
+			p.Counter("rcoal_worker_completions_accepted_total", "Completions the coordinator accepted.", float64(st.Accepted))
+			p.Counter("rcoal_worker_completions_rejected_total", "Duplicate/stale completions (benign).", float64(st.Rejected))
+			p.Counter("rcoal_worker_completions_parked_total", "Completions checkpointed in degraded mode.", float64(st.Parked))
+			p.Counter("rcoal_worker_renewals_lost_total", "Leases the coordinator declined to renew.", float64(st.RenewalsLost))
+			p.Counter("rcoal_worker_chaos_faults_total", "Chaos faults observed by this worker.", float64(st.FaultsSeen))
+			if injector != nil {
+				p.GaugeSeries("rcoal_worker_chaos_injected", "Injected faults by kind.", func(sample func(v float64, labels ...obs.Label)) {
+					counts := injector.Counters()
+					kinds := make([]string, 0, len(counts))
+					for k := range counts {
+						kinds = append(kinds, k)
+					}
+					sort.Strings(kinds)
+					for _, k := range kinds {
+						sample(float64(counts[k]), obs.Label{Name: "kind", Value: k})
+					}
+				})
+			}
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			p.WriteTo(rw)
+		})
+		go func() {
+			if err := http.ListenAndServe(cfg.metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "rcoal-experiments: worker metrics endpoint: %v\n", err)
+			}
+		}()
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -296,15 +428,30 @@ func runWorker(cfg workerConfig) int {
 
 	fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s attaching to %s (%d concurrent cells)\n",
 		id, cfg.coordinator, concurrency)
+	logger.Info("worker attaching", "coordinator", cfg.coordinator, "concurrency", concurrency)
+	dumpFlight := func(reason string) {
+		if recorder == nil {
+			return
+		}
+		if err := recorder.Dump(cfg.flightOut, reason, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "rcoal-experiments: flight dump: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "rcoal-experiments: flight recorder dumped to %s (%s)\n", cfg.flightOut, reason)
+		}
+	}
 	if err := w.Run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "rcoal-experiments: worker: %v\n", err)
+		logger.Error("worker failed", "error", err.Error())
+		dumpFlight("worker failure")
 		return 1
 	}
 	if n := w.Parked(); n > 0 {
 		fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s degraded: %d completion(s) parked in %s; rerun with the same -degraded-journal once the coordinator is back\n",
 			id, n, cfg.degradedPath)
+		dumpFlight("degraded mode")
 		return 0
 	}
 	fmt.Fprintf(os.Stderr, "rcoal-experiments: worker %s done (%d cells computed)\n", id, w.Completed())
+	logger.Info("worker done", "cells", w.Completed())
 	return 0
 }

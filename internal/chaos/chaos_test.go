@@ -147,6 +147,36 @@ func planFor(kind Kind) *Plan {
 
 // upstream is a tiny origin that counts deliveries and returns a
 // fixed JSON body.
+func TestInjectorOnFaultHook(t *testing.T) {
+	in := NewInjector(planFor(DropRequest))
+	type hit struct {
+		endpoint    string
+		n           uint64
+		kind        Kind
+		partitioned bool
+	}
+	var hits []hit
+	in.OnFault = func(endpoint string, n uint64, f Fault, partitioned bool) {
+		hits = append(hits, hit{endpoint, n, f.Kind, partitioned})
+	}
+	in.Next("/lease")
+	in.Next("/lease")
+	in.Next("/complete")
+	if len(hits) != 3 {
+		t.Fatalf("OnFault fired %d times, want 3 (drop rate 1000‰)", len(hits))
+	}
+	if hits[0] != (hit{"/lease", 0, DropRequest, false}) ||
+		hits[1] != (hit{"/lease", 1, DropRequest, false}) ||
+		hits[2] != (hit{"/complete", 0, DropRequest, false}) {
+		t.Errorf("OnFault observations: %+v", hits)
+	}
+
+	// No hook, no faults injected → never called.
+	quiet := NewInjector(NewPlan(5, Profile{}))
+	quiet.OnFault = func(string, uint64, Fault, bool) { t.Error("OnFault fired with an empty profile") }
+	quiet.Next("/lease")
+}
+
 type upstream struct {
 	hits int
 	body string

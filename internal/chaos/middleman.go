@@ -20,6 +20,12 @@ type Injector struct {
 	plan *Plan
 	// Log, when non-nil, receives one line per injected fault.
 	Log io.Writer
+	// OnFault, when non-nil, is called once per injected fault with
+	// the endpoint, that endpoint's request index, the fault, and
+	// whether a partition window forced it. Observability wiring (the
+	// worker's trace marks and structured fault log) hangs off this
+	// hook; it runs outside the injector's lock.
+	OnFault func(endpoint string, n uint64, f Fault, partitioned bool)
 	// now overrides time.Now (tests).
 	now func() time.Time
 
@@ -68,6 +74,9 @@ func (in *Injector) Next(endpoint string) Fault {
 				suffix = " (partition)"
 			}
 			fmt.Fprintf(in.Log, "chaos: %s #%d: %s%s\n", endpoint, n, f.Kind, suffix)
+		}
+		if in.OnFault != nil {
+			in.OnFault(endpoint, n, f, partitioned)
 		}
 	}
 	return f

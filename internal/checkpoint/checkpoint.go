@@ -116,6 +116,19 @@ type Journal struct {
 	// were malformed or failed their checksum. The corresponding cells
 	// re-run, so a nonzero count is survivable — but worth reporting.
 	Discarded int
+	// Discards records where and why each line was dropped, so resume
+	// logs can point at the exact journal damage instead of only a
+	// count.
+	Discards []Discard
+}
+
+// Discard describes one journal line dropped on resume.
+type Discard struct {
+	// Line is the 1-based line number in the journal file.
+	Line int
+	// Reason classifies the damage (malformed JSON, checksum
+	// mismatch, missing key).
+	Reason string
 }
 
 // Create starts a fresh journal at path, truncating any previous one,
@@ -156,8 +169,14 @@ func Resume(path string, meta any) (*Journal, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	first := true
+	line := 0
+	discard := func(reason string) {
+		j.Discarded++
+		j.Discards = append(j.Discards, Discard{Line: line, Reason: reason})
+	}
 	for sc.Scan() {
 		raw := sc.Bytes()
+		line++
 		if len(bytes.TrimSpace(raw)) == 0 {
 			continue
 		}
@@ -177,7 +196,7 @@ func Resume(path string, meta any) (*Journal, error) {
 		}
 		var l anyLine
 		if err := json.Unmarshal(raw, &l); err != nil {
-			j.Discarded++
+			discard("malformed JSON (torn line)")
 			continue
 		}
 		if l.L != "" {
@@ -186,15 +205,19 @@ func Resume(path string, meta any) (*Journal, error) {
 			// was out and re-issues, which is always safe.
 			ls := Lease{Key: l.L, Worker: l.W, Seq: l.N, IssuedUnixNano: l.T}
 			if checksum([]byte(leasePayload(ls))) != l.C {
-				j.Discarded++
+				discard("lease checksum mismatch")
 				continue
 			}
 			// Last lease per key wins: it carries the highest Seq issued.
 			j.leases[ls.Key] = ls
 			continue
 		}
-		if l.K == "" || checksum(l.V) != l.C {
-			j.Discarded++
+		if l.K == "" {
+			discard("result line without key")
+			continue
+		}
+		if checksum(l.V) != l.C {
+			discard("result checksum mismatch")
 			continue
 		}
 		// Last occurrence wins: a key re-recorded after a discarded

@@ -143,6 +143,14 @@ func TestCorruptLinesDiscardedNotFatal(t *testing.T) {
 	if r.Discarded != 1 {
 		t.Errorf("Discarded = %d, want 1", r.Discarded)
 	}
+	// Discards pins where and why: corrupted cell/1 is journal line 3
+	// (meta line 1, cell/0 line 2 — CorruptJournalLine counts from 0).
+	if len(r.Discards) != 1 {
+		t.Fatalf("Discards = %+v, want one entry", r.Discards)
+	}
+	if d := r.Discards[0]; d.Line != 3 || d.Reason == "" {
+		t.Errorf("Discard = %+v, want line 3 with a reason", d)
+	}
 	if _, ok := r.Lookup("cell/1"); ok {
 		t.Error("corrupted cell still resolvable")
 	}

@@ -54,6 +54,7 @@ import (
 
 	"rcoal/internal/experiments"
 	"rcoal/internal/metrics"
+	"rcoal/internal/obs"
 )
 
 // WireOptions is the result-determining slice of experiments.Options a
@@ -140,6 +141,11 @@ type LeaseGrant struct {
 	// coordinator's clock (informational for the worker — clocks may
 	// skew; renewal scheduling uses LeaseTimeoutMS).
 	DeadlineUnixNano int64 `json:"deadline_unix_nano,omitempty"`
+	// TraceID is the sweep's trace id. Non-empty only when the
+	// coordinator is building a fleet trace; it doubles as the
+	// worker's signal to collect per-cell spans and attach them to the
+	// completion.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // RenewRequest extends an in-flight lease: the holder is alive and
@@ -186,6 +192,11 @@ type CompleteRequest struct {
 	// (misconfiguration, not flakiness), so they fail the experiment
 	// just as they would in the local pool.
 	Error string `json:"error,omitempty"`
+	// Trace is the worker's span report for this cell (compute and
+	// delivery phases, backoff, renewals, chaos faults), attached only
+	// when the grant carried a TraceID. It rides beside Value, never
+	// inside it, so tracing cannot perturb result bytes.
+	Trace *obs.CellTrace `json:"trace,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Accepted=false is not an
@@ -236,6 +247,10 @@ type Status struct {
 	// the current fleet is. Scale workers up when it stays high, down
 	// when it approaches zero. 0 when no live worker has a rate yet.
 	BacklogSeconds float64 `json:"backlog_seconds"`
+	// MedianCellsPerSec is the median per-worker completion rate among
+	// live workers with enough history (the straggler baseline); 0
+	// until at least one qualifies.
+	MedianCellsPerSec float64 `json:"median_cells_per_sec"`
 	// Metrics is the coordinator's counter registry snapshot
 	// (dist_cache_hits, dist_cache_misses, dist_leases_issued, ...).
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
@@ -263,4 +278,12 @@ type WorkerStatus struct {
 	// completion) within the liveness window; dead workers keep their
 	// history but drop out of the autoscaling-hint aggregate.
 	Live bool `json:"live"`
+	// RateRatio is this worker's rate against the live-fleet median
+	// (Status.MedianCellsPerSec); 0 when no baseline exists yet.
+	RateRatio float64 `json:"rate_ratio"`
+	// Straggler flags a live worker with enough completions whose rate
+	// has fallen below the straggler threshold of the fleet median —
+	// the "which machine is dragging the sweep" signal, also surfaced
+	// as a process label in the merged fleet trace.
+	Straggler bool `json:"straggler"`
 }

@@ -1,0 +1,253 @@
+package dist
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rcoal/internal/gpusim/tracevis"
+	"rcoal/internal/obs"
+)
+
+// TestTracePropagationAndMerge drives one cell through the lease
+// protocol with tracing enabled and checks the merged fleet trace:
+// the grant carries the trace id, every HTTP response echoes it in
+// the header, the coordinator's lease span and the worker's cell
+// span/marks land in one valid Chrome trace sharing one trace id.
+func TestTracePropagationAndMerge(t *testing.T) {
+	clock := newTestClock()
+	traceID := obs.NewTraceID()
+	ft := obs.NewFleetTrace(traceID)
+	s := NewServer(ServerConfig{
+		Clock:   clock.Now,
+		TraceID: traceID,
+		Trace:   ft,
+	})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	done := startBatch(s, "exp", nil, nil, "k0")
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); got != traceID {
+		t.Fatalf("response %s header = %q, want %q", obs.TraceHeader, got, traceID)
+	}
+
+	g := lease(t, srv.URL, "w1")
+	if g.TraceID != traceID {
+		t.Fatalf("grant trace id = %q, want %q", g.TraceID, traceID)
+	}
+	clock.Advance(100 * time.Millisecond)
+
+	now := clock.Now()
+	var cresp CompleteResponse
+	postJSON(t, srv.URL+"/complete", CompleteRequest{
+		Worker: "w1", Experiment: g.Experiment, Key: g.Key, Seq: g.Seq,
+		Value: json.RawMessage(`{"v":1}`),
+		Trace: &obs.CellTrace{
+			Worker: "w1",
+			Spans: []obs.Span{{
+				Track: g.Experiment, Name: "cell " + g.Key,
+				Start: now.Add(-80 * time.Millisecond).UnixNano(),
+				End:   now.UnixNano(),
+			}},
+			Marks: []obs.Mark{{
+				Track: g.Experiment, Name: "chaos_fault",
+				At:    now.Add(-40 * time.Millisecond).UnixNano(),
+				Attrs: map[string]string{"endpoint": "/complete", "kind": "torn"},
+			}},
+		},
+	}, &cresp)
+	if !cresp.Accepted {
+		t.Fatalf("completion rejected: %s", cresp.Reason)
+	}
+	if err := (<-done).err; err != nil {
+		t.Fatal(err)
+	}
+	s.FinalizeTrace()
+
+	var buf strings.Builder
+	if err := ft.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte(buf.String())
+	if err := tracevis.Validate(raw); err != nil {
+		t.Fatalf("merged trace invalid: %v\n%s", err, raw)
+	}
+	var f tracevis.File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.OtherData["trace_id"]; got != traceID {
+		t.Fatalf("otherData trace_id = %v, want %q", got, traceID)
+	}
+	names := map[string]bool{}
+	procs := map[string]float64{}
+	for _, ev := range f.TraceEvents {
+		names[ev.Name] = true
+		if ev.Name == "process_name" {
+			procs[ev.Args["name"].(string)] = float64(ev.Pid)
+		}
+		if ev.Ph == "X" || ev.Ph == "i" {
+			if id, ok := ev.Args["trace_id"]; !ok || id != traceID {
+				t.Fatalf("event %q missing trace_id arg: %v", ev.Name, ev.Args)
+			}
+		}
+	}
+	for _, want := range []string{"lease k0", "cell k0", "chaos_fault"} {
+		if !names[want] {
+			t.Fatalf("merged trace missing event %q; have %v", want, names)
+		}
+	}
+	if pid, ok := procs["coordinator"]; !ok || pid != 0 {
+		t.Fatalf("coordinator should be pid 0, procs = %v", procs)
+	}
+	if _, ok := procs["worker w1"]; !ok {
+		t.Fatalf("worker process track missing, procs = %v", procs)
+	}
+}
+
+// TestMetricsEndpoint checks /metrics renders valid Prometheus text
+// exposition with the expected coordinator families.
+func TestMetricsEndpoint(t *testing.T) {
+	clock := newTestClock()
+	s := NewServer(ServerConfig{Clock: clock.Now})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	done := startBatch(s, "exp", nil, nil, "k0", "k1")
+	g := lease(t, srv.URL, "w1")
+	complete(t, srv.URL, g, "w1", `{"v":1}`)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if err := obs.LintProm(body); err != nil {
+		t.Fatalf("/metrics failed lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"rcoal_coordinator_pending_cells",
+		"rcoal_coordinator_live_workers",
+		"rcoal_coordinator_median_cells_per_second",
+		`rcoal_experiment_cells_total{experiment="exp"} 2`,
+		`rcoal_worker_completed_cells{worker="w1"} 1`,
+		"rcoal_dist_leases_issued",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	g2 := lease(t, srv.URL, "w1")
+	complete(t, srv.URL, g2, "w1", `{"v":2}`)
+	if err := (<-done).err; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStragglerDetection: a slow worker past the grace window is
+// flagged against the live-median baseline; the fast worker is not.
+func TestStragglerDetection(t *testing.T) {
+	clock := newTestClock()
+	s := NewServer(ServerConfig{
+		Clock:          clock.Now,
+		LivenessWindow: time.Second,
+	})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"}
+	done := startBatch(s, "exp", nil, nil, keys...)
+
+	// fast completes 8 cells, slow completes 1, over a 2s window.
+	for i := 0; i < 8; i++ {
+		g := lease(t, srv.URL, "fast")
+		complete(t, srv.URL, g, "fast", `{"v":1}`)
+	}
+	gSlow := lease(t, srv.URL, "slow")
+	complete(t, srv.URL, gSlow, "slow", `{"v":1}`)
+
+	clock.Advance(2 * time.Second)
+	// Refresh lastSeen so both workers count as live at the new time.
+	var lr LeaseResponse
+	postJSON(t, srv.URL+"/lease", LeaseRequest{Worker: "fast"}, &lr)
+	postJSON(t, srv.URL+"/lease", LeaseRequest{Worker: "slow"}, &lr)
+
+	st := s.Status()
+	if st.MedianCellsPerSec <= 0 {
+		t.Fatalf("median rate = %v, want > 0", st.MedianCellsPerSec)
+	}
+	byID := map[string]WorkerStatus{}
+	for _, ws := range st.Workers {
+		byID[ws.ID] = ws
+	}
+	if ws := byID["fast"]; ws.Straggler || ws.RateRatio < 0.9 {
+		t.Fatalf("fast worker misflagged: %+v", ws)
+	}
+	if ws := byID["slow"]; !ws.Straggler {
+		t.Fatalf("slow worker not flagged: %+v (median %v)", ws, st.MedianCellsPerSec)
+	} else if ws.RateRatio >= 0.5 {
+		t.Fatalf("slow rate ratio = %v, want < 0.5", ws.RateRatio)
+	}
+
+	// Drain the rest so the batch goroutine exits.
+	if lr.Lease != nil {
+		var cr CompleteResponse
+		postJSON(t, srv.URL+"/complete", CompleteRequest{
+			Worker: "slow", Experiment: lr.Lease.Experiment, Key: lr.Lease.Key,
+			Seq: lr.Lease.Seq, Value: json.RawMessage(`{"v":1}`),
+		}, &cr)
+	}
+	for {
+		var resp LeaseResponse
+		postJSON(t, srv.URL+"/lease", LeaseRequest{Worker: "fast"}, &resp)
+		if resp.Lease == nil {
+			break
+		}
+		complete(t, srv.URL, resp.Lease, "fast", `{"v":1}`)
+	}
+	if err := (<-done).err; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerObserveFaultBuffers: fault marks recorded between
+// completions attach to the next delivered completion's trace.
+func TestWorkerObserveFaultBuffers(t *testing.T) {
+	w := &Worker{ID: "w1"}
+	w.ObserveFault("/lease", 3, "drop_request", false)
+	w.ObserveFault("/complete", 7, "torn", true)
+	marks := w.drainMarks("exp")
+	if len(marks) != 2 {
+		t.Fatalf("drained %d marks, want 2", len(marks))
+	}
+	if marks[0].Track != "exp" || marks[0].Name != "chaos_fault" {
+		t.Fatalf("mark 0 = %+v", marks[0])
+	}
+	if marks[1].Attrs["partitioned"] != "true" || marks[1].Attrs["kind"] != "torn" {
+		t.Fatalf("mark 1 attrs = %v", marks[1].Attrs)
+	}
+	if got := w.drainMarks("exp"); len(got) != 0 {
+		t.Fatalf("second drain returned %d marks, want 0", len(got))
+	}
+	if w.Stats().FaultsSeen != 2 {
+		t.Fatalf("FaultsSeen = %d, want 2", w.Stats().FaultsSeen)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"rcoal/internal/checkpoint"
 	"rcoal/internal/metrics"
+	"rcoal/internal/obs"
 )
 
 // cellPhase is a grid cell's place in the lease state machine.
@@ -28,11 +29,12 @@ type cellState struct {
 	key      string
 	phase    cellPhase
 	raw      json.RawMessage
-	worker   string
-	seq      int64 // last issued lease number; bumps on re-issue/cancel
-	deadline time.Time
-	restored bool
-	cacheHit bool
+	worker    string
+	seq       int64 // last issued lease number; bumps on re-issue/cancel
+	deadline  time.Time
+	grantedAt time.Time // current lease's grant time, for the fleet-trace span
+	restored  bool
+	cacheHit  bool
 }
 
 // expState is one experiment's registered grid plus its durable ledger.
@@ -86,6 +88,27 @@ type ServerConfig struct {
 	// (poll, renewal, or completion) to count as live in /status and
 	// the autoscaling-hint aggregate. 0 means the default (15s).
 	LivenessWindow time.Duration
+	// TraceID is the sweep's trace id, minted by the coordinator
+	// front end (obs.NewTraceID). When non-empty it is stamped on
+	// every HTTP response (obs.TraceHeader), carried in every lease
+	// grant, and workers collect per-cell spans for it.
+	TraceID string
+	// Trace, when non-nil, accumulates the fleet-wide merged trace:
+	// coordinator lease spans and lifecycle marks plus the per-cell
+	// span reports workers attach to completions.
+	Trace *obs.FleetTrace
+	// Log receives structured lease-lifecycle events (grants,
+	// completions, renewals, expiries, cancellations, failures). nil
+	// disables logging — the nil-receiver contract of obs.Logger makes
+	// every call site unconditional.
+	Log *obs.Logger
+	// StragglerRatio flags a live worker whose per-worker rate falls
+	// below this fraction of the live-fleet median. 0 means the
+	// default (0.5).
+	StragglerRatio float64
+	// StragglerMinCells is how many completions a worker needs before
+	// its rate joins the straggler baseline. 0 means the default (3).
+	StragglerMinCells int
 	// Clock overrides time.Now (tests).
 	Clock func() time.Time
 }
@@ -120,6 +143,15 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.LivenessWindow <= 0 {
 		cfg.LivenessWindow = 15 * time.Second
 	}
+	if cfg.StragglerRatio <= 0 {
+		cfg.StragglerRatio = 0.5
+	}
+	if cfg.StragglerMinCells <= 0 {
+		cfg.StragglerMinCells = 3
+	}
+	// The coordinator owns pid 0 of the merged trace regardless of
+	// which worker reports first.
+	cfg.Trace.RegisterProcess(coordinatorProc)
 	s := &Server{
 		cfg:     cfg,
 		reg:     metrics.NewRegistry(),
@@ -129,6 +161,12 @@ func NewServer(cfg ServerConfig) *Server {
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
+
+// coordinatorProc is the coordinator's process name in the merged
+// fleet trace; workers appear as workerProc(id).
+const coordinatorProc = "coordinator"
+
+func workerProc(id string) string { return "worker " + id }
 
 func (s *Server) now() time.Time {
 	if s.cfg.Clock != nil {
@@ -262,6 +300,12 @@ func (s *Server) reapExpired(now time.Time) {
 					w.active--
 				}
 				s.reg.Counter(cntLeasesExpired).Inc()
+				s.cfg.Log.Warn("lease expired",
+					"experiment", e.id, "cell", c.key, "seq", c.seq, "worker", c.worker)
+				s.cfg.Trace.Mark(coordinatorProc, obs.Mark{
+					Track: e.id, Name: "lease_expired", At: now.UnixNano(),
+					Attrs: map[string]string{"cell": c.key, "worker": c.worker},
+				})
 			}
 		}
 	}
@@ -295,6 +339,7 @@ func (s *Server) grantLease(w *workerState, now time.Time) (*LeaseGrant, error) 
 			// The one authoritative deadline: set here, carried in the
 			// grant, moved only by /lease/renew.
 			c.deadline = now.Add(s.cfg.LeaseTimeout)
+			c.grantedAt = now
 			e.pending--
 			e.leased++
 			w.active++
@@ -302,10 +347,14 @@ func (s *Server) grantLease(w *workerState, now time.Time) (*LeaseGrant, error) 
 			if s.firstLease.IsZero() {
 				s.firstLease = now
 			}
+			s.cfg.Log.Info("lease granted",
+				"experiment", e.id, "cell", c.key, "seq", c.seq, "worker", w.id,
+				"deadline_unix_nano", c.deadline.UnixNano())
 			return &LeaseGrant{
 				Experiment: e.id, Key: c.key, Seq: c.seq, Options: e.wire,
 				LeaseTimeoutMS:   s.cfg.LeaseTimeout.Milliseconds(),
 				DeadlineUnixNano: c.deadline.UnixNano(),
+				TraceID:          s.cfg.TraceID,
 			}, nil
 		}
 	}
@@ -380,6 +429,9 @@ func (s *Server) handleComplete(rw http.ResponseWriter, req *http.Request) {
 	}
 	if c.phase == cellDone {
 		s.reg.Counter(cntDuplicates).Inc()
+		s.cfg.Log.Info("completion rejected",
+			"experiment", e.id, "cell", cr.Key, "seq", cr.Seq, "worker", cr.Worker,
+			"reason", "duplicate")
 		writeJSON(rw, CompleteResponse{Accepted: false, Reason: "duplicate: first writer won"})
 		return
 	}
@@ -387,6 +439,9 @@ func (s *Server) handleComplete(rw http.ResponseWriter, req *http.Request) {
 		// A canceled or re-issued lease's original holder reporting
 		// late. The current holder (or the next one) owns the cell.
 		s.reg.Counter(cntStale).Inc()
+		s.cfg.Log.Info("completion rejected",
+			"experiment", e.id, "cell", cr.Key, "seq", cr.Seq, "worker", cr.Worker,
+			"reason", "stale lease")
 		writeJSON(rw, CompleteResponse{Accepted: false, Reason: "stale lease"})
 		return
 	}
@@ -396,6 +451,9 @@ func (s *Server) handleComplete(rw http.ResponseWriter, req *http.Request) {
 		if e.failure == nil {
 			e.failure = fmt.Errorf("dist: cell %q on worker %s: %s", cr.Key, cr.Worker, cr.Error)
 		}
+		s.cfg.Log.Error("cell failed on worker",
+			"experiment", e.id, "cell", cr.Key, "seq", cr.Seq, "worker", cr.Worker,
+			"error", cr.Error)
 		if c.phase == cellLeased {
 			c.phase = cellPending
 			e.leased--
@@ -434,6 +492,26 @@ func (s *Server) handleComplete(rw http.ResponseWriter, req *http.Request) {
 	}
 	w.completed++
 	s.reg.Counter(cntCompletions).Inc()
+	s.cfg.Log.Info("completion accepted",
+		"experiment", e.id, "cell", cr.Key, "seq", cr.Seq, "worker", cr.Worker,
+		"done", e.done, "total", len(e.cells))
+	if s.cfg.Trace != nil {
+		// The coordinator's view of the cell: one lease-hold span from
+		// grant to accepted completion on the experiment's track.
+		start := c.grantedAt.UnixNano()
+		if c.grantedAt.IsZero() {
+			start = now.UnixNano() // pre-crash lease delivered after resume
+		}
+		s.cfg.Trace.Span(coordinatorProc, obs.Span{
+			Track: e.id, Name: "lease " + cr.Key,
+			Start: start, End: now.UnixNano(),
+			Attrs: map[string]string{"worker": cr.Worker, "seq": fmt.Sprint(cr.Seq)},
+		})
+		// Merge the worker's own per-cell span report.
+		if cr.Trace != nil {
+			s.cfg.Trace.AddCell(workerProc(cr.Worker), *cr.Trace)
+		}
+	}
 	if e.progress != nil {
 		e.progress(e.freshDone, e.freshTotal)
 	}
@@ -477,6 +555,13 @@ func (s *Server) handleRenew(rw http.ResponseWriter, req *http.Request) {
 	}
 	c.deadline = now.Add(s.cfg.LeaseTimeout)
 	s.reg.Counter(cntLeasesRenewed).Inc()
+	s.cfg.Log.Info("lease renewed",
+		"experiment", e.id, "cell", rr.Key, "seq", rr.Seq, "worker", rr.Worker,
+		"deadline_unix_nano", c.deadline.UnixNano())
+	s.cfg.Trace.Mark(coordinatorProc, obs.Mark{
+		Track: e.id, Name: "lease_renewed", At: now.UnixNano(),
+		Attrs: map[string]string{"cell": rr.Key, "worker": rr.Worker},
+	})
 	writeJSON(rw, RenewResponse{Renewed: true, DeadlineUnixNano: c.deadline.UnixNano()})
 }
 
@@ -512,6 +597,12 @@ func (s *Server) handleCancel(rw http.ResponseWriter, req *http.Request) {
 		w.active--
 	}
 	s.reg.Counter(cntLeasesCanceled).Inc()
+	s.cfg.Log.Warn("lease canceled",
+		"experiment", e.id, "cell", cr.Key, "worker", c.worker)
+	s.cfg.Trace.Mark(coordinatorProc, obs.Mark{
+		Track: e.id, Name: "lease_canceled", At: s.now().UnixNano(),
+		Attrs: map[string]string{"cell": cr.Key, "worker": c.worker},
+	})
 	writeJSON(rw, CancelResponse{Canceled: true})
 }
 
@@ -546,6 +637,7 @@ func (s *Server) Status() Status {
 	}
 	sort.Strings(ids)
 	liveRate := 0.0
+	var baselineRates []float64
 	for _, id := range ids {
 		w := s.workers[id]
 		ws := WorkerStatus{
@@ -559,8 +651,35 @@ func (s *Server) Status() Status {
 		if ws.Live {
 			st.LiveWorkers++
 			liveRate += ws.CellsPerSec
+			if w.completed >= s.cfg.StragglerMinCells {
+				baselineRates = append(baselineRates, ws.CellsPerSec)
+			}
 		}
 		st.Workers = append(st.Workers, ws)
+	}
+	// Straggler detection: compare each live worker's throughput to the
+	// median of live workers that have completed enough cells to have a
+	// meaningful rate. Workers inside the grace window (younger than the
+	// liveness window) are never flagged — their rate is still warming up.
+	if len(baselineRates) > 0 {
+		sort.Float64s(baselineRates)
+		mid := len(baselineRates) / 2
+		median := baselineRates[mid]
+		if len(baselineRates)%2 == 0 {
+			median = (baselineRates[mid-1] + baselineRates[mid]) / 2
+		}
+		st.MedianCellsPerSec = median
+		if median > 0 {
+			for i := range st.Workers {
+				ws := &st.Workers[i]
+				w := s.workers[ws.ID]
+				ws.RateRatio = ws.CellsPerSec / median
+				if ws.Live && now.Sub(w.firstSeen) >= s.cfg.LivenessWindow &&
+					ws.CellsPerSec < s.cfg.StragglerRatio*median {
+					ws.Straggler = true
+				}
+			}
+		}
 	}
 	st.PendingCells = totalPending + totalLeased
 	if liveRate > 0 {
@@ -578,6 +697,77 @@ func (s *Server) Status() Status {
 	return st
 }
 
+// FinalizeTrace labels straggler worker processes in the fleet trace
+// so the badge shows up next to the process name in the viewer. Call
+// once, after the sweep drains and before exporting the trace. No-op
+// when tracing is disabled.
+func (s *Server) FinalizeTrace() {
+	if s.cfg.Trace == nil {
+		return
+	}
+	st := s.Status()
+	for _, ws := range st.Workers {
+		if ws.Straggler {
+			s.cfg.Trace.SetLabel(workerProc(ws.ID), "straggler")
+		}
+	}
+}
+
+// handleMetrics renders the coordinator's state as Prometheus text
+// exposition (version 0.0.4): sweep-level gauges, per-experiment and
+// per-worker series, then the full metrics.Registry snapshot.
+func (s *Server) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	st := s.Status()
+	p := obs.NewProm()
+	done := 0
+	if st.Done {
+		done = 1
+	}
+	p.Gauge("rcoal_coordinator_done", "Whether the sweep has drained (1) or is still running (0).", float64(done))
+	p.Gauge("rcoal_coordinator_pending_cells", "Cells not yet completed (pending plus leased).", float64(st.PendingCells))
+	p.Gauge("rcoal_coordinator_live_workers", "Workers seen within the liveness window.", float64(st.LiveWorkers))
+	p.Gauge("rcoal_coordinator_cells_per_second", "Fleet-wide fresh completion rate.", st.CellsPerSec)
+	p.Gauge("rcoal_coordinator_eta_seconds", "Estimated seconds until the sweep drains.", st.ETASeconds)
+	p.Gauge("rcoal_coordinator_backlog_seconds", "Seconds of backlog at the live fleet's aggregate rate.", st.BacklogSeconds)
+	p.Gauge("rcoal_coordinator_median_cells_per_second", "Median per-worker completion rate used as the straggler baseline.", st.MedianCellsPerSec)
+	expSeries := func(name, help string, pick func(ExperimentStatus) float64) {
+		p.GaugeSeries(name, help, func(sample func(v float64, labels ...obs.Label)) {
+			for _, es := range st.Experiments {
+				sample(pick(es), obs.Label{Name: "experiment", Value: es.ID})
+			}
+		})
+	}
+	expSeries("rcoal_experiment_cells_total", "Total cells in the experiment grid.", func(es ExperimentStatus) float64 { return float64(es.Total) })
+	expSeries("rcoal_experiment_cells_done", "Completed cells, restored and cache hits included.", func(es ExperimentStatus) float64 { return float64(es.Done) })
+	expSeries("rcoal_experiment_cells_restored", "Cells restored from the journal at startup.", func(es ExperimentStatus) float64 { return float64(es.Restored) })
+	expSeries("rcoal_experiment_cache_hits", "Cells answered from the results cache.", func(es ExperimentStatus) float64 { return float64(es.CacheHit) })
+	workerSeries := func(name, help string, pick func(WorkerStatus) float64) {
+		p.GaugeSeries(name, help, func(sample func(v float64, labels ...obs.Label)) {
+			for _, ws := range st.Workers {
+				sample(pick(ws), obs.Label{Name: "worker", Value: ws.ID})
+			}
+		})
+	}
+	workerSeries("rcoal_worker_completed_cells", "Cells completed by the worker.", func(ws WorkerStatus) float64 { return float64(ws.Completed) })
+	workerSeries("rcoal_worker_cells_per_second", "Per-worker completion rate.", func(ws WorkerStatus) float64 { return ws.CellsPerSec })
+	workerSeries("rcoal_worker_rate_ratio", "Worker rate relative to the live-median baseline.", func(ws WorkerStatus) float64 { return ws.RateRatio })
+	workerSeries("rcoal_worker_straggler", "Whether the worker is flagged as a straggler (1) or not (0).", func(ws WorkerStatus) float64 {
+		if ws.Straggler {
+			return 1
+		}
+		return 0
+	})
+	workerSeries("rcoal_worker_live", "Whether the worker was seen within the liveness window.", func(ws WorkerStatus) float64 {
+		if ws.Live {
+			return 1
+		}
+		return 0
+	})
+	p.Snapshot("rcoal", st.Metrics)
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.WriteTo(rw)
+}
+
 // Handler returns the coordinator's HTTP interface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -588,7 +778,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/status", methodHandler(http.MethodGet, func(rw http.ResponseWriter, _ *http.Request) {
 		writeJSON(rw, s.Status())
 	}))
-	return mux
+	mux.HandleFunc("/metrics", methodHandler(http.MethodGet, s.handleMetrics))
+	if s.cfg.TraceID == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set(obs.TraceHeader, s.cfg.TraceID)
+		mux.ServeHTTP(rw, req)
+	})
 }
 
 // Heartbeat starts a goroutine writing one status line to w every

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// jsonShape flattens a decoded JSON value into sorted "path: type"
+// lines — the schema of the document with all values erased. Array
+// elements collapse to one "path[]" entry (the union of element
+// shapes), so the schema is independent of how many workers or
+// experiments happen to be present.
+func jsonShape(prefix string, v any, out map[string]string) {
+	switch x := v.(type) {
+	case map[string]any:
+		out[prefix] = "object"
+		for k, e := range x {
+			jsonShape(prefix+"."+k, e, out)
+		}
+	case []any:
+		out[prefix] = "array"
+		for _, e := range x {
+			jsonShape(prefix+"[]", e, out)
+		}
+	case string:
+		out[prefix] = "string"
+	case float64:
+		out[prefix] = "number"
+	case bool:
+		out[prefix] = "boolean"
+	case nil:
+		if _, seen := out[prefix]; !seen {
+			out[prefix] = "null"
+		}
+	}
+}
+
+// TestStatusSchemaGolden pins the /status JSON schema — field names
+// and types — so renames or type changes that would break dashboards
+// and the smoke scripts show up as a test diff, not a silent drift.
+// Run with -update to accept an intentional change.
+func TestStatusSchemaGolden(t *testing.T) {
+	clock := newTestClock()
+	s := NewServer(ServerConfig{Clock: clock.Now, LivenessWindow: time.Minute})
+	defer s.Close()
+
+	// Populate every branch of the document: an experiment with done,
+	// leased, and pending cells, plus a worker with completions, so no
+	// field is omitted from the rendered JSON.
+	done := startBatch(s, "exp", nil, nil, "k0", "k1", "k2")
+	g, err := s.grantLeaseForTest("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.completeForTest(g, `{"v":1}`); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second)
+	if _, err := s.grantLeaseForTest("w1"); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := json.Marshal(s.Status())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := map[string]string{}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	jsonShape("status", doc, shape)
+	keys := make([]string, 0, len(shape))
+	for k := range shape {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\n", k, shape[k])
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "status_schema.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("/status JSON schema drifted from golden.\n--- got ---\n%s--- want ---\n%s\nIf the change is intentional, rerun with -update and review the diff.", got, want)
+	}
+
+	// Unblock the batch goroutine.
+	s.Close()
+	<-done
+}
+
+// grantLeaseForTest issues one lease directly against the state
+// machine, bypassing HTTP, waiting briefly for the async register.
+func (s *Server) grantLeaseForTest(worker string) (*LeaseGrant, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		now := s.now()
+		s.mu.Lock()
+		w := s.worker(worker, now)
+		g, err := s.grantLease(w, now)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
+			return g, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("no lease granted within deadline")
+}
+
+// completeForTest lands one completion directly via the HTTP handler
+// (the accept path updates worker accounting used by the schema test).
+func (s *Server) completeForTest(g *LeaseGrant, value string) (CompleteResponse, error) {
+	body, err := json.Marshal(CompleteRequest{
+		Worker: "w1", Experiment: g.Experiment, Key: g.Key, Seq: g.Seq,
+		Value: json.RawMessage(value),
+	})
+	if err != nil {
+		return CompleteResponse{}, err
+	}
+	rec := httptest.NewRecorder()
+	s.handleComplete(rec, httptest.NewRequest(http.MethodPost, "/complete", bytes.NewReader(body)))
+	var resp CompleteResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}

@@ -16,6 +16,7 @@ import (
 	"rcoal/internal/checkpoint"
 	"rcoal/internal/experiments"
 	"rcoal/internal/kernels"
+	"rcoal/internal/obs"
 	"rcoal/internal/rng"
 )
 
@@ -77,6 +78,10 @@ type Worker struct {
 	DegradedAfter time.Duration
 	// Log, when non-nil, receives one line per lease lifecycle event.
 	Log io.Writer
+	// Logger, when non-nil, receives the same lifecycle as structured
+	// events (obs.Logger is nil-receiver safe, so call sites are
+	// unconditional). Typically pre-tagged with the worker id.
+	Logger *obs.Logger
 	// Compute overrides cell computation (tests). nil means
 	// experiments.ComputeCell with panic recovery.
 	Compute func(id string, o experiments.Options, key string) (json.RawMessage, error)
@@ -96,10 +101,89 @@ type Worker struct {
 	// run; nonzero means the worker exited in degraded mode.
 	degraded atomic.Int64
 
+	// accepted/rejected/renewalsLost/faultsSeen feed the worker-side
+	// /metrics endpoint; completed (below) counts deliveries of either
+	// outcome.
+	accepted     atomic.Int64
+	rejected     atomic.Int64
+	renewalsLost atomic.Int64
+	faultsSeen   atomic.Int64
+
 	mu        sync.Mutex
 	drainCh   chan struct{}
 	parked    *checkpoint.Journal
 	completed int
+	// pendingMarks buffers chaos-fault observations (ObserveFault) that
+	// arrive while no cell trace is being built — e.g. faults injected
+	// on lease polls — so they attach to the next completion's trace
+	// instead of vanishing. Bounded; oldest dropped first.
+	pendingMarks []obs.Mark
+}
+
+// maxPendingMarks bounds the fault-mark buffer between completions.
+const maxPendingMarks = 256
+
+// WorkerStats is a point-in-time snapshot of a worker's delivery
+// counters, rendered by the worker-side /metrics endpoint.
+type WorkerStats struct {
+	Completed    int   // deliveries, accepted or not
+	Accepted     int64 // completions the coordinator accepted
+	Rejected     int64 // duplicate/stale completions (benign)
+	Parked       int64 // completions checkpointed in degraded mode
+	RenewalsLost int64 // leases the coordinator declined to renew
+	FaultsSeen   int64 // chaos faults observed via ObserveFault
+}
+
+// Stats snapshots the worker's delivery counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	completed := w.completed
+	w.mu.Unlock()
+	return WorkerStats{
+		Completed:    completed,
+		Accepted:     w.accepted.Load(),
+		Rejected:     w.rejected.Load(),
+		Parked:       w.degraded.Load(),
+		RenewalsLost: w.renewalsLost.Load(),
+		FaultsSeen:   w.faultsSeen.Load(),
+	}
+}
+
+// ObserveFault records an injected (or observed) network fault as a
+// trace mark attached to the next completion this worker delivers.
+// Wire it to chaos.Injector.OnFault. Safe for concurrent use; a no-op
+// burden of one bounded buffer append when tracing is off.
+func (w *Worker) ObserveFault(endpoint string, n uint64, kind string, partitioned bool) {
+	w.faultsSeen.Add(1)
+	m := obs.Mark{
+		Name: "chaos_fault", At: time.Now().UnixNano(),
+		Attrs: map[string]string{
+			"endpoint": endpoint,
+			"kind":     kind,
+			"n":        fmt.Sprint(n),
+		},
+	}
+	if partitioned {
+		m.Attrs["partitioned"] = "true"
+	}
+	w.mu.Lock()
+	if len(w.pendingMarks) >= maxPendingMarks {
+		w.pendingMarks = w.pendingMarks[1:]
+	}
+	w.pendingMarks = append(w.pendingMarks, m)
+	w.mu.Unlock()
+}
+
+// drainMarks takes the buffered fault marks, stamping them onto track.
+func (w *Worker) drainMarks(track string) []obs.Mark {
+	w.mu.Lock()
+	marks := w.pendingMarks
+	w.pendingMarks = nil
+	w.mu.Unlock()
+	for i := range marks {
+		marks[i].Track = track
+	}
+	return marks
 }
 
 // degradedMeta fingerprints the parked-completion journal. It is
@@ -314,6 +398,65 @@ func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
 	}
 }
 
+// cellTraceBuilder accumulates one leased cell's spans and marks for
+// the completion payload. It is shared between the computing loop and
+// the renewer goroutine, hence the mutex. A nil builder (tracing off)
+// makes every method a no-op.
+type cellTraceBuilder struct {
+	mu    sync.Mutex
+	track string
+	ct    obs.CellTrace
+}
+
+func (b *cellTraceBuilder) span(name string, start, end time.Time, attrs map[string]string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.ct.Spans = append(b.ct.Spans, obs.Span{
+		Track: b.track, Name: name,
+		Start: start.UnixNano(), End: end.UnixNano(), Attrs: attrs,
+	})
+	b.mu.Unlock()
+}
+
+func (b *cellTraceBuilder) mark(name string, at time.Time, attrs map[string]string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.ct.Marks = append(b.ct.Marks, obs.Mark{
+		Track: b.track, Name: name, At: at.UnixNano(), Attrs: attrs,
+	})
+	b.mu.Unlock()
+}
+
+func (b *cellTraceBuilder) absorb(marks []obs.Mark) {
+	if b == nil || len(marks) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.ct.Marks = append(b.ct.Marks, marks...)
+	b.mu.Unlock()
+}
+
+// snapshot copies the accumulated trace for one delivery attempt —
+// the builder keeps growing (backoff marks, late faults) between
+// retries, and each POST marshals whatever is attached at that point.
+func (b *cellTraceBuilder) snapshot() *obs.CellTrace {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ct := obs.CellTrace{
+		Worker: b.ct.Worker,
+		Spans:  append([]obs.Span(nil), b.ct.Spans...),
+		Marks:  append([]obs.Mark(nil), b.ct.Marks...),
+	}
+	return &ct
+}
+
 // serveLease computes one leased cell and delivers the outcome,
 // renewing the lease while it works. The returned error means
 // delivery definitively failed (retries exhausted with no degraded
@@ -321,20 +464,36 @@ func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
 // coordinator (which fails that experiment), not up the worker loop.
 func (w *Worker) serveLease(ctx context.Context, client *http.Client, jitter *rng.Source, g *LeaseGrant) error {
 	w.logf("leased %s %s (seq %d)", g.Experiment, g.Key, g.Seq)
-	stopRenew := w.startRenewer(ctx, client, g)
+	w.Logger.Info("lease granted",
+		"experiment", g.Experiment, "cell", g.Key, "seq", g.Seq)
+	// A non-empty TraceID in the grant is the coordinator's signal to
+	// collect per-cell spans; the merged trace rides beside Value in
+	// the completion, never inside it, so result bytes are identical
+	// with tracing on or off.
+	var tb *cellTraceBuilder
+	if g.TraceID != "" {
+		tb = &cellTraceBuilder{track: g.Experiment}
+		tb.ct.Worker = w.ID
+	}
+	stopRenew := w.startRenewer(ctx, client, g, tb)
 	defer stopRenew()
+	computeStart := time.Now()
 	raw, err := w.compute(g)
+	tb.span("cell "+g.Key, computeStart, time.Now(),
+		map[string]string{"seq": fmt.Sprint(g.Seq)})
 	req := CompleteRequest{
 		Worker: w.ID, Experiment: g.Experiment, Key: g.Key, Seq: g.Seq, Value: raw,
 	}
 	if err != nil {
 		req.Error = err.Error()
 		req.Value = nil
+		w.Logger.Error("cell computation failed",
+			"experiment", g.Experiment, "cell", g.Key, "error", err.Error())
 	}
 	w.mu.Lock()
 	w.completed++
 	w.mu.Unlock()
-	return w.deliver(ctx, client, jitter, req)
+	return w.deliver(ctx, client, jitter, req, tb)
 }
 
 // deliver redelivers one completion until the coordinator
@@ -342,7 +501,7 @@ func (w *Worker) serveLease(ctx context.Context, client *http.Client, jitter *rn
 // journal configured — the failure window closes and the completion
 // is parked locally instead. Delivery continues through Drain: a
 // draining worker reports its in-flight cell before exiting.
-func (w *Worker) deliver(ctx context.Context, client *http.Client, jitter *rng.Source, req CompleteRequest) error {
+func (w *Worker) deliver(ctx context.Context, client *http.Client, jitter *rng.Source, req CompleteRequest, tb *cellTraceBuilder) error {
 	maxErrs := w.maxErrors()
 	window := w.DegradedAfter
 	if window <= 0 {
@@ -350,6 +509,12 @@ func (w *Worker) deliver(ctx context.Context, client *http.Client, jitter *rng.S
 	}
 	start := time.Now()
 	for attempt := 1; ; attempt++ {
+		if tb != nil {
+			// Refresh the attached trace each attempt: backoff marks and
+			// chaos faults observed since the last POST ride along.
+			tb.absorb(w.drainMarks(tb.track))
+			req.Trace = tb.snapshot()
+		}
 		var resp CompleteResponse
 		err := w.post(ctx, client, "/complete", req, &resp)
 		if err == nil {
@@ -357,9 +522,15 @@ func (w *Worker) deliver(ctx context.Context, client *http.Client, jitter *rng.S
 				// Duplicate or stale — another holder (or a previous
 				// delivery of this one whose response was lost) already
 				// landed the identical bytes. Informational, not an error.
+				w.rejected.Add(1)
 				w.logf("completion of %s %s rejected: %s", req.Experiment, req.Key, resp.Reason)
+				w.Logger.Info("completion rejected",
+					"experiment", req.Experiment, "cell", req.Key, "seq", req.Seq, "reason", resp.Reason)
 			} else {
+				w.accepted.Add(1)
 				w.logf("completed %s %s", req.Experiment, req.Key)
+				w.Logger.Info("completion accepted",
+					"experiment", req.Experiment, "cell", req.Key, "seq", req.Seq, "attempts", attempt)
 			}
 			return nil
 		}
@@ -367,6 +538,8 @@ func (w *Worker) deliver(ctx context.Context, client *http.Client, jitter *rng.S
 			return ctx.Err()
 		}
 		w.logf("completion post for %s %s failed (%d/%d): %v", req.Experiment, req.Key, attempt, maxErrs, err)
+		w.Logger.Warn("completion post failed",
+			"experiment", req.Experiment, "cell", req.Key, "attempt", attempt, "error", err.Error())
 		if w.DegradedPath != "" && time.Since(start) >= window {
 			return w.park(req)
 		}
@@ -374,7 +547,12 @@ func (w *Worker) deliver(ctx context.Context, client *http.Client, jitter *rng.S
 			return fmt.Errorf("dist: worker %s: %d consecutive coordinator errors delivering %s %s, last: %w",
 				w.ID, attempt, req.Experiment, req.Key, err)
 		}
-		if !w.sleep(ctx, w.backoff(jitter, attempt)) {
+		pause := w.backoff(jitter, attempt)
+		tb.mark("backoff", time.Now(), map[string]string{
+			"attempt": fmt.Sprint(attempt),
+			"wait_ms": fmt.Sprint(pause.Milliseconds()),
+		})
+		if !w.sleep(ctx, pause) {
 			return ctx.Err()
 		}
 	}
@@ -413,6 +591,8 @@ func (w *Worker) park(req CompleteRequest) error {
 	}
 	w.degraded.Add(1)
 	w.logf("degraded: coordinator unreachable, parked completion of %s %s locally", req.Experiment, req.Key)
+	w.Logger.Error("degraded mode: completion parked locally",
+		"experiment", req.Experiment, "cell", req.Key, "journal", w.DegradedPath)
 	w.Drain()
 	return nil
 }
@@ -462,7 +642,7 @@ func (w *Worker) replayParked(ctx context.Context, client *http.Client) {
 // A failed renewal is ignored (the next one may succeed; at worst the
 // lease expires and first-writer-wins makes the race benign); a
 // Renewed=false response stops renewing — the lease is gone.
-func (w *Worker) startRenewer(ctx context.Context, client *http.Client, g *LeaseGrant) (stop func()) {
+func (w *Worker) startRenewer(ctx context.Context, client *http.Client, g *LeaseGrant, tb *cellTraceBuilder) (stop func()) {
 	if g.LeaseTimeoutMS <= 0 {
 		return func() {}
 	}
@@ -489,12 +669,21 @@ func (w *Worker) startRenewer(ctx context.Context, client *http.Client, g *Lease
 				}, &resp)
 				if err != nil {
 					w.logf("lease renewal for %s %s failed: %v", g.Experiment, g.Key, err)
+					w.Logger.Warn("lease renewal failed",
+						"experiment", g.Experiment, "cell", g.Key, "error", err.Error())
 					continue
 				}
 				if !resp.Renewed {
+					w.renewalsLost.Add(1)
 					w.logf("lease %s %s no longer renewable: %s", g.Experiment, g.Key, resp.Reason)
+					w.Logger.Warn("lease lost",
+						"experiment", g.Experiment, "cell", g.Key, "reason", resp.Reason)
+					tb.mark("lease_lost", time.Now(), map[string]string{
+						"cell": g.Key, "reason": resp.Reason,
+					})
 					return
 				}
+				tb.mark("lease_renewed_worker", time.Now(), map[string]string{"cell": g.Key})
 			}
 		}
 	}()

@@ -70,10 +70,10 @@ func (x *Exporter) Reset() {
 	x.mu.Unlock()
 }
 
-// traceEvent is one Chrome trace-event JSON object. Dur is a pointer
+// TraceEvent is one Chrome trace-event JSON object. Dur is a pointer
 // so complete events always carry it (a zero-cycle service is still a
 // span) while instant and metadata events omit it.
-type traceEvent struct {
+type TraceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   int64          `json:"ts"`
@@ -84,10 +84,13 @@ type traceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// traceFile is the top-level JSON object.
-type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
+// File is the top-level JSON object. OtherData carries free-form
+// file-level metadata (the fleet trace stores its trace id there);
+// it is omitted when empty, so single-process exports are unchanged.
+type File struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
 // Export writes the buffered events as one Chrome trace JSON object:
@@ -99,11 +102,11 @@ func (x *Exporter) Export(w io.Writer) error {
 	events := append([]gpusim.Event(nil), x.events...)
 	x.mu.Unlock()
 
-	out := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{
-		meta("process_name", PidSM, 0, "SM cores"),
-		meta("process_sort_index", PidSM, 0, 0),
-		meta("process_name", PidDRAM, 0, "DRAM partitions"),
-		meta("process_sort_index", PidDRAM, 0, 1),
+	out := File{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{
+		Meta("process_name", PidSM, 0, "SM cores"),
+		Meta("process_sort_index", PidSM, 0, 0),
+		Meta("process_name", PidDRAM, 0, "DRAM partitions"),
+		Meta("process_sort_index", PidDRAM, 0, 1),
 	}}
 
 	// Name each track row that actually appears.
@@ -113,18 +116,18 @@ func (x *Exporter) Export(w io.Writer) error {
 			if !partSeen[e.Part] {
 				partSeen[e.Part] = true
 				out.TraceEvents = append(out.TraceEvents,
-					meta("thread_name", PidDRAM, e.Part, fmt.Sprintf("partition %d", e.Part)))
+					Meta("thread_name", PidDRAM, e.Part, fmt.Sprintf("partition %d", e.Part)))
 			}
 			continue
 		}
 		if !smSeen[e.SM] {
 			smSeen[e.SM] = true
 			out.TraceEvents = append(out.TraceEvents,
-				meta("thread_name", PidSM, e.SM, fmt.Sprintf("sm %d", e.SM)))
+				Meta("thread_name", PidSM, e.SM, fmt.Sprintf("sm %d", e.SM)))
 		}
 	}
 
-	timeline := make([]traceEvent, 0, len(events))
+	timeline := make([]TraceEvent, 0, len(events))
 	for _, e := range events {
 		timeline = append(timeline, convert(e))
 	}
@@ -151,24 +154,30 @@ func (x *Exporter) WriteFile(path string) error {
 	return f.Close()
 }
 
-// meta builds one metadata ("M") record naming or ordering a track.
-func meta(name string, pid, tid int, arg any) traceEvent {
+// Meta builds one metadata ("M") record naming or ordering a track.
+// Besides the two process_* kinds and thread_name/thread_sort_index,
+// Chrome also understands process_labels (badges next to the process
+// name — the fleet trace uses it to flag stragglers).
+func Meta(name string, pid, tid int, arg any) TraceEvent {
 	key := "name"
-	if name == "process_sort_index" {
+	switch name {
+	case "process_sort_index", "thread_sort_index":
 		key = "sort_index"
+	case "process_labels":
+		key = "labels"
 	}
-	return traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{key: arg}}
+	return TraceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{key: arg}}
 }
 
 // convert maps one simulator event onto its trace representation.
-func convert(e gpusim.Event) traceEvent {
+func convert(e gpusim.Event) TraceEvent {
 	switch e.Kind {
 	case gpusim.EvDRAMService:
 		// A complete span on the partition's row: arrival to data
 		// return. Events are emitted at completion, so the span starts
 		// N cycles back.
 		dur := e.N
-		return traceEvent{
+		return TraceEvent{
 			Name: "service", Ph: "X", Ts: e.Cycle - e.N, Dur: &dur,
 			Pid: PidDRAM, Tid: e.Part,
 			Args: map[string]any{"addr": fmt.Sprintf("%#x", e.Addr)},
@@ -185,8 +194,8 @@ func convert(e gpusim.Event) traceEvent {
 }
 
 // instant builds a thread-scoped instant event on the SM's row.
-func instant(e gpusim.Event, args map[string]any) traceEvent {
-	return traceEvent{
+func instant(e gpusim.Event, args map[string]any) TraceEvent {
+	return TraceEvent{
 		Name: e.Kind.String(), Ph: "i", Ts: e.Cycle,
 		Pid: PidSM, Tid: e.SM, S: "t", Args: args,
 	}

@@ -19,64 +19,44 @@ type decoded struct {
 	TraceEvents []map[string]any `json:"traceEvents"`
 }
 
-// validateChromeTrace checks the invariants Perfetto's importer relies
-// on: every event has a known phase, timeline events appear in
-// non-decreasing timestamp order, complete events carry a non-negative
-// duration, duration events nest (every B has its E, per pid/tid), and
-// every timeline row is named by a thread_name metadata record.
+// validateChromeTrace runs the exported schema validator and decodes
+// the trace for further assertions.
 func validateChromeTrace(t *testing.T, raw []byte) decoded {
 	t.Helper()
+	if err := Validate(raw); err != nil {
+		t.Fatalf("trace fails schema validation: %v", err)
+	}
 	var d decoded
 	if err := json.Unmarshal(raw, &d); err != nil {
 		t.Fatalf("trace does not decode: %v", err)
 	}
-	named := map[[2]int]bool{}
-	open := map[[2]int]int{} // B/E nesting depth per (pid, tid)
-	lastTs := int64(-1 << 62)
-	for i, e := range d.TraceEvents {
-		ph, _ := e["ph"].(string)
-		pid := int(e["pid"].(float64))
-		tid := int(e["tid"].(float64))
-		switch ph {
-		case "M":
-			if e["name"] == "thread_name" {
-				named[[2]int{pid, tid}] = true
-			}
-			continue
-		case "i", "X", "B", "E":
-		default:
-			t.Fatalf("event %d: unknown phase %q", i, ph)
-		}
-		ts := int64(e["ts"].(float64))
-		if ts < lastTs {
-			t.Fatalf("event %d: ts %d after %d — timeline not sorted", i, ts, lastTs)
-		}
-		lastTs = ts
-		key := [2]int{pid, tid}
-		switch ph {
-		case "X":
-			dur, ok := e["dur"].(float64)
-			if !ok || dur < 0 {
-				t.Fatalf("event %d: complete event without non-negative dur: %v", i, e)
-			}
-		case "B":
-			open[key]++
-		case "E":
-			open[key]--
-			if open[key] < 0 {
-				t.Fatalf("event %d: E without matching B on %v", i, key)
-			}
-		}
-		if !named[key] {
-			t.Fatalf("event %d: row %v has no thread_name metadata", i, key)
-		}
-	}
-	for key, n := range open {
-		if n != 0 {
-			t.Fatalf("row %v: %d unmatched B events", key, n)
-		}
-	}
 	return d
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents":`,
+		"unknown phase": `{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":0,"tid":0}]}`,
+		"unsorted": `{"traceEvents":[` +
+			`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"r"}},` +
+			`{"name":"a","ph":"i","ts":5,"pid":0,"tid":0},` +
+			`{"name":"b","ph":"i","ts":4,"pid":0,"tid":0}]}`,
+		"X without dur": `{"traceEvents":[` +
+			`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"r"}},` +
+			`{"name":"a","ph":"X","ts":0,"pid":0,"tid":0}]}`,
+		"E without B": `{"traceEvents":[` +
+			`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"r"}},` +
+			`{"name":"a","ph":"E","ts":0,"pid":0,"tid":0}]}`,
+		"unmatched B": `{"traceEvents":[` +
+			`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"r"}},` +
+			`{"name":"a","ph":"B","ts":0,"pid":0,"tid":0}]}`,
+		"unnamed row": `{"traceEvents":[{"name":"a","ph":"i","ts":0,"pid":0,"tid":0}]}`,
+	}
+	for name, raw := range cases {
+		if err := Validate([]byte(raw)); err == nil {
+			t.Errorf("%s: Validate accepted malformed trace", name)
+		}
+	}
 }
 
 func TestExportGolden(t *testing.T) {

@@ -1,0 +1,77 @@
+package tracevis
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Validate checks a serialized Chrome trace against the invariants
+// Perfetto's importer relies on: the file decodes, every event has a
+// known phase, timeline events appear in non-decreasing timestamp
+// order, complete ("X") events carry a non-negative duration,
+// duration events nest (every B has its E, per pid/tid row), and
+// every timeline row is named by a thread_name metadata record. It is
+// the schema gate for both the per-simulation exporter and the
+// fleet-wide trace merged by the sweep coordinator, and is run by
+// cmd/rcoal-obscheck in CI.
+func Validate(raw []byte) error {
+	var d struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return fmt.Errorf("trace does not decode: %w", err)
+	}
+	named := map[[2]int]bool{}
+	open := map[[2]int]int{} // B/E nesting depth per (pid, tid)
+	lastTs := int64(-1 << 62)
+	for i, e := range d.TraceEvents {
+		ph, _ := e["ph"].(string)
+		pid, okP := e["pid"].(float64)
+		tid, okT := e["tid"].(float64)
+		if !okP || !okT {
+			return fmt.Errorf("event %d: missing pid/tid: %v", i, e)
+		}
+		key := [2]int{int(pid), int(tid)}
+		switch ph {
+		case "M":
+			if e["name"] == "thread_name" {
+				named[key] = true
+			}
+			continue
+		case "i", "X", "B", "E":
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, ph)
+		}
+		ts, ok := e["ts"].(float64)
+		if !ok {
+			return fmt.Errorf("event %d: missing ts: %v", i, e)
+		}
+		if int64(ts) < lastTs {
+			return fmt.Errorf("event %d: ts %d after %d — timeline not sorted", i, int64(ts), lastTs)
+		}
+		lastTs = int64(ts)
+		switch ph {
+		case "X":
+			dur, ok := e["dur"].(float64)
+			if !ok || dur < 0 {
+				return fmt.Errorf("event %d: complete event without non-negative dur: %v", i, e)
+			}
+		case "B":
+			open[key]++
+		case "E":
+			open[key]--
+			if open[key] < 0 {
+				return fmt.Errorf("event %d: E without matching B on %v", i, key)
+			}
+		}
+		if !named[key] {
+			return fmt.Errorf("event %d: row %v has no thread_name metadata", i, key)
+		}
+	}
+	for key, n := range open {
+		if n != 0 {
+			return fmt.Errorf("row %v: %d unmatched B events", key, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Logger is the structured, leveled event log shared by the
+// coordinator, workers, and CLI front ends. It wraps log/slog (JSON
+// or logfmt-style text) and tees every record into an optional
+// FlightRecorder so the crash dump always holds the most recent
+// events regardless of where stderr went.
+//
+// A nil *Logger is a valid no-op receiver: the dist and cmd layers
+// call it unconditionally and pay one nil check when logging is off.
+type Logger struct {
+	sl    *slog.Logger
+	rec   *FlightRecorder
+	attrs []slog.Attr // accumulated With context, mirrored into the recorder
+}
+
+// LogConfig selects the output encoding and wiring of a Logger.
+type LogConfig struct {
+	// JSON selects the slog JSON handler (one object per line);
+	// otherwise records render as key=value text.
+	JSON bool
+	// Level is the minimum level emitted (slog.LevelInfo if unset is
+	// the slog default).
+	Level slog.Leveler
+	// Recorder, when non-nil, receives a copy of every record —
+	// including those below Level, so the flight dump keeps debug
+	// detail the live stream suppressed.
+	Recorder *FlightRecorder
+}
+
+// NewLogger builds a Logger writing to w.
+func NewLogger(w io.Writer, cfg LogConfig) *Logger {
+	opts := &slog.HandlerOptions{Level: cfg.Level}
+	var h slog.Handler
+	if cfg.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return &Logger{sl: slog.New(h), rec: cfg.Recorder}
+}
+
+// With returns a Logger that adds the given key-value pairs to every
+// record — the correlation idiom: log.With("trace_id", id, "worker", w).
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil || len(args) == 0 {
+		return l
+	}
+	nl := &Logger{sl: l.sl.With(args...), rec: l.rec}
+	nl.attrs = append(append([]slog.Attr{}, l.attrs...), argsToAttrs(args)...)
+	return nl
+}
+
+// Recorder returns the attached flight recorder (nil when absent).
+func (l *Logger) Recorder() *FlightRecorder {
+	if l == nil {
+		return nil
+	}
+	return l.rec
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, args ...any) { l.log(slog.LevelDebug, msg, args...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, args ...any) { l.log(slog.LevelInfo, msg, args...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, args ...any) { l.log(slog.LevelWarn, msg, args...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, args ...any) { l.log(slog.LevelError, msg, args...) }
+
+func (l *Logger) log(level slog.Level, msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	if l.rec != nil {
+		attrs := make(map[string]string, len(l.attrs)+len(args)/2)
+		for _, a := range l.attrs {
+			attrs[a.Key] = a.Value.String()
+		}
+		for _, a := range argsToAttrs(args) {
+			attrs[a.Key] = a.Value.String()
+		}
+		l.rec.Record(level.String(), msg, attrs)
+	}
+	l.sl.Log(context.Background(), level, msg, args...)
+}
+
+// ParseLevel maps the conventional flag spellings to slog levels;
+// unknown strings fall back to Info.
+func ParseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// argsToAttrs resolves slog's loose key-value argument convention
+// into concrete attrs, reusing slog.Record's own parser.
+func argsToAttrs(args []any) []slog.Attr {
+	if len(args) == 0 {
+		return nil
+	}
+	r := slog.NewRecord(time.Time{}, slog.LevelInfo, "", 0)
+	r.Add(args...)
+	out := make([]slog.Attr, 0, r.NumAttrs())
+	r.Attrs(func(a slog.Attr) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,76 @@
+// Package obs is the fleet-wide observability plane: one place for
+// the structured event log, the distributed trace that stitches a
+// coordinator and its workers into a single Perfetto timeline, the
+// Prometheus text exposition of the existing metrics surfaces, and
+// the crash flight recorder.
+//
+// The package deliberately sits above the hot paths it observes:
+// internal/gpusim and internal/runner never import it. Everything
+// here follows the PR-5 discipline — nil-gated, zero cost when
+// disabled. A nil *Logger, *FlightRecorder, or *FleetTrace is a valid
+// no-op receiver, so call sites do not need their own guards.
+//
+// Correlation model: every sweep mints one trace id (NewTraceID) on
+// the coordinator. The id travels in the X-Rcoal-Trace-Id response
+// header of every lease-protocol reply and in LeaseGrant.TraceID;
+// workers echo it on their requests and stamp it into their logs.
+// Workers report per-cell Span/Mark lists (lease hold, compute,
+// delivery attempts, backoff, renewals, chaos faults) back inside
+// CompleteRequest.Trace; the coordinator merges them with its own
+// lease-lifecycle spans into one FleetTrace sharing that trace id.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceHeader is the HTTP header carrying the sweep's trace id on
+// every lease-protocol request and response.
+const TraceHeader = "X-Rcoal-Trace-Id"
+
+// NewTraceID mints a 128-bit random trace id, hex-encoded. Trace ids
+// are correlation handles, not secrets, but crypto/rand keeps them
+// collision-free across a fleet without coordination.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; a fixed id
+		// keeps observability usable rather than killing the sweep.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one named interval on a process track, the wire form
+// workers use to report per-cell phases. Timestamps are Unix
+// nanoseconds from the reporting process's clock; within one machine
+// (the smoke and CI topology) they merge cleanly, across machines
+// skew shows up as track offset — acceptable for diagnostics.
+type Span struct {
+	// Track groups spans onto one timeline row ("slot 0", or an
+	// experiment id). Empty means the process's default track.
+	Track string            `json:"track,omitempty"`
+	Name  string            `json:"name"`
+	Start int64             `json:"start_unix_nano"`
+	End   int64             `json:"end_unix_nano"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Mark is one instant event (a renewal, a backoff, an injected chaos
+// fault) on a process track.
+type Mark struct {
+	Track string            `json:"track,omitempty"`
+	Name  string            `json:"name"`
+	At    int64             `json:"at_unix_nano"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// CellTrace is a worker's span report for one computed cell, attached
+// to the completion payload. It rides next to — never inside — the
+// result value, so enabling tracing cannot perturb result bytes.
+type CellTrace struct {
+	Worker string `json:"worker,omitempty"`
+	Spans  []Span `json:"spans,omitempty"`
+	Marks  []Mark `json:"marks,omitempty"`
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("trace ids %q/%q not 32 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatal("two trace ids collided")
+	}
+}
+
+func TestLoggerJSONAndCorrelationFields(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, LogConfig{JSON: true}).With("trace_id", "abc", "worker", "w1")
+	log.Info("lease granted", "experiment", "fig7", "seq", 3)
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	for k, want := range map[string]any{
+		"msg": "lease granted", "trace_id": "abc", "worker": "w1",
+		"experiment": "fig7", "seq": float64(3), "level": "INFO",
+	} {
+		if rec[k] != want {
+			t.Errorf("field %s = %v, want %v", k, rec[k], want)
+		}
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var log *Logger
+	log.Info("ignored")
+	log.Error("ignored", "k", "v")
+	if l2 := log.With("a", 1); l2 != nil {
+		t.Error("nil Logger.With returned non-nil")
+	}
+	if log.Recorder() != nil {
+		t.Error("nil Logger.Recorder returned non-nil")
+	}
+}
+
+func TestLoggerTeesIntoFlightRecorder(t *testing.T) {
+	rec := NewFlightRecorder(8)
+	var buf bytes.Buffer
+	log := NewLogger(&buf, LogConfig{JSON: true, Level: slog.LevelWarn, Recorder: rec}).
+		With("worker", "w1")
+	log.Info("below level, recorder still sees it", "seq", 1)
+	log.Warn("visible", "seq", 2)
+
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("stream got %d lines, want 1 (info suppressed)", got)
+	}
+	events := rec.Snapshot()
+	if len(events) != 2 {
+		t.Fatalf("recorder holds %d events, want 2", len(events))
+	}
+	if events[0].Attrs["worker"] != "w1" || events[0].Attrs["seq"] != "1" {
+		t.Errorf("recorder lost With/call attrs: %+v", events[0])
+	}
+	if events[0].Level != "INFO" || events[1].Level != "WARN" {
+		t.Errorf("levels = %s/%s", events[0].Level, events[1].Level)
+	}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	rec := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.Record("INFO", "event", map[string]string{"i": string(rune('0' + i))})
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("ring holds %d, want 4", rec.Len())
+	}
+	events := rec.Snapshot()
+	if events[0].Seq != 7 || events[3].Seq != 10 {
+		t.Errorf("ring kept seqs %d..%d, want 7..10", events[0].Seq, events[3].Seq)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Errorf("snapshot not in order: %+v", events)
+		}
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	rec := NewFlightRecorder(8)
+	rec.now = func() time.Time { return time.Unix(42, 0) }
+	rec.Record("ERROR", "watchdog tripped", map[string]string{"sm": "3"})
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := rec.Dump(path, "watchdog", "deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump is not JSON: %v", err)
+	}
+	if d.Reason != "watchdog" || d.TraceID != "deadbeef" || len(d.Events) != 1 {
+		t.Errorf("dump = %+v", d)
+	}
+	if d.Events[0].Msg != "watchdog tripped" || d.Events[0].Attrs["sm"] != "3" {
+		t.Errorf("dump event = %+v", d.Events[0])
+	}
+}
+
+func TestNilFlightRecorderIsSafe(t *testing.T) {
+	var rec *FlightRecorder
+	rec.Record("INFO", "ignored", nil)
+	if rec.Len() != 0 || rec.Snapshot() != nil {
+		t.Error("nil recorder not empty")
+	}
+	if err := rec.Dump("/nonexistent/should-not-write", "x", ""); err != nil {
+		t.Errorf("nil Dump returned %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rcoal/internal/metrics"
+	"rcoal/internal/runner"
+)
+
+func TestPromSnapshotRendersAndLints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("dist_cache_hits").Add(7)
+	reg.Gauge("queue_depth").Set(3)
+	reg.Gauge("queue_depth").Set(9)
+	reg.Gauge("queue_depth").Set(2)
+	h := reg.Histogram("tx_per_instr", []int64{1, 4, 16})
+	h.Observe(2)
+	h.Observe(5)
+	h.Observe(100)
+	tab := reg.Table("row_hits", []string{"p0", "p1"}, []string{"hit", "miss"})
+	tab.Add(0, 1, 1)
+	tab.Add(1, 0, 1)
+
+	p := NewProm()
+	p.Snapshot("rcoal", reg.Snapshot())
+	out := string(p.Bytes())
+
+	for _, want := range []string{
+		"# TYPE rcoal_dist_cache_hits counter",
+		"rcoal_dist_cache_hits 7",
+		"# TYPE rcoal_queue_depth gauge",
+		"rcoal_queue_depth 2",
+		"rcoal_queue_depth_max 9",
+		"# TYPE rcoal_tx_per_instr histogram",
+		`rcoal_tx_per_instr_bucket{le="+Inf"} 3`,
+		"rcoal_tx_per_instr_count 3",
+		`rcoal_row_hits{row="p0",col="miss"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintProm(p.Bytes()); err != nil {
+		t.Errorf("renderer output fails own linter: %v\n%s", err, out)
+	}
+}
+
+func TestPromTelemetryRendersAndLints(t *testing.T) {
+	var s runner.TelemetryStats
+	s.TotalCells, s.CellsDone, s.CacheHits = 64, 32, 8
+	s.CellsPerSec, s.Utilization = 2.5, 0.75
+	s.Elapsed, s.ETA = 10*time.Second, 12800*time.Millisecond
+
+	p := NewProm()
+	p.Telemetry("rcoal_sweep", s)
+	out := string(p.Bytes())
+	for _, want := range []string{
+		"rcoal_sweep_cells_total 64",
+		"rcoal_sweep_cells_per_second 2.5",
+		"rcoal_sweep_eta_seconds 12.8",
+		"# TYPE rcoal_sweep_cache_hits_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintProm(p.Bytes()); err != nil {
+		t.Errorf("telemetry exposition fails linter: %v\n%s", err, out)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	p := NewProm()
+	p.Gauge("weird", "label escaping", 1, Label{"k", "a\\b\"c\nd\x01e"})
+	if err := LintProm(p.Bytes()); err != nil {
+		t.Fatalf("escaped label fails linter: %v\n%s", err, p.Bytes())
+	}
+	if !strings.Contains(string(p.Bytes()), `k="a\\b\"c\nde"`) {
+		t.Errorf("unexpected escaping: %s", p.Bytes())
+	}
+}
+
+func TestMetricNameSanitized(t *testing.T) {
+	for in, want := range map[string]string{
+		"dist.cache-hits": "rcoal_dist_cache_hits",
+		"99luft":          "rcoal_99luft",
+	} {
+		if got := MetricName("rcoal", in); got != want {
+			t.Errorf("MetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := MetricName("", "7seas"); got != "_7seas" {
+		t.Errorf("leading digit not sanitized: %q", got)
+	}
+}
+
+func TestLintPromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":        "1bad_name 3\n",
+		"bad value":       "ok_name hello\n",
+		"unknown type":    "# TYPE x widget\nx 1\n",
+		"duplicate type":  "# TYPE x counter\nx 1\n# TYPE x counter\n",
+		"unquoted label":  "x{a=b} 1\n",
+		"bad escape":      "x{a=\"\\t\"} 1\n",
+		"ungrouped":       "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na 2\n",
+		"histogram bare":  "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative":  "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"count mismatch":  "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"dangling labels": "x{a=\"b\" 1\n",
+	}
+	for name, raw := range cases {
+		if err := LintProm([]byte(raw)); err == nil {
+			t.Errorf("%s: linter accepted %q", name, raw)
+		}
+	}
+	good := "# HELP a help text\n# TYPE a counter\na 1\n" +
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n" +
+		"untyped_ok{l=\"v\"} 2 1700000000\n"
+	if err := LintProm([]byte(good)); err != nil {
+		t.Errorf("linter rejected valid exposition: %v", err)
+	}
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"rcoal/internal/atomicio"
+	"rcoal/internal/gpusim/tracevis"
+)
+
+// FleetTrace merges spans and marks from every process in a
+// distributed sweep — the coordinator's lease lifecycle and each
+// worker's per-cell reports — into one Chrome/Perfetto trace sharing
+// a single trace id, reusing the tracevis JSON schema so the fleet
+// timeline loads in the same viewer as a single-simulation trace.
+//
+// Processes map to Perfetto "processes" (pid assigned in first-seen
+// order, so the coordinator — which registers itself at startup — is
+// pid 0) and tracks within a process map to threads. Timestamps are
+// Unix nanoseconds at ingestion, rebased to the earliest event and
+// converted to microseconds on export. A nil *FleetTrace ignores all
+// calls, keeping the coordinator's completion path unconditional.
+type FleetTrace struct {
+	mu      sync.Mutex
+	traceID string
+	procs   []string       // pid order
+	pids    map[string]int // proc → pid
+	tracks  map[string][]string
+	tids    map[string]map[string]int // proc → track → tid
+	labels  map[string]string         // proc → process_labels badge
+	spans   []procSpan
+	marks   []procMark
+}
+
+type procSpan struct {
+	proc string
+	Span
+}
+
+type procMark struct {
+	proc string
+	Mark
+}
+
+// NewFleetTrace returns an empty fleet trace for one sweep.
+func NewFleetTrace(traceID string) *FleetTrace {
+	return &FleetTrace{
+		traceID: traceID,
+		pids:    map[string]int{},
+		tracks:  map[string][]string{},
+		tids:    map[string]map[string]int{},
+		labels:  map[string]string{},
+	}
+}
+
+// TraceID returns the sweep's trace id ("" on a nil trace).
+func (f *FleetTrace) TraceID() string {
+	if f == nil {
+		return ""
+	}
+	return f.traceID
+}
+
+// RegisterProcess pins proc's pid to the next free slot; the
+// coordinator calls it at startup so it owns pid 0 regardless of
+// which worker reports first. Registering an existing process is a
+// no-op.
+func (f *FleetTrace) RegisterProcess(proc string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.pid(proc)
+	f.mu.Unlock()
+}
+
+// SetLabel attaches a process_labels badge (e.g. "straggler") shown
+// next to proc's name in the viewer.
+func (f *FleetTrace) SetLabel(proc, label string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.pid(proc)
+	f.labels[proc] = label
+	f.mu.Unlock()
+}
+
+// Span records one interval on proc.
+func (f *FleetTrace) Span(proc string, s Span) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.track(proc, s.Track)
+	f.spans = append(f.spans, procSpan{proc, s})
+	f.mu.Unlock()
+}
+
+// Mark records one instant event on proc.
+func (f *FleetTrace) Mark(proc string, m Mark) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.track(proc, m.Track)
+	f.marks = append(f.marks, procMark{proc, m})
+	f.mu.Unlock()
+}
+
+// AddCell merges a worker's per-cell span report under proc.
+func (f *FleetTrace) AddCell(proc string, ct CellTrace) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	for _, s := range ct.Spans {
+		f.track(proc, s.Track)
+		f.spans = append(f.spans, procSpan{proc, s})
+	}
+	for _, m := range ct.Marks {
+		f.track(proc, m.Track)
+		f.marks = append(f.marks, procMark{proc, m})
+	}
+	f.mu.Unlock()
+}
+
+// Len returns the number of recorded spans and marks.
+func (f *FleetTrace) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.spans) + len(f.marks)
+}
+
+// pid returns proc's pid, assigning the next one on first sight.
+// Callers hold mu.
+func (f *FleetTrace) pid(proc string) int {
+	if id, ok := f.pids[proc]; ok {
+		return id
+	}
+	id := len(f.procs)
+	f.pids[proc] = id
+	f.procs = append(f.procs, proc)
+	f.tids[proc] = map[string]int{}
+	return id
+}
+
+// track returns the tid of a track within proc, assigning on first
+// sight. Callers hold mu.
+func (f *FleetTrace) track(proc, name string) int {
+	f.pid(proc)
+	if id, ok := f.tids[proc][name]; ok {
+		return id
+	}
+	id := len(f.tracks[proc])
+	f.tids[proc][name] = id
+	f.tracks[proc] = append(f.tracks[proc], name)
+	return id
+}
+
+// Export writes the merged trace as Chrome trace-event JSON:
+// process/track naming metadata first, then the timeline sorted by
+// timestamp (stable, so ingestion order breaks ties). Every timeline
+// event carries the trace id in its args, and the file-level
+// otherData block repeats it.
+func (f *FleetTrace) Export(w io.Writer) error {
+	raw, err := f.marshal()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// WriteFile exports the trace atomically to path.
+func (f *FleetTrace) WriteFile(path string) error {
+	raw, err := f.marshal()
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, raw, 0o644)
+}
+
+func (f *FleetTrace) marshal() ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	out := tracevis.File{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"trace_id": f.traceID},
+	}
+	for pid, proc := range f.procs {
+		out.TraceEvents = append(out.TraceEvents,
+			tracevis.Meta("process_name", pid, 0, proc),
+			tracevis.Meta("process_sort_index", pid, 0, pid))
+		if label := f.labels[proc]; label != "" {
+			out.TraceEvents = append(out.TraceEvents,
+				tracevis.Meta("process_labels", pid, 0, label))
+		}
+		for tid, track := range f.tracks[proc] {
+			name := track
+			if name == "" {
+				name = "events"
+			}
+			out.TraceEvents = append(out.TraceEvents,
+				tracevis.Meta("thread_name", pid, tid, name),
+				tracevis.Meta("thread_sort_index", pid, tid, tid))
+		}
+	}
+
+	// Rebase to the earliest event so the viewer's axis starts near 0.
+	epoch := int64(0)
+	first := true
+	see := func(ns int64) {
+		if first || ns < epoch {
+			epoch, first = ns, false
+		}
+	}
+	for _, s := range f.spans {
+		see(s.Start)
+	}
+	for _, m := range f.marks {
+		see(m.At)
+	}
+
+	timeline := make([]tracevis.TraceEvent, 0, len(f.spans)+len(f.marks))
+	for _, s := range f.spans {
+		dur := (s.End - s.Start) / 1000
+		if dur < 0 {
+			dur = 0
+		}
+		timeline = append(timeline, tracevis.TraceEvent{
+			Name: s.Name, Ph: "X", Ts: (s.Start - epoch) / 1000, Dur: &dur,
+			Pid: f.pids[s.proc], Tid: f.tids[s.proc][s.Track],
+			Args: f.args(s.Attrs),
+		})
+	}
+	for _, m := range f.marks {
+		timeline = append(timeline, tracevis.TraceEvent{
+			Name: m.Name, Ph: "i", Ts: (m.At - epoch) / 1000,
+			Pid: f.pids[m.proc], Tid: f.tids[m.proc][m.Track], S: "t",
+			Args: f.args(m.Attrs),
+		})
+	}
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].Ts < timeline[j].Ts })
+	out.TraceEvents = append(out.TraceEvents, timeline...)
+
+	raw, err := json.Marshal(out)
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// args copies attrs into the event-args map, always stamping the
+// sweep's trace id so any event answers "which run was this".
+func (f *FleetTrace) args(attrs map[string]string) map[string]any {
+	out := make(map[string]any, len(attrs)+1)
+	for k, v := range attrs {
+		out[k] = v
+	}
+	out["trace_id"] = f.traceID
+	return out
+}

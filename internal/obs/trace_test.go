@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rcoal/internal/gpusim/tracevis"
+)
+
+func buildFleetTrace() *FleetTrace {
+	base := int64(1_000_000_000_000) // ns
+	ft := NewFleetTrace("feedface")
+	ft.RegisterProcess("coordinator")
+	// Coordinator lease span + renewal mark on the experiment track.
+	ft.Span("coordinator", Span{
+		Track: "fig7", Name: "lease fig7[3]",
+		Start: base, End: base + 5_000_000,
+		Attrs: map[string]string{"worker": "w1", "seq": "1"},
+	})
+	ft.Mark("coordinator", Mark{
+		Track: "fig7", Name: "lease_renewed", At: base + 2_000_000,
+		Attrs: map[string]string{"worker": "w1"},
+	})
+	// A worker cell report, as it arrives in a completion payload.
+	ft.AddCell("worker w1", CellTrace{
+		Worker: "w1",
+		Spans: []Span{
+			{Track: "slot 0", Name: "cell", Start: base + 500_000, End: base + 4_500_000,
+				Attrs: map[string]string{"key": "fig7[3]"}},
+			{Track: "slot 0", Name: "deliver", Start: base + 4_500_000, End: base + 4_800_000},
+		},
+		Marks: []Mark{
+			{Track: "slot 0", Name: "chaos_fault", At: base + 4_600_000,
+				Attrs: map[string]string{"kind": "drop_request"}},
+			{Track: "slot 0", Name: "backoff", At: base + 4_700_000},
+		},
+	})
+	ft.SetLabel("worker w1", "straggler")
+	return ft
+}
+
+func TestFleetTraceExportValidatesAndMerges(t *testing.T) {
+	ft := buildFleetTrace()
+	var buf bytes.Buffer
+	if err := ft.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracevis.Validate(buf.Bytes()); err != nil {
+		t.Fatalf("fleet trace fails tracevis schema: %v\n%s", err, buf.String())
+	}
+
+	var d struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.OtherData["trace_id"] != "feedface" {
+		t.Errorf("otherData trace_id = %v", d.OtherData["trace_id"])
+	}
+
+	names := map[string]int{}
+	var labelSeen bool
+	for _, e := range d.TraceEvents {
+		name := e["name"].(string)
+		names[name]++
+		if e["ph"] == "M" {
+			if name == "process_labels" {
+				labelSeen = true
+			}
+			continue
+		}
+		// Every timeline event shares the sweep's trace id.
+		args := e["args"].(map[string]any)
+		if args["trace_id"] != "feedface" {
+			t.Errorf("event %q missing trace id: %v", name, args)
+		}
+		// Coordinator registered first, so its events live on pid 0.
+		if name == "lease fig7[3]" && e["pid"].(float64) != 0 {
+			t.Errorf("coordinator span on pid %v, want 0", e["pid"])
+		}
+	}
+	for _, want := range []string{"lease fig7[3]", "lease_renewed", "cell", "deliver", "chaos_fault", "backoff"} {
+		if names[want] == 0 {
+			t.Errorf("merged trace missing %q event", want)
+		}
+	}
+	if !labelSeen {
+		t.Error("straggler process_labels metadata missing")
+	}
+}
+
+func TestFleetTraceWriteFile(t *testing.T) {
+	ft := buildFleetTrace()
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := ft.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracevis.Validate(raw); err != nil {
+		t.Fatalf("written fleet trace invalid: %v", err)
+	}
+}
+
+func TestNilFleetTraceIsSafe(t *testing.T) {
+	var ft *FleetTrace
+	ft.RegisterProcess("p")
+	ft.Span("p", Span{Name: "s"})
+	ft.Mark("p", Mark{Name: "m"})
+	ft.AddCell("p", CellTrace{})
+	ft.SetLabel("p", "l")
+	if ft.Len() != 0 || ft.TraceID() != "" {
+		t.Error("nil FleetTrace not inert")
+	}
+}
+
+func TestFleetTraceClampsBackwardSpan(t *testing.T) {
+	ft := NewFleetTrace("t")
+	ft.Span("p", Span{Name: "skewed", Start: 2_000_000, End: 1_000_000})
+	var buf bytes.Buffer
+	if err := ft.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracevis.Validate(buf.Bytes()); err != nil {
+		t.Fatalf("clock-skewed span breaks schema: %v", err)
+	}
+}

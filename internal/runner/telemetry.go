@@ -3,6 +3,7 @@ package runner
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -182,25 +183,43 @@ func (t *Telemetry) Stats() TelemetryStats {
 	if t.start.IsZero() {
 		return s
 	}
-	s.Elapsed = now.Sub(t.start)
+	if s.Elapsed = now.Sub(t.start); s.Elapsed < 0 {
+		s.Elapsed = 0 // clock stepped backwards; keep the window sane
+	}
 	// The rate window covers freshly computed cells only: restored
 	// cells arrive in microseconds and would otherwise inflate the
 	// rate (and deflate the ETA) of every resumed or cache-warm sweep.
+	// When that window is zero-width — every cell so far was a cache
+	// hit or journal restore, so fresh == 0, or the clock has not
+	// advanced — the rate is undefined: report 0 and no ETA rather
+	// than NaN/Inf (which would poison the expvar/Prometheus JSON) or
+	// a negative extrapolation.
 	fresh := t.done + t.failed
 	if fresh > 0 {
 		s.AvgCell = t.sumCell / time.Duration(fresh)
 	}
 	if s.Elapsed > 0 {
-		s.CellsPerSec = float64(fresh) / s.Elapsed.Seconds()
+		if fresh > 0 {
+			s.CellsPerSec = float64(fresh) / s.Elapsed.Seconds()
+		}
 		if t.peakActive > 0 {
 			s.Utilization = float64(t.busy) / (float64(s.Elapsed) * float64(t.peakActive))
 			if s.Utilization > 1 {
 				s.Utilization = 1 // rounding at tiny elapsed windows
+			} else if s.Utilization < 0 {
+				s.Utilization = 0
 			}
 		}
 	}
+	// remaining can go negative when restored cells were also counted
+	// as scheduled (journal replay racing grid registration); clamp
+	// instead of emitting a negative ETA.
 	if remaining := t.total - fresh; remaining > 0 && s.CellsPerSec > 0 {
-		s.ETA = time.Duration(float64(remaining) / s.CellsPerSec * float64(time.Second))
+		if sec := float64(remaining) / s.CellsPerSec; sec < float64(math.MaxInt64)/float64(time.Second) {
+			s.ETA = time.Duration(sec * float64(time.Second))
+		} else {
+			s.ETA = math.MaxInt64 // avoid Duration overflow wrapping negative
+		}
 	}
 	return s
 }
@@ -234,6 +253,17 @@ func (s TelemetryStats) String() string {
 // until the final line (the end-of-run summary) has been written, so
 // callers can defer it and still get a complete last line.
 func (t *Telemetry) Heartbeat(w io.Writer, every time.Duration) (stop func()) {
+	return t.HeartbeatWith(every, func(s TelemetryStats) {
+		fmt.Fprintf(w, "telemetry: %s\n", s)
+	})
+}
+
+// HeartbeatWith is Heartbeat with a caller-supplied sink: emit is
+// called with a fresh Stats snapshot every interval and once more on
+// stop (the end-of-run summary). It exists so callers can route the
+// heartbeat into a structured logger or metrics exporter without this
+// package depending on either.
+func (t *Telemetry) HeartbeatWith(every time.Duration, emit func(TelemetryStats)) (stop func()) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
 	go func() {
@@ -243,9 +273,9 @@ func (t *Telemetry) Heartbeat(w io.Writer, every time.Duration) (stop func()) {
 		for {
 			select {
 			case <-tick.C:
-				fmt.Fprintf(w, "telemetry: %s\n", t.Stats())
+				emit(t.Stats())
 			case <-done:
-				fmt.Fprintf(w, "telemetry: %s\n", t.Stats())
+				emit(t.Stats())
 				return
 			}
 		}

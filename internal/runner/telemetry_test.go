@@ -3,7 +3,9 @@ package runner
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -144,6 +146,92 @@ func TestTelemetryRestoredExcludedFromRateWindow(t *testing.T) {
 	}
 	if line := s.String(); !strings.Contains(line, "cells 17/20 (15 restored)") {
 		t.Errorf("heartbeat line %q missing restored count", line)
+	}
+}
+
+func TestTelemetryZeroWidthRateWindow(t *testing.T) {
+	// A fully warm sweep: every remaining cell is a cache hit or
+	// journal restore, so the fresh-cell rate window is zero-width.
+	// The rate/ETA/utilization must all stay finite and non-negative —
+	// this was the heartbeat degenerating on warm resumes.
+	tel := NewTelemetry()
+	base := time.Unix(1000, 0)
+	now := base
+	tel.now = func() time.Time { return now }
+
+	tel.AddRestored(20)
+	for i := 0; i < 20; i++ {
+		tel.AddCacheHit()
+	}
+	now = now.Add(3 * time.Second) // wall time passes, zero fresh cells
+	s := tel.Stats()
+	for name, v := range map[string]float64{
+		"cells_per_sec": s.CellsPerSec,
+		"utilization":   s.Utilization,
+		"eta_seconds":   s.ETA.Seconds(),
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("%s = %v on zero-width rate window, want finite non-negative", name, v)
+		}
+	}
+	if s.CellsPerSec != 0 || s.ETA != 0 {
+		t.Errorf("rate/eta = %v/%v on all-restored sweep, want 0/0", s.CellsPerSec, s.ETA)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Errorf("stats snapshot not JSON-marshalable: %v", err)
+	}
+	if line := s.String(); strings.Contains(line, "NaN") || strings.Contains(line, "-") {
+		t.Errorf("heartbeat line degenerated: %q", line)
+	}
+
+	// Same scenario with zero elapsed time (events all within one
+	// clock tick): still finite.
+	tel2 := NewTelemetry()
+	tel2.now = func() time.Time { return base }
+	tel2.AddRestored(5)
+	s2 := tel2.Stats()
+	if s2.CellsPerSec != 0 || s2.ETA != 0 || s2.Utilization != 0 {
+		t.Errorf("zero-elapsed stats degenerated: %+v", s2)
+	}
+}
+
+func TestTelemetryClockSkewClamped(t *testing.T) {
+	// The clock stepping backwards (NTP correction) must not produce a
+	// negative elapsed window or a negative rate.
+	tel := NewTelemetry()
+	base := time.Unix(1000, 0)
+	now := base
+	tel.now = func() time.Time { return now }
+	tel.addTotal(2)
+	start := tel.cellStart()
+	tel.cellEnd(start, nil)
+	now = base.Add(-10 * time.Second)
+	s := tel.Stats()
+	if s.Elapsed < 0 || s.CellsPerSec < 0 || s.ETA < 0 {
+		t.Errorf("clock skew produced negative stats: %+v", s)
+	}
+}
+
+func TestHeartbeatWithEmitsSnapshots(t *testing.T) {
+	tel := NewTelemetry()
+	tel.addTotal(3)
+	var mu sync.Mutex
+	var got []TelemetryStats
+	stop := tel.HeartbeatWith(10*time.Millisecond, func(s TelemetryStats) {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+	})
+	time.Sleep(35 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < 2 {
+		t.Fatalf("HeartbeatWith emitted %d snapshots, want >= 2", len(got))
+	}
+	if got[len(got)-1].TotalCells != 3 {
+		t.Errorf("final snapshot total = %d, want 3", got[len(got)-1].TotalCells)
 	}
 }
 

@@ -18,42 +18,41 @@
 #
 # Run from the repo root: bash scripts/chaos_smoke.sh [seed]
 set -euo pipefail
+. "$(dirname "$0")/lib.sh"
 
 EXP=ext-defense-frontier
 MECHS="baseline,fss:2,fss:4,fss:8,rss:2,rss:4,rss:8,delay:16"
 SAMPLES=8
 LINES=16
 SEED=${1:-0xC0A150AC}
-ADDR=localhost:8078
-URL=http://$ADDR
+KILL_HARD=-9
 
-TMP=$(mktemp -d)
-cleanup() {
-  jobs -p | xargs -r kill -9 2>/dev/null || true
-  rm -rf "$TMP"
-}
-trap cleanup EXIT
+rcoal_init
+TMP=$RCOAL_TMP
 
 echo "== build =="
-go build -o "$TMP/bin/" ./cmd/rcoal-experiments ./cmd/rcoal-coordinator
+rcoal_build
+
+ADDR=$(rcoal_pick_addr)
+URL=http://$ADDR
 
 echo "== single-process golden =="
 mkdir -p "$TMP/golden"
-"$TMP/bin/rcoal-experiments" -run "$EXP" -mechanisms "$MECHS" \
+"$RCOAL_BIN/rcoal-experiments" -run "$EXP" -mechanisms "$MECHS" \
   -samples "$SAMPLES" -lines "$LINES" -csv "$TMP/golden" >/dev/null
 
-echo "== chaos sweep: seeded faults ($SEED), worker killed, coordinator restarted =="
+echo "== chaos sweep: seeded faults ($SEED), worker killed, coordinator restarted ($ADDR) =="
 mkdir -p "$TMP/chaos-csv" "$TMP/journal"
-"$TMP/bin/rcoal-coordinator" -addr "$ADDR" -run "$EXP" -mechanisms "$MECHS" \
+"$RCOAL_BIN/rcoal-coordinator" -addr "$ADDR" -run "$EXP" -mechanisms "$MECHS" \
   -samples "$SAMPLES" -lines "$LINES" \
   -journal "$TMP/journal" -csv "$TMP/chaos-csv" \
   -lease-timeout 2s -drain-wait 500ms >/dev/null 2>"$TMP/coord1.log" &
 COORD=$!
-sleep 0.3
-"$TMP/bin/rcoal-experiments" -worker "$URL" -worker-id doomed -workers 1 \
+rcoal_wait_ready "$ADDR"
+"$RCOAL_BIN/rcoal-experiments" -worker "$URL" -worker-id doomed -workers 1 \
   -chaos-seed "$SEED" 2>"$TMP/doomed.log" &
 W1=$!
-"$TMP/bin/rcoal-experiments" -worker "$URL" -worker-id survivor -workers 2 \
+"$RCOAL_BIN/rcoal-experiments" -worker "$URL" -worker-id survivor -workers 2 \
   -chaos-seed "$SEED" 2>"$TMP/survivor.log" &
 W2=$!
 
@@ -65,7 +64,7 @@ sleep 0.4
 if kill -TERM "$COORD" 2>/dev/null; then
   wait "$COORD" 2>/dev/null || true
   echo "SIGTERMed the coordinator mid-sweep (ledger flushed); restarting with -resume"
-  "$TMP/bin/rcoal-coordinator" -addr "$ADDR" -run "$EXP" -mechanisms "$MECHS" \
+  "$RCOAL_BIN/rcoal-coordinator" -addr "$ADDR" -run "$EXP" -mechanisms "$MECHS" \
     -samples "$SAMPLES" -lines "$LINES" \
     -journal "$TMP/journal" -resume -csv "$TMP/chaos-csv" \
     -lease-timeout 2s -drain-wait 500ms >/dev/null 2>"$TMP/coord2.log" &

@@ -13,42 +13,38 @@
 #
 # Run from the repo root: bash scripts/dist_smoke.sh
 set -euo pipefail
+. "$(dirname "$0")/lib.sh"
 
 EXP=fig7
 SAMPLES=8
 LINES=16
-ADDR=localhost:8077
-URL=http://$ADDR
 
-TMP=$(mktemp -d)
-cleanup() {
-  jobs -p | xargs -r kill 2>/dev/null || true
-  rm -rf "$TMP"
-}
-trap cleanup EXIT
-
-now_ms() { date +%s%3N; }
+rcoal_init
+TMP=$RCOAL_TMP
 
 echo "== build =="
-go build -o "$TMP/bin/" ./cmd/rcoal-experiments ./cmd/rcoal-coordinator
+rcoal_build
+
+ADDR=$(rcoal_pick_addr)
+URL=http://$ADDR
 
 echo "== single-process golden =="
 mkdir -p "$TMP/golden"
-"$TMP/bin/rcoal-experiments" -run "$EXP" -samples "$SAMPLES" -lines "$LINES" \
+"$RCOAL_BIN/rcoal-experiments" -run "$EXP" -samples "$SAMPLES" -lines "$LINES" \
   -csv "$TMP/golden" >/dev/null
 
-echo "== distributed: coordinator + 2 workers, one killed mid-grid =="
+echo "== distributed: coordinator + 2 workers, one killed mid-grid ($ADDR) =="
 mkdir -p "$TMP/dist-csv" "$TMP/journal"
 t0=$(now_ms)
-"$TMP/bin/rcoal-coordinator" -addr "$ADDR" -run "$EXP" \
+"$RCOAL_BIN/rcoal-coordinator" -addr "$ADDR" -run "$EXP" \
   -samples "$SAMPLES" -lines "$LINES" \
   -journal "$TMP/journal" -cache "$TMP/cache" -csv "$TMP/dist-csv" \
   -lease-timeout 3s -drain-wait 500ms >/dev/null &
 COORD=$!
-sleep 0.3
-"$TMP/bin/rcoal-experiments" -worker "$URL" -worker-id doomed -workers 1 &
+rcoal_wait_ready "$ADDR"
+"$RCOAL_BIN/rcoal-experiments" -worker "$URL" -worker-id doomed -workers 1 &
 W1=$!
-"$TMP/bin/rcoal-experiments" -worker "$URL" -worker-id survivor -workers 2 &
+"$RCOAL_BIN/rcoal-experiments" -worker "$URL" -worker-id survivor -workers 2 &
 W2=$!
 sleep 0.5
 kill "$W1" 2>/dev/null || true
@@ -65,7 +61,7 @@ echo "OK: distributed CSV is byte-identical to the single-process golden (${cold
 echo "== warm cache: repeated sweep, no workers attached =="
 mkdir -p "$TMP/warm-csv" "$TMP/journal2"
 t2=$(now_ms)
-"$TMP/bin/rcoal-coordinator" -addr "$ADDR" -run "$EXP" \
+"$RCOAL_BIN/rcoal-coordinator" -addr "$ADDR" -run "$EXP" \
   -samples "$SAMPLES" -lines "$LINES" \
   -journal "$TMP/journal2" -cache "$TMP/cache" -csv "$TMP/warm-csv" \
   -drain-wait 0s >/dev/null

@@ -13,15 +13,17 @@
 #
 # Run from the repo root: bash scripts/frontier_smoke.sh
 set -euo pipefail
+. "$(dirname "$0")/lib.sh"
 
 GOLDEN=internal/experiments/testdata/frontier_small.golden.csv
 MECHS='fss:4,rss+rts:8,delay:16,shuffle,nocoal'
 
-TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT
+rcoal_init
+TMP=$RCOAL_TMP
 
 echo "== frontier smoke: rcoal-experiments -run ext-defense-frontier =="
-go run ./cmd/rcoal-experiments -run ext-defense-frontier \
+rcoal_build ./cmd/rcoal-experiments
+"$RCOAL_BIN/rcoal-experiments" -run ext-defense-frontier \
   -samples 10 -mechanisms "$MECHS" -csv "$TMP"
 
 echo "== golden CSV diff =="
